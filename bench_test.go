@@ -1,0 +1,298 @@
+package nvrel_test
+
+// One benchmark per table/figure of the paper's evaluation (§V), plus
+// benchmarks for the solver substrates. Each evaluation benchmark
+// regenerates the corresponding artifact end to end (model construction,
+// reachability, steady-state solve, reward evaluation) and reports the key
+// output as a benchmark metric, so `go test -bench` doubles as the
+// reproduction harness:
+//
+//	BenchmarkHeadlineFourVersion  — §V-B E[R_4v] (paper: 0.8233477)
+//	BenchmarkHeadlineSixVersion   — §V-B E[R_6v] (paper: 0.93464665)
+//	BenchmarkTableIIValidation    — Table II parameter validation
+//	BenchmarkFig3                 — Figure 3 interval sweep
+//	BenchmarkFig4a..BenchmarkFig4d — Figure 4 sensitivity sweeps
+//	BenchmarkSimulationCrossCheck — DES cross-validation (E8)
+//	BenchmarkOptimalInterval      — optimal-interval search (E9)
+
+import (
+	"testing"
+
+	"nvrel"
+	"nvrel/internal/experiments"
+	"nvrel/internal/percept"
+)
+
+func BenchmarkHeadlineFourVersion(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		m, err := nvrel.BuildFourVersion(nvrel.DefaultFourVersion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, err = m.ExpectedPaperReliability()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last, "E[R_4v]")
+}
+
+func BenchmarkHeadlineSixVersion(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		m, err := nvrel.BuildSixVersion(nvrel.DefaultSixVersion())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, err = m.ExpectedPaperReliability()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last, "E[R_6v]")
+}
+
+func BenchmarkTableIIValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p4 := nvrel.DefaultFourVersion()
+		if err := p4.Validate(false); err != nil {
+			b.Fatal(err)
+		}
+		p6 := nvrel.DefaultSixVersion()
+		if err := p6.Validate(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkSweep(b *testing.B, run func() (nvrel.Series, error), metric func(nvrel.Series) (float64, string)) {
+	b.Helper()
+	var last nvrel.Series
+	for i := 0; i < b.N; i++ {
+		s, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	if v, name := metric(last); name != "" {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	benchmarkSweep(b,
+		func() (nvrel.Series, error) { return nvrel.Fig3(nil) },
+		func(s nvrel.Series) (float64, string) {
+			best, err := s.Best()
+			if err != nil {
+				return 0, ""
+			}
+			return best.X, "best-interval-s"
+		})
+}
+
+func BenchmarkFig4a(b *testing.B) {
+	benchmarkSweep(b,
+		func() (nvrel.Series, error) { return nvrel.Fig4a(nil) },
+		func(s nvrel.Series) (float64, string) {
+			if xs := s.Crossovers(); len(xs) > 0 {
+				return xs[0], "low-crossover-s"
+			}
+			return 0, ""
+		})
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	benchmarkSweep(b,
+		func() (nvrel.Series, error) { return nvrel.Fig4b(nil) },
+		func(s nvrel.Series) (float64, string) {
+			first, last := s.Points[0], s.Points[len(s.Points)-1]
+			return 100 * (first.SixVersion - last.SixVersion) / first.SixVersion, "6v-drop-pct"
+		})
+}
+
+func BenchmarkFig4c(b *testing.B) {
+	benchmarkSweep(b,
+		func() (nvrel.Series, error) { return nvrel.Fig4c(nil) },
+		func(s nvrel.Series) (float64, string) {
+			first, last := s.Points[0], s.Points[len(s.Points)-1]
+			return 100 * (first.SixVersion - last.SixVersion) / first.SixVersion, "6v-drop-pct"
+		})
+}
+
+func BenchmarkFig4d(b *testing.B) {
+	benchmarkSweep(b,
+		func() (nvrel.Series, error) { return nvrel.Fig4d(nil) },
+		func(s nvrel.Series) (float64, string) {
+			if xs := s.Crossovers(); len(xs) > 0 {
+				return xs[0], "break-even-pprime"
+			}
+			return 0, ""
+		})
+}
+
+func BenchmarkSimulationCrossCheck(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		est, err := percept.Replicate(percept.Config{
+			Params:       nvrel.DefaultSixVersion(),
+			Rejuvenation: true,
+			Horizon:      4e5,
+			WarmUp:       2e4,
+		}, 4, uint64(9000+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = est.AnalyticReward.Mean
+	}
+	b.ReportMetric(last, "sim-E[R_6v]")
+}
+
+func BenchmarkOptimalInterval(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		best, err := experiments.RunOptimize(100, 3000, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = best.Interval
+	}
+	b.ReportMetric(last, "optimal-interval-s")
+}
+
+func BenchmarkTransientCurves(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points, err := nvrel.Transient(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].SixVersion
+	}
+	b.ReportMetric(last, "E[R_6v](t-end)")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	var rows []nvrel.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = nvrel.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "variants")
+}
+
+func BenchmarkArchitectureExplorer(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := nvrel.Architectures(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, r := range rows {
+			if r.Reliability > best {
+				best = r.Reliability
+			}
+		}
+	}
+	b.ReportMetric(best, "best-E[R]")
+}
+
+func BenchmarkSurvivalCurves(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := nvrel.Survival(120, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].SixVersion
+	}
+	b.ReportMetric(last, "P(survive-4h)")
+}
+
+func BenchmarkAttackBurstiness(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAttacker(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].SixVersion
+	}
+	b.ReportMetric(last, "E[R_6v]-bursty")
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	var count int
+	for i := 0; i < b.N; i++ {
+		es, err := experiments.RunSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count = len(es)
+	}
+	b.ReportMetric(float64(count), "parameters")
+}
+
+func BenchmarkOutage(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunOutage(4, uint64(500+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.FourVersionExact
+	}
+	b.ReportMetric(last/86400, "4v-MTTO-days")
+}
+
+func BenchmarkProtocolRounds(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunProtocol(500, uint64(700+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Tally.Safety()
+	}
+	b.ReportMetric(last, "protocol-safety")
+}
+
+func BenchmarkTransientPropagation(b *testing.B) {
+	m, err := nvrel.BuildSixVersion(nvrel.DefaultSixVersion())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf, err := m.PaperReliability()
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := []float64{0, 600, 3600, 86400}
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rs, err := m.TransientReliability(rf, times)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rs[len(rs)-1]
+	}
+	b.ReportMetric(last, "E[R](1d)")
+}
+
+func BenchmarkVotingSchemes(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunVoting(2, 2e5, uint64(100+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[0].Safety
+	}
+	b.ReportMetric(last, "threshold-safety")
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvrel"
+	"nvrel/internal/experiments"
+)
+
+func experimentNames() []string { return nvrel.ExperimentNames() }
+
+// runExperiment executes one experiment; the CSV flag applies to sweep
+// experiments and is ignored by scalar reports.
+func runExperiment(name string, csv bool, out *os.File) error {
+	if !csv {
+		return nvrel.RunExperiment(name, out)
+	}
+	var (
+		series nvrel.Series
+		err    error
+	)
+	switch name {
+	case "fig3":
+		series, err = nvrel.Fig3(nil)
+	case "fig4a":
+		series, err = nvrel.Fig4a(nil)
+	case "fig4b":
+		series, err = nvrel.Fig4b(nil)
+	case "fig4c":
+		series, err = nvrel.Fig4c(nil)
+	case "fig4d":
+		series, err = nvrel.Fig4d(nil)
+	default:
+		return nvrel.RunExperiment(name, out)
+	}
+	if err != nil {
+		return err
+	}
+	return series.WriteCSV(out)
+}
+
+// paramFlags registers parameter-override flags on fs around a default
+// parameter set and returns the live pointer.
+func paramFlags(fs *flag.FlagSet, p *nvrel.Params) {
+	fs.IntVar(&p.N, "n", p.N, "number of ML module versions")
+	fs.IntVar(&p.F, "f", p.F, "tolerated compromised modules")
+	fs.IntVar(&p.R, "r", p.R, "simultaneously rejuvenating modules")
+	fs.Float64Var(&p.Alpha, "alpha", p.Alpha, "error dependency between healthy modules")
+	fs.Float64Var(&p.P, "p", p.P, "healthy module inaccuracy")
+	fs.Float64Var(&p.PPrime, "pprime", p.PPrime, "compromised module inaccuracy")
+	fs.Float64Var(&p.MeanTimeToCompromise, "mttc", p.MeanTimeToCompromise, "mean time to compromise (s)")
+	fs.Float64Var(&p.MeanTimeToFailure, "mttf", p.MeanTimeToFailure, "mean time to failure (s)")
+	fs.Float64Var(&p.MeanTimeToRepair, "mttr", p.MeanTimeToRepair, "mean time to repair (s)")
+	fs.Float64Var(&p.MeanTimeToRejuvenate, "mtrj", p.MeanTimeToRejuvenate, "mean time to rejuvenate per module (s)")
+	fs.Float64Var(&p.RejuvenationInterval, "interval", p.RejuvenationInterval, "rejuvenation interval 1/gamma (s)")
+}
+
+func cmdSolve(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	arch := fs.String("arch", "6v", `architecture: "4v" (no rejuvenation) or "6v" (with rejuvenation)`)
+	states := fs.Bool("states", false, "also print the module-state distribution")
+
+	// Register parameter flags against the 6v defaults; if -arch 4v is
+	// chosen we re-derive the structural defaults afterwards unless the
+	// user overrode them.
+	p := nvrel.DefaultSixVersion()
+	paramFlags(fs, &p)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		model *nvrel.Model
+		err   error
+	)
+	switch *arch {
+	case "4v":
+		if !flagSet(fs, "n") {
+			p.N = 4
+		}
+		if !flagSet(fs, "r") {
+			p.R = 0
+		}
+		model, err = nvrel.BuildFourVersion(p)
+	case "6v":
+		model, err = nvrel.BuildSixVersion(p)
+	default:
+		return fmt.Errorf("solve: unknown architecture %q", *arch)
+	}
+	if err != nil {
+		return err
+	}
+
+	e, err := model.ExpectedPaperReliability()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "architecture: %s\n", model.Arch)
+	fmt.Fprintf(out, "tangible states: %d\n", model.Graph.NumStates())
+	fmt.Fprintf(out, "E[R_sys] = %.8f\n", e)
+	if *states {
+		dist, err := model.StateDistribution()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-10s %-12s %-6s %s\n", "healthy", "compromised", "down", "probability")
+		for _, st := range dist {
+			fmt.Fprintf(out, "%-10d %-12d %-6d %.8f\n", st.Healthy, st.Compromised, st.Down, st.Probability)
+		}
+	}
+	return nil
+}
+
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func cmdExport(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	fs.SetOutput(out)
+	arch := fs.String("arch", "6v", `architecture: "4v" or "6v"`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		model *nvrel.Model
+		err   error
+	)
+	switch *arch {
+	case "4v":
+		model, err = nvrel.BuildFourVersion(nvrel.DefaultFourVersion())
+	case "6v":
+		model, err = nvrel.BuildSixVersion(nvrel.DefaultSixVersion())
+	default:
+		return fmt.Errorf("export: unknown architecture %q", *arch)
+	}
+	if err != nil {
+		return err
+	}
+	return model.Net.WriteDOT(out)
+}
+
+func cmdSimulate(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	reps := fs.Int("reps", 16, "independent replications")
+	horizon := fs.Float64("horizon", 2e6, "simulated seconds per replication")
+	seed := fs.Uint64("seed", 424242, "master RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	checks, err := experiments.RunSimulationCheck(*reps, *horizon, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "discrete-event simulation vs analytic solvers")
+	for _, c := range checks {
+		status := "OK"
+		if !c.Covered {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(out, "  %-34s analytic %.7f  simulated %s  [%s]\n",
+			c.Architecture, c.Analytic, c.Simulated.AnalyticReward, status)
+	}
+	return nil
+}

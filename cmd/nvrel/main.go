@@ -1,0 +1,102 @@
+// Command nvrel runs the reproduction experiments and solves the
+// perception-system reliability models from the command line.
+//
+// Usage:
+//
+//	nvrel list
+//	nvrel run <experiment>|all [-csv]
+//	nvrel solve [-arch 4v|6v] [parameter flags]
+//	nvrel simulate [-reps n] [-horizon seconds] [-seed s]
+//
+// Run "nvrel <command> -h" for the flags of each command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nvrel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	if len(args) == 0 {
+		usage(out)
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(out)
+	case "run":
+		return cmdRun(args[1:], out)
+	case "solve":
+		return cmdSolve(args[1:], out)
+	case "simulate":
+		return cmdSimulate(args[1:], out)
+	case "export":
+		return cmdExport(args[1:], out)
+	case "analyze":
+		return cmdAnalyze(args[1:], out)
+	case "sweep":
+		return cmdSweep(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage(out *os.File) {
+	fmt.Fprintln(out, `nvrel — N-version perception-system reliability (DSN 2023 reproduction)
+
+commands:
+  list                       list the runnable experiments
+  run <experiment>|all       regenerate a paper table/figure (add -csv for CSV)
+  solve                      solve one model with custom parameters
+  simulate                   cross-validate the solvers with the event simulator
+  export                     emit a model as Graphviz DOT (-arch 4v|6v)
+  analyze                    solve a custom DSPN from a text definition (-net file)
+  sweep                      sweep any parameter over a grid (-param -from -to -steps)
+  trace                      print one simulated event timeline (-arch -horizon -seed)
+  help                       show this message`)
+}
+
+func cmdList(out *os.File) error {
+	fmt.Fprintln(out, "experiments (see DESIGN.md section 5 for the paper mapping):")
+	for _, n := range experimentNames() {
+		fmt.Fprintf(out, "  %s\n", n)
+	}
+	return nil
+}
+
+func cmdRun(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table (sweep experiments only)")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: want exactly one experiment name, got %d", fs.NArg())
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, n := range experimentNames() {
+			if err := runExperiment(n, *csv, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	return runExperiment(name, *csv, out)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"nvrel"
+)
+
+// sweepSetters maps sweepable parameter names to setters.
+var sweepSetters = map[string]func(*nvrel.Params, float64){
+	"alpha":    func(p *nvrel.Params, v float64) { p.Alpha = v },
+	"p":        func(p *nvrel.Params, v float64) { p.P = v },
+	"pprime":   func(p *nvrel.Params, v float64) { p.PPrime = v },
+	"mttc":     func(p *nvrel.Params, v float64) { p.MeanTimeToCompromise = v },
+	"mttf":     func(p *nvrel.Params, v float64) { p.MeanTimeToFailure = v },
+	"mttr":     func(p *nvrel.Params, v float64) { p.MeanTimeToRepair = v },
+	"mtrj":     func(p *nvrel.Params, v float64) { p.MeanTimeToRejuvenate = v },
+	"interval": func(p *nvrel.Params, v float64) { p.RejuvenationInterval = v },
+}
+
+func sweepParamNames() string {
+	names := make([]string, 0, len(sweepSetters))
+	for n := range sweepSetters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// cmdSweep evaluates both architectures across a linear grid of one
+// parameter — the generic version of the Figure 3/4 sweeps.
+func cmdSweep(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(out)
+	param := fs.String("param", "", "parameter to sweep: "+sweepParamNames())
+	from := fs.Float64("from", 0, "first value")
+	to := fs.Float64("to", 0, "last value")
+	steps := fs.Int("steps", 10, "number of grid points (>= 2)")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set, ok := sweepSetters[*param]
+	if !ok {
+		return fmt.Errorf("sweep: unknown parameter %q (have %s)", *param, sweepParamNames())
+	}
+	if *steps < 2 {
+		return fmt.Errorf("sweep: steps = %d must be at least 2", *steps)
+	}
+	if !(*to > *from) {
+		return fmt.Errorf("sweep: need from < to, got [%g, %g]", *from, *to)
+	}
+	rejuvenationOnly := *param == "interval" || *param == "mtrj"
+
+	if *csv {
+		fmt.Fprintf(out, "%s,four_version,six_version\n", *param)
+	} else {
+		fmt.Fprintf(out, "sweep of %s over [%g, %g] (%d points)\n", *param, *from, *to, *steps)
+		fmt.Fprintf(out, "  %-12s %-12s %-12s\n", *param, "E[R_4v]", "E[R_6v]")
+	}
+	for i := 0; i < *steps; i++ {
+		v := *from + (*to-*from)*float64(i)/float64(*steps-1)
+
+		e4 := math.NaN()
+		if !rejuvenationOnly {
+			p4 := nvrel.DefaultFourVersion()
+			set(&p4, v)
+			m4, err := nvrel.BuildFourVersion(p4)
+			if err != nil {
+				return fmt.Errorf("sweep: four-version at %g: %w", v, err)
+			}
+			if e4, err = m4.ExpectedPaperReliability(); err != nil {
+				return err
+			}
+		}
+
+		p6 := nvrel.DefaultSixVersion()
+		set(&p6, v)
+		m6, err := nvrel.BuildSixVersion(p6)
+		if err != nil {
+			return fmt.Errorf("sweep: six-version at %g: %w", v, err)
+		}
+		e6, err := m6.ExpectedPaperReliability()
+		if err != nil {
+			return err
+		}
+
+		f4 := ""
+		if !math.IsNaN(e4) {
+			f4 = fmt.Sprintf("%.7f", e4)
+		}
+		if *csv {
+			fmt.Fprintf(out, "%.6g,%s,%.7f\n", v, f4, e6)
+		} else {
+			if f4 == "" {
+				f4 = "-"
+			}
+			fmt.Fprintf(out, "  %-12.6g %-12s %-12.7f\n", v, f4, e6)
+		}
+	}
+	return nil
+}

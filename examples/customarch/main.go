@@ -1,0 +1,141 @@
+// Custom architecture: design a perception stack end to end, the workflow
+// the paper's introduction motivates for autonomous vehicles.
+//
+//  1. Estimate the healthy-module inaccuracy p empirically from a
+//     synthetic traffic-sign benchmark with diverse classifiers (the
+//     stand-in for "average inaccuracy of LeNet/AlexNet/ResNet on GTSRB"
+//     that produced the paper's p = 0.08).
+//  2. Measure how an attack degrades a module to pick p'.
+//  3. Feed both into the analytic models and compare candidate
+//     architectures, including a seven-version f=2 design beyond the
+//     paper's two configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvrel"
+	"nvrel/internal/des"
+	"nvrel/internal/mlsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Step 1: measure p on the synthetic benchmark.
+	bench, err := mlsim.NewSignBenchmark(mlsim.DefaultBenchmarkConfig())
+	if err != nil {
+		return fmt.Errorf("benchmark: %w", err)
+	}
+	rng := des.NewRNG(99)
+	var modules []*mlsim.Classifier
+	for i := 0; i < 3; i++ {
+		c, err := bench.NewClassifier(mlsim.DefaultDiversity, uint64(100+i))
+		if err != nil {
+			return err
+		}
+		modules = append(modules, c)
+	}
+	p, err := bench.EstimateEnsembleInaccuracy(modules, 20000, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured healthy inaccuracy p = %.4f (paper used 0.08 from GTSRB)\n", p)
+
+	// Step 2: measure p' by compromising one module with attack noise.
+	attacked, err := bench.NewClassifier(mlsim.DefaultDiversity, 200)
+	if err != nil {
+		return err
+	}
+	attacked.Compromise(2.5)
+	pPrime, err := bench.EstimateInaccuracy(attacked, 20000, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured compromised inaccuracy p' = %.4f (paper assumed 0.5)\n\n", pPrime)
+
+	// Step 3: compare candidate architectures under the measured error
+	// rates, keeping the paper's timing parameters.
+	type candidate struct {
+		name  string
+		rejuv bool
+		parms nvrel.Params
+	}
+	base4 := nvrel.DefaultFourVersion()
+	base6 := nvrel.DefaultSixVersion()
+	seven := nvrel.DefaultSixVersion()
+	seven.N, seven.F, seven.R = 7, 1, 1 // one spare module beyond 3f+2r+1
+	nine := nvrel.DefaultSixVersion()
+	nine.N, nine.F, nine.R = 9, 2, 1 // tolerate two compromised modules
+
+	candidates := []candidate{
+		{name: "4-version, f=1, no rejuvenation", parms: base4},
+		{name: "6-version, f=1, r=1, rejuvenation", rejuv: true, parms: base6},
+		{name: "7-version, f=1, r=1, rejuvenation", rejuv: true, parms: seven},
+		{name: "9-version, f=2, r=1, rejuvenation", rejuv: true, parms: nine},
+	}
+
+	fmt.Printf("%-38s %-10s %s\n", "architecture", "voter", "E[R_sys]")
+	for _, c := range candidates {
+		c.parms.P = p
+		c.parms.PPrime = pPrime
+		var (
+			model *nvrel.Model
+			err   error
+		)
+		if c.rejuv {
+			model, err = nvrel.BuildSixVersion(c.parms)
+		} else {
+			model, err = nvrel.BuildFourVersion(c.parms)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		e, err := model.ExpectedPaperReliability()
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		threshold := c.parms.Scheme().Threshold()
+		fmt.Printf("%-38s %d-of-%-4d %.7f\n", c.name, threshold, c.parms.N, e)
+	}
+
+	// Step 4: instead of averaging the measured accuracies into one p, keep
+	// each version's own error rate (the heterogeneous model) and compare
+	// with the averaged evaluation for the six-version design.
+	fmt.Println("\nper-version accuracies instead of the average:")
+	perVersion := make([]float64, 6)
+	for i := range perVersion {
+		c, err := bench.NewClassifier(mlsim.DefaultDiversity, uint64(300+i))
+		if err != nil {
+			return err
+		}
+		if perVersion[i], err = bench.EstimateInaccuracy(c, 20000, rng); err != nil {
+			return err
+		}
+		fmt.Printf("  version %d inaccuracy: %.4f\n", i+1, perVersion[i])
+	}
+	sixParams := nvrel.DefaultSixVersion()
+	sixParams.PPrime = pPrime
+	model, err := nvrel.BuildSixVersion(sixParams)
+	if err != nil {
+		return err
+	}
+	het, err := nvrel.HeterogeneousReliability(nvrel.HeterogeneousParams{
+		HealthyErr:     perVersion,
+		CompromisedErr: pPrime,
+	}, sixParams.Scheme())
+	if err != nil {
+		return err
+	}
+	eHet, err := model.ExpectedReliability(het)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  E[R_6v] with per-version rates: %.7f\n", eHet)
+	return nil
+}

@@ -1,0 +1,3 @@
+module nvrel
+
+go 1.22

@@ -1,0 +1,63 @@
+package bftvote
+
+import (
+	"fmt"
+	"math"
+
+	"nvrel/internal/des"
+)
+
+// NetworkConfig describes the message substrate between replicas.
+type NetworkConfig struct {
+	// MeanDelay is the mean one-way message delay (exponentially
+	// distributed). Zero means instantaneous delivery.
+	MeanDelay float64
+	// JitterlessDelay, when positive, replaces the exponential delay with
+	// a fixed one (useful for deterministic tests).
+	JitterlessDelay float64
+	// DropProbability is the independent chance a message is lost.
+	DropProbability float64
+}
+
+// Validate checks the configuration.
+func (c NetworkConfig) Validate() error {
+	if c.MeanDelay < 0 || math.IsNaN(c.MeanDelay) {
+		return fmt.Errorf("bftvote: mean delay %g must be non-negative", c.MeanDelay)
+	}
+	if c.JitterlessDelay < 0 || math.IsNaN(c.JitterlessDelay) {
+		return fmt.Errorf("bftvote: fixed delay %g must be non-negative", c.JitterlessDelay)
+	}
+	if c.DropProbability < 0 || c.DropProbability >= 1 {
+		return fmt.Errorf("bftvote: drop probability %g must lie in [0,1)", c.DropProbability)
+	}
+	return nil
+}
+
+// network delivers votes between replicas over the simulation.
+type network struct {
+	cfg NetworkConfig
+	sim *des.Simulation
+	rng *des.RNG
+
+	sent, dropped int
+}
+
+// send schedules delivery of v to the receiver, applying loss and delay.
+func (n *network) send(v Vote, deliver func(Vote)) {
+	n.sent++
+	if n.cfg.DropProbability > 0 && n.rng.Bernoulli(n.cfg.DropProbability) {
+		n.dropped++
+		return
+	}
+	delay := 0.0
+	switch {
+	case n.cfg.JitterlessDelay > 0:
+		delay = n.cfg.JitterlessDelay
+	case n.cfg.MeanDelay > 0:
+		delay = n.rng.Exp(n.cfg.MeanDelay)
+	}
+	if _, err := n.sim.Schedule(delay, func() { deliver(v) }); err != nil {
+		// Delays are generated non-negative; scheduling cannot fail.
+		panic(fmt.Sprintf("bftvote: schedule: %v", err))
+	}
+}

@@ -1,0 +1,264 @@
+package bftvote
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvrel/internal/des"
+)
+
+func behaviors(honest, wrong, equivocating, silent int) []Behavior {
+	var bs []Behavior
+	for i := 0; i < honest; i++ {
+		bs = append(bs, Honest)
+	}
+	for i := 0; i < wrong; i++ {
+		bs = append(bs, Wrong)
+	}
+	for i := 0; i < equivocating; i++ {
+		bs = append(bs, Equivocating)
+	}
+	for i := 0; i < silent; i++ {
+		bs = append(bs, Silent)
+	}
+	return bs
+}
+
+func defaultRound(bs []Behavior, quorum int) RoundConfig {
+	return RoundConfig{
+		Behaviors:    bs,
+		Quorum:       quorum,
+		CorrectLabel: 1,
+		WrongLabel:   2,
+		Network:      NetworkConfig{MeanDelay: 0.01},
+		Timeout:      10,
+	}
+}
+
+func TestRoundAllHonestDecides(t *testing.T) {
+	// The paper's six-version setting: n=6, f=1, r=1, quorum 4.
+	res, err := Run(defaultRound(behaviors(6, 0, 0, 0), 4), des.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.CorrectDecisions(1); got != 6 {
+		t.Errorf("correct decisions = %d, want 6", got)
+	}
+	if res.ConflictingDecisions() {
+		t.Error("conflicting decisions among honest replicas")
+	}
+	// All-to-all broadcast: n*(n-1) messages.
+	if res.MessagesSent != 30 {
+		t.Errorf("messages = %d, want 30", res.MessagesSent)
+	}
+}
+
+func TestRoundToleratesFByzantineAndRSilent(t *testing.T) {
+	// 4 honest + 1 equivocating + 1 silent (rejuvenating): the quorum of
+	// 4 is exactly reachable from the honest votes.
+	res, err := Run(defaultRound(behaviors(4, 0, 1, 1), 4), des.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every honest replica (indices 0-3) decides the correct label; the
+	// equivocator may also decide (it hears the honest quorum) but the
+	// silent replica never does.
+	for i := 0; i < 4; i++ {
+		if d := res.Decisions[i]; !d.Decided || d.Label != 1 {
+			t.Errorf("honest replica %d: %+v", i, d)
+		}
+	}
+	if res.ConflictingDecisions() {
+		t.Error("equivocation broke agreement")
+	}
+	if res.Decisions[5].Decided {
+		t.Error("silent replica decided")
+	}
+}
+
+func TestRoundSkipsWhenQuorumUnreachable(t *testing.T) {
+	// 3 honest + 2 wrong + 1 silent with quorum 4: neither label reaches
+	// four votes; every replica must skip (inconclusive but safe).
+	res, err := Run(defaultRound(behaviors(3, 2, 0, 1), 4), des.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Decisions {
+		if d.Decided {
+			t.Errorf("replica %d decided %d despite unreachable quorum", i, d.Label)
+		}
+	}
+}
+
+func TestRoundErroneousDecisionWhenWrongQuorum(t *testing.T) {
+	// 4 wrong + 2 honest: the wrong label assembles a quorum — the
+	// perception-error case of assumption A.3.
+	res, err := Run(defaultRound(behaviors(2, 4, 0, 0), 4), des.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongDeciders := 0
+	for _, d := range res.Decisions {
+		if d.Decided && d.Label == 2 {
+			wrongDeciders++
+		}
+	}
+	if wrongDeciders == 0 {
+		t.Error("expected the wrong label to win a quorum")
+	}
+	if res.ConflictingDecisions() {
+		t.Error("safety violated even though only one label had a quorum")
+	}
+}
+
+func TestRoundMessageLoss(t *testing.T) {
+	cfg := defaultRound(behaviors(6, 0, 0, 0), 4)
+	cfg.Network.DropProbability = 0.9
+	res, err := Run(cfg, des.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesDropped == 0 {
+		t.Error("expected drops at 90% loss")
+	}
+	// Decisions may or may not happen, but safety must hold.
+	if res.ConflictingDecisions() {
+		t.Error("loss broke safety")
+	}
+}
+
+func TestRoundDeterministicDelays(t *testing.T) {
+	cfg := defaultRound(behaviors(6, 0, 0, 0), 4)
+	cfg.Network = NetworkConfig{JitterlessDelay: 0.5}
+	res, err := Run(cfg, des.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Decisions {
+		if !d.Decided {
+			t.Fatalf("replica %d undecided", i)
+		}
+		// Own vote at t=0, peers arrive at exactly 0.5: the quorum closes
+		// at 0.5.
+		if d.At != 0.5 {
+			t.Errorf("replica %d decided at %g, want 0.5", i, d.At)
+		}
+	}
+}
+
+func TestRoundValidation(t *testing.T) {
+	rng := des.NewRNG(1)
+	tests := []struct {
+		name   string
+		mutate func(*RoundConfig)
+	}{
+		{name: "no replicas", mutate: func(c *RoundConfig) { c.Behaviors = nil }},
+		{name: "zero quorum", mutate: func(c *RoundConfig) { c.Quorum = 0 }},
+		{name: "quorum above n", mutate: func(c *RoundConfig) { c.Quorum = 99 }},
+		{name: "bad behavior", mutate: func(c *RoundConfig) { c.Behaviors[0] = Behavior(42) }},
+		{name: "same labels", mutate: func(c *RoundConfig) { c.WrongLabel = c.CorrectLabel }},
+		{name: "zero timeout", mutate: func(c *RoundConfig) { c.Timeout = 0 }},
+		{name: "negative delay", mutate: func(c *RoundConfig) { c.Network.MeanDelay = -1 }},
+		{name: "drop probability one", mutate: func(c *RoundConfig) { c.Network.DropProbability = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := defaultRound(behaviors(4, 0, 0, 0), 3)
+			tt.mutate(&cfg)
+			if _, err := Run(cfg, rng); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := Run(defaultRound(behaviors(4, 0, 0, 0), 3), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// TestQuorumSafetyProperty is the core BFT property: with n >= 3f+2r+1,
+// quorum 2f+r+1, at most f Byzantine (wrong or equivocating) and at most
+// r silent replicas, no two replicas ever decide different labels —
+// regardless of delays, loss, and the equivocation pattern.
+func TestQuorumSafetyProperty(t *testing.T) {
+	f := func(seed uint32, fRaw, rRaw, lossRaw uint8) bool {
+		fCount := int(fRaw % 3) // 0..2 Byzantine
+		rCount := int(rRaw % 3) // 0..2 silent
+		n := 3*fCount + 2*rCount + 1
+		quorum := 2*fCount + rCount + 1
+		bs := make([]Behavior, 0, n)
+		for i := 0; i < fCount; i++ {
+			if i%2 == 0 {
+				bs = append(bs, Equivocating)
+			} else {
+				bs = append(bs, Wrong)
+			}
+		}
+		for i := 0; i < rCount; i++ {
+			bs = append(bs, Silent)
+		}
+		for len(bs) < n {
+			bs = append(bs, Honest)
+		}
+		cfg := RoundConfig{
+			Behaviors:    bs,
+			Quorum:       quorum,
+			CorrectLabel: 1,
+			WrongLabel:   2,
+			Network: NetworkConfig{
+				MeanDelay:       0.05,
+				DropProbability: float64(lossRaw%50) / 100,
+			},
+			Timeout: 50,
+		}
+		res, err := Run(cfg, des.NewRNG(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		return !res.ConflictingDecisions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLivenessProperty: with a loss-free network and at least quorum many
+// honest replicas, every honest replica decides the correct label.
+func TestLivenessProperty(t *testing.T) {
+	f := func(seed uint32, fRaw, rRaw uint8) bool {
+		fCount := int(fRaw % 3)
+		rCount := int(rRaw % 3)
+		n := 3*fCount + 2*rCount + 1
+		quorum := 2*fCount + rCount + 1
+		honest := n - fCount - rCount
+		if honest < quorum {
+			return true // not a liveness scenario
+		}
+		bs := behaviors(honest, fCount, 0, rCount)
+		cfg := defaultRound(bs, quorum)
+		cfg.Timeout = 100
+		res, err := Run(cfg, des.NewRNG(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		return res.CorrectDecisions(1) >= honest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	tests := []struct {
+		give Behavior
+		want string
+	}{
+		{Honest, "honest"}, {Wrong, "wrong"},
+		{Equivocating, "equivocating"}, {Silent, "silent"},
+		{Behavior(9), "Behavior(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package bftvote implements the message-level voting protocol the
+// paper's voter abstracts (§II-B): the N ML modules act as replicas of a
+// BFT-style one-shot agreement on each perception output. Every replica
+// broadcasts its classification; a replica decides a label once it holds
+// a quorum of 2f+1 (or 2f+r+1 with rejuvenation) matching votes.
+//
+// The quorum size guarantees the property the paper's reliability
+// functions rely on: with n >= 3f+2r+1 replicas of which at most f are
+// Byzantine and at most r silent (rejuvenating or crashed), two honest
+// replicas can never decide different labels — any two quorums intersect
+// in at least f+1 replicas, hence in an honest replica, which votes only
+// once. Byzantine replicas may equivocate (send different labels to
+// different peers) without breaking this.
+//
+// The package runs on the discrete-event engine (package des) with
+// configurable network delays and message loss, and reports decision
+// latency and message complexity alongside the outcome.
+package bftvote
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Label is a perception output class.
+type Label int
+
+// ReplicaID identifies a replica (an ML module version).
+type ReplicaID int
+
+// Behavior is a replica's fault mode for one round.
+type Behavior int
+
+// Replica behaviors.
+const (
+	// Honest replicas vote their classifier's label consistently.
+	Honest Behavior = iota + 1
+	// Wrong replicas vote a consistent but incorrect label (a compromised
+	// module that misclassifies).
+	Wrong
+	// Equivocating replicas send different labels to different peers (a
+	// Byzantine module under adversarial control).
+	Equivocating
+	// Silent replicas send nothing (rejuvenating or crashed modules).
+	Silent
+)
+
+// String returns the behavior name.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Wrong:
+		return "wrong"
+	case Equivocating:
+		return "equivocating"
+	case Silent:
+		return "silent"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// Vote is one replica's signed statement for a round.
+type Vote struct {
+	From  ReplicaID
+	Label Label
+}
+
+// Decision is a replica's outcome for the round.
+type Decision struct {
+	// Decided reports whether a quorum was assembled before the round
+	// ended.
+	Decided bool
+	// Label is the decided label (valid only when Decided).
+	Label Label
+	// At is the simulation time of the decision.
+	At float64
+}
+
+// Errors returned by the protocol configuration.
+var (
+	ErrBadQuorum   = errors.New("bftvote: quorum must be positive and at most the replica count")
+	ErrNoReplicas  = errors.New("bftvote: at least one replica required")
+	ErrBadBehavior = errors.New("bftvote: replica count and behavior count differ")
+)

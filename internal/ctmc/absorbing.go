@@ -1,0 +1,86 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+
+	"nvrel/internal/linalg"
+)
+
+// ErrNoTransientStates is returned when every state is absorbing.
+var ErrNoTransientStates = errors.New("ctmc: no transient states")
+
+// FirstPassage analyzes the time until the chain first enters the target
+// set, treating target states as absorbing.
+type FirstPassage struct {
+	n         int
+	transient []int // indices of non-target states
+	position  map[int]int
+	inv       *linalg.LU // factorization of -Q_TT
+}
+
+// NewFirstPassage prepares a first-passage analysis of chain c into the
+// states marked true in target.
+func NewFirstPassage(c *Chain, target []bool) (*FirstPassage, error) {
+	if len(target) != c.n {
+		return nil, ErrRewardMismatch
+	}
+	fp := &FirstPassage{n: c.n, position: make(map[int]int)}
+	for s, isTarget := range target {
+		if !isTarget {
+			fp.position[s] = len(fp.transient)
+			fp.transient = append(fp.transient, s)
+		}
+	}
+	if len(fp.transient) == 0 {
+		return nil, ErrNoTransientStates
+	}
+	// Build -Q_TT (the negated transient-to-transient generator block).
+	m := len(fp.transient)
+	qtt := linalg.NewDense(m, m)
+	q := c.generator
+	for a, s := range fp.transient {
+		for b, sp := range fp.transient {
+			qtt.Set(a, b, -q.At(s, sp))
+		}
+	}
+	inv, err := linalg.Factorize(qtt)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: target set unreachable from some transient state: %w", err)
+	}
+	fp.inv = inv
+	return fp, nil
+}
+
+// MeanTimes returns, per transient state, the expected time to reach the
+// target set. The result is indexed like the original chain; target states
+// carry zero.
+func (fp *FirstPassage) MeanTimes() ([]float64, error) {
+	ones := make([]float64, len(fp.transient))
+	for i := range ones {
+		ones[i] = 1
+	}
+	// -Q_TT * t = 1  (standard mean hitting time system).
+	t, err := fp.inv.Solve(ones)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, fp.n)
+	for a, s := range fp.transient {
+		out[s] = t[a]
+	}
+	return out, nil
+}
+
+// MeanTimeFrom returns the expected hitting time from a distribution over
+// all states (mass on target states contributes zero).
+func (fp *FirstPassage) MeanTimeFrom(pi0 []float64) (float64, error) {
+	if len(pi0) != fp.n {
+		return 0, ErrRewardMismatch
+	}
+	times, err := fp.MeanTimes()
+	if err != nil {
+		return 0, err
+	}
+	return linalg.Dot(pi0, times)
+}

@@ -1,0 +1,143 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFirstPassageTwoState(t *testing.T) {
+	// 0 -> 1 at rate lam: mean hitting time of {1} from 0 is 1/lam.
+	const lam = 0.25
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(0, 1, lam); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := NewFirstPassage(c, []bool{false, true})
+	if err != nil {
+		t.Fatalf("NewFirstPassage: %v", err)
+	}
+	times, err := fp.MeanTimes()
+	if err != nil {
+		t.Fatalf("MeanTimes: %v", err)
+	}
+	if math.Abs(times[0]-1/lam) > 1e-12 {
+		t.Errorf("t[0] = %g, want %g", times[0], 1/lam)
+	}
+	if times[1] != 0 {
+		t.Errorf("t[1] = %g, want 0", times[1])
+	}
+}
+
+func TestFirstPassageBirthDeathKnown(t *testing.T) {
+	// Pure birth chain 0 -> 1 -> 2 with rate 1: hitting time of {2} from 0
+	// is 2, from 1 is 1.
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddRate(0, 1, 1)
+	_ = c.AddRate(1, 2, 1)
+	fp, err := NewFirstPassage(c, []bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := fp.MeanTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(times[0]-2) > 1e-12 || math.Abs(times[1]-1) > 1e-12 {
+		t.Errorf("times = %v, want [2 1 0]", times)
+	}
+}
+
+func TestFirstPassageWithBacktracking(t *testing.T) {
+	// 0 <-> 1 -> 2. Mean hitting time of {2}: from 1, either go to 2
+	// (rate mu) or back to 0 (rate back). Standard equations:
+	//   t0 = 1/lam + t1
+	//   t1 = 1/(mu+back) + back/(mu+back) * t0
+	const (
+		lam  = 2.0
+		back = 3.0
+		mu   = 1.0
+	)
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddRate(0, 1, lam)
+	_ = c.AddRate(1, 0, back)
+	_ = c.AddRate(1, 2, mu)
+	fp, err := NewFirstPassage(c, []bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := fp.MeanTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve by hand: t1 = 1/(mu+back) + back/(mu+back)*(1/lam + t1)
+	// => t1 (1 - back/(mu+back)) = 1/(mu+back) + back/((mu+back) lam)
+	// => t1 * mu/(mu+back) = (1 + back/lam)/(mu+back)
+	// => t1 = (1 + back/lam)/mu
+	wantT1 := (1 + back/lam) / mu
+	wantT0 := 1/lam + wantT1
+	if math.Abs(times[1]-wantT1) > 1e-12 {
+		t.Errorf("t1 = %g, want %g", times[1], wantT1)
+	}
+	if math.Abs(times[0]-wantT0) > 1e-12 {
+		t.Errorf("t0 = %g, want %g", times[0], wantT0)
+	}
+}
+
+func TestFirstPassageFromDistribution(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddRate(0, 1, 1)
+	_ = c.AddRate(1, 2, 1)
+	fp, err := NewFirstPassage(c, []bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fp.MeanTimeFrom([]float64{0.5, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("mean from mixture = %g, want 1.5", got)
+	}
+	if _, err := fp.MeanTimeFrom([]float64{1}); !errors.Is(err, ErrRewardMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFirstPassageValidation(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddRate(0, 1, 1)
+	if _, err := NewFirstPassage(c, []bool{true}); !errors.Is(err, ErrRewardMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewFirstPassage(c, []bool{true, true}); !errors.Is(err, ErrNoTransientStates) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFirstPassageUnreachableTarget(t *testing.T) {
+	// Target never reachable: -Q_TT is singular (state 0 has no outflow).
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.AddRate(1, 0, 1)
+	if _, err := NewFirstPassage(c, []bool{false, true}); err == nil {
+		t.Error("expected error for unreachable target")
+	}
+}

@@ -1,0 +1,56 @@
+package des
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRNGExp(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(3)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	var s Simulation
+	action := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(1, action); err != nil {
+			b.Fatal(err)
+		}
+		s.Step()
+	}
+}
+
+func BenchmarkEventHeapChurn(b *testing.B) {
+	// 1000 pending events with continuous schedule/fire churn: the
+	// steady-state load of the perception simulator.
+	var s Simulation
+	r := NewRNG(7)
+	var reschedule func()
+	reschedule = func() {
+		if _, err := s.Schedule(r.Exp(1), reschedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		reschedule()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i % 100))
+	}
+}

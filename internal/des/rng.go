@@ -1,0 +1,103 @@
+// Package des is a small discrete-event simulation engine: a future-event
+// list with cancellation, a fast deterministic random number generator, and
+// replication statistics. It powers the event-level perception-system
+// simulator (package percept) used to cross-validate the analytic DSPN
+// solvers.
+package des
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator (xoshiro256** seeded via
+// splitmix64). It is not cryptographically secure; it exists so simulation
+// runs are reproducible from a seed and allocation-free.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed into the xoshiro state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponential sample with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("des: exponential mean must be positive")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Intn returns a uniform sample in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("des: Intn bound must be positive")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives an independent generator, for per-replication streams.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,150 @@
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrTimeTravel is returned when an event is scheduled in the past.
+var ErrTimeTravel = errors.New("des: cannot schedule event in the past")
+
+// Action is invoked when its event fires.
+type Action func()
+
+// Handle refers to a scheduled event and allows cancellation.
+type Handle struct {
+	time     float64
+	seq      uint64
+	action   Action
+	canceled bool
+	index    int // heap position, -1 once popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h *Handle) Cancel() {
+	if h != nil {
+		h.canceled = true
+	}
+}
+
+// Canceled reports whether the event was canceled.
+func (h *Handle) Canceled() bool { return h != nil && h.canceled }
+
+// Time returns the scheduled firing time.
+func (h *Handle) Time() float64 { return h.time }
+
+// Simulation is a future-event-list simulator. The zero value is ready to
+// use and starts at time zero.
+type Simulation struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// Now returns the current simulation time.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulation) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (s *Simulation) Pending() int { return s.events.Len() }
+
+// Schedule enqueues action to fire after delay. Ties are broken in
+// scheduling order, which keeps runs deterministic.
+func (s *Simulation) Schedule(delay float64, action Action) (*Handle, error) {
+	if delay < 0 || math.IsNaN(delay) {
+		return nil, ErrTimeTravel
+	}
+	if action == nil {
+		return nil, errors.New("des: nil action")
+	}
+	h := &Handle{time: s.now + delay, seq: s.seq, action: action}
+	s.seq++
+	heap.Push(&s.events, h)
+	return h, nil
+}
+
+// Step fires the next pending event, returning false when none remain.
+func (s *Simulation) Step() bool {
+	for s.events.Len() > 0 {
+		h := heap.Pop(&s.events).(*Handle)
+		if h.canceled {
+			continue
+		}
+		s.now = h.time
+		s.fired++
+		h.action()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock reaches horizon or no
+// events remain. Events scheduled exactly at the horizon still fire; the
+// clock never exceeds the horizon.
+func (s *Simulation) RunUntil(horizon float64) {
+	for s.events.Len() > 0 {
+		next := s.peek()
+		if next == nil {
+			return
+		}
+		if next.time > horizon {
+			s.now = horizon
+			return
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// peek returns the next non-canceled event without firing it.
+func (s *Simulation) peek() *Handle {
+	for s.events.Len() > 0 {
+		h := s.events[0]
+		if !h.canceled {
+			return h
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Handle
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Handle)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nvrel/internal/nvp"
+	"nvrel/internal/reliability"
+)
+
+// AblationRow is one modeling-choice comparison at the Table II defaults.
+type AblationRow struct {
+	Dimension   string
+	Variant     string
+	FourVersion float64
+	SixVersion  float64
+	Note        string
+}
+
+// RunAblations evaluates the modeling choices DESIGN.md calls out, each at
+// the Table II defaults (extension experiment E11):
+//
+//   - reliability model: the paper's verbatim appendix formulas versus the
+//     self-consistent dependent model versus the independence baseline;
+//   - firing semantics: single-server (TimeNET default, used for the
+//     published numbers) versus per-token;
+//   - clock policy: free-running (guard g3 as printed) versus
+//     waits-for-wave.
+func RunAblations() ([]AblationRow, error) {
+	var rows []AblationRow
+
+	// Reliability-model choice.
+	type rfChoice struct {
+		name string
+		make func(pr reliability.Params, s reliability.Scheme, n int) (reliability.StateFn, error)
+		note string
+	}
+	verbatim := func(pr reliability.Params, _ reliability.Scheme, n int) (reliability.StateFn, error) {
+		if n == 4 {
+			return reliability.FourVersion(pr)
+		}
+		return reliability.SixVersion(pr)
+	}
+	dependent := func(pr reliability.Params, s reliability.Scheme, _ int) (reliability.StateFn, error) {
+		return reliability.Dependent(pr, s)
+	}
+	independent := func(pr reliability.Params, s reliability.Scheme, _ int) (reliability.StateFn, error) {
+		return reliability.Independent(pr, s)
+	}
+	for _, choice := range []rfChoice{
+		{name: "verbatim appendix", make: verbatim, note: "reproduces the published numbers"},
+		{name: "dependent (consistent)", make: dependent, note: "differs in R_{2,2,0}, R_{0,4,0}, R_{4,2,0}"},
+		{name: "independent baseline", make: independent, note: "alpha ignored"},
+	} {
+		m4, err := nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
+		if err != nil {
+			return nil, err
+		}
+		rf4, err := choice.make(m4.Params.Reliability(), m4.Params.Scheme(), 4)
+		if err != nil {
+			return nil, err
+		}
+		e4, err := m4.ExpectedReliability(rf4)
+		if err != nil {
+			return nil, err
+		}
+		m6, err := nvp.BuildWithRejuvenation(nvp.DefaultSixVersion())
+		if err != nil {
+			return nil, err
+		}
+		rf6, err := choice.make(m6.Params.Reliability(), m6.Params.Scheme(), 6)
+		if err != nil {
+			return nil, err
+		}
+		e6, err := m6.ExpectedReliability(rf6)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Dimension: "reliability model", Variant: choice.name,
+			FourVersion: e4, SixVersion: e6, Note: choice.note,
+		})
+	}
+
+	// Firing semantics.
+	for _, sem := range []nvp.ServerSemantics{nvp.SingleServer, nvp.PerToken} {
+		p4 := nvp.DefaultFourVersion()
+		p4.Semantics = sem
+		e4, err := solveFour(p4)
+		if err != nil {
+			return nil, err
+		}
+		p6 := nvp.DefaultSixVersion()
+		p6.Semantics = sem
+		e6, err := solveSix(p6)
+		if err != nil {
+			return nil, err
+		}
+		note := "matches the paper (TimeNET default)"
+		if sem == nvp.PerToken {
+			note = "independent modules; far from the published numbers"
+		}
+		rows = append(rows, AblationRow{
+			Dimension: "firing semantics", Variant: sem.String(),
+			FourVersion: e4, SixVersion: e6, Note: note,
+		})
+	}
+
+	// Clock policy (six-version only; the four-version model has no clock).
+	for _, clock := range []nvp.ClockPolicy{nvp.ClockFreeRunning, nvp.ClockWaitsForWave} {
+		p6 := nvp.DefaultSixVersion()
+		p6.Clock = clock
+		e6, err := solveSix(p6)
+		if err != nil {
+			return nil, err
+		}
+		e4, err := solveFour(nvp.DefaultFourVersion())
+		if err != nil {
+			return nil, err
+		}
+		note := "guard g3 as printed"
+		if clock == nvp.ClockWaitsForWave {
+			note = "clock held during waves; solved with the general MRGP solver"
+		}
+		rows = append(rows, AblationRow{
+			Dimension: "clock policy", Variant: clock.String(),
+			FourVersion: e4, SixVersion: e6, Note: note,
+		})
+	}
+	return rows, nil
+}
+
+func solveFour(p nvp.Params) (float64, error) {
+	m, err := nvp.BuildNoRejuvenation(p)
+	if err != nil {
+		return 0, err
+	}
+	return m.ExpectedPaperReliability()
+}
+
+func solveSix(p nvp.Params) (float64, error) {
+	m, err := nvp.BuildWithRejuvenation(p)
+	if err != nil {
+		return 0, err
+	}
+	return m.ExpectedPaperReliability()
+}
+
+// ReportAblations writes the E11 report.
+func ReportAblations(w io.Writer) error {
+	rows, err := RunAblations()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E11 (extension): modeling-choice ablations at Table II defaults")
+	fmt.Fprintf(w, "  %-20s %-24s %-11s %-11s %s\n", "dimension", "variant", "E[R_4v]", "E[R_6v]", "note")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-20s %-24s %-11.7f %-11.7f %s\n", r.Dimension, r.Variant, r.FourVersion, r.SixVersion, r.Note)
+	}
+	return nil
+}
+
+// ArchitectureRow is one candidate N-version design.
+type ArchitectureRow struct {
+	N, F, R     int
+	Rejuvenate  bool
+	Threshold   int
+	Reliability float64
+}
+
+// RunArchitectures evaluates every feasible (N, f, r) design with N up to
+// maxN at the Table II defaults (extension experiment E12): the
+// architecture-selection question the paper's conclusion raises.
+func RunArchitectures(maxN int) ([]ArchitectureRow, error) {
+	if maxN <= 0 {
+		maxN = 9
+	}
+	var rows []ArchitectureRow
+	for n := 1; n <= maxN; n++ {
+		for f := 0; 3*f+1 <= n; f++ {
+			// Without rejuvenation (r = 0).
+			p := nvp.DefaultFourVersion()
+			p.N, p.F, p.R = n, f, 0
+			e, err := solveFour(p)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d f=%d: %w", n, f, err)
+			}
+			rows = append(rows, ArchitectureRow{
+				N: n, F: f, Threshold: 2*f + 1, Reliability: e,
+			})
+			// With rejuvenation for each feasible r.
+			for r := 1; 3*f+2*r+1 <= n; r++ {
+				p := nvp.DefaultSixVersion()
+				p.N, p.F, p.R = n, f, r
+				e, err := solveSix(p)
+				if err != nil {
+					return nil, fmt.Errorf("n=%d f=%d r=%d: %w", n, f, r, err)
+				}
+				rows = append(rows, ArchitectureRow{
+					N: n, F: f, R: r, Rejuvenate: true,
+					Threshold: 2*f + r + 1, Reliability: e,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ReportArchitectures writes the E12 report.
+func ReportArchitectures(w io.Writer) error {
+	rows, err := RunArchitectures(9)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E12 (extension): every feasible (N, f, r) design at Table II defaults")
+	fmt.Fprintf(w, "  %-4s %-3s %-3s %-14s %-10s %s\n", "N", "f", "r", "rejuvenation", "voter", "E[R_sys]")
+	best := rows[0]
+	for _, r := range rows {
+		rejuv := "no"
+		if r.Rejuvenate {
+			rejuv = "yes"
+		}
+		fmt.Fprintf(w, "  %-4d %-3d %-3d %-14s %d-of-%-5d %.7f\n",
+			r.N, r.F, r.R, rejuv, r.Threshold, r.N, r.Reliability)
+		if r.Reliability > best.Reliability {
+			best = r
+		}
+	}
+	fmt.Fprintf(w, "  best design: N=%d f=%d r=%d (E[R_sys] = %.7f)\n", best.N, best.F, best.R, best.Reliability)
+	return nil
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunAblations(t *testing.T) {
+	rows, err := RunAblations()
+	if err != nil {
+		t.Fatalf("RunAblations: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	byVariant := make(map[string]AblationRow, len(rows))
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+		if r.FourVersion <= 0 || r.FourVersion > 1 || r.SixVersion <= 0 || r.SixVersion > 1 {
+			t.Errorf("row %+v outside (0,1]", r)
+		}
+	}
+	// The verbatim model reproduces the headline; the dependent model is
+	// lower for the four-version system (its R_{0,4,0} is stricter).
+	verb := byVariant["verbatim appendix"]
+	dep := byVariant["dependent (consistent)"]
+	if verb.FourVersion <= dep.FourVersion {
+		t.Errorf("verbatim 4v %.6f should exceed dependent %.6f", verb.FourVersion, dep.FourVersion)
+	}
+	// Single-server matches verbatim headline exactly.
+	ss := byVariant["single-server"]
+	if math.Abs(ss.FourVersion-verb.FourVersion) > 1e-12 {
+		t.Errorf("single-server row diverges from verbatim: %.8f vs %.8f", ss.FourVersion, verb.FourVersion)
+	}
+	// Per-token is materially different (the calibration finding).
+	pt := byVariant["per-token"]
+	if math.Abs(pt.FourVersion-ss.FourVersion) < 0.01 {
+		t.Errorf("per-token %.6f too close to single-server %.6f", pt.FourVersion, ss.FourVersion)
+	}
+	// The two clock policies differ by under 0.1% but are not identical.
+	free := byVariant["free-running"]
+	waits := byVariant["waits-for-wave"]
+	if free.SixVersion == waits.SixVersion {
+		t.Error("clock policies should differ slightly")
+	}
+	if math.Abs(free.SixVersion-waits.SixVersion) > 1e-3 {
+		t.Errorf("clock policies diverge too much: %.8f vs %.8f", free.SixVersion, waits.SixVersion)
+	}
+}
+
+func TestRunArchitectures(t *testing.T) {
+	rows, err := RunArchitectures(6)
+	if err != nil {
+		t.Fatalf("RunArchitectures: %v", err)
+	}
+	count := make(map[[4]int]int)
+	for _, r := range rows {
+		rejuv := 0
+		if r.Rejuvenate {
+			rejuv = 1
+		}
+		count[[4]int{r.N, r.F, r.R, rejuv}]++
+		if need := 3*r.F + 2*r.R + 1; r.N < need {
+			t.Errorf("infeasible design in output: %+v", r)
+		}
+		if r.Threshold != 2*r.F+r.R+1 {
+			t.Errorf("threshold mismatch: %+v", r)
+		}
+		if r.Reliability < 0 || r.Reliability > 1 {
+			t.Errorf("reliability out of range: %+v", r)
+		}
+	}
+	for k, c := range count {
+		if c > 1 {
+			t.Errorf("duplicate design %v", k)
+		}
+	}
+	// The paper's two configurations appear with their headline values.
+	var found4, found6 bool
+	for _, r := range rows {
+		if r.N == 4 && r.F == 1 && !r.Rejuvenate {
+			found4 = true
+			if math.Abs(r.Reliability-0.8223487) > 1e-6 {
+				t.Errorf("4v headline drifted: %.7f", r.Reliability)
+			}
+		}
+		if r.N == 6 && r.F == 1 && r.R == 1 && r.Rejuvenate {
+			found6 = true
+			if math.Abs(r.Reliability-0.94064835) > 1e-6 {
+				t.Errorf("6v headline drifted: %.8f", r.Reliability)
+			}
+		}
+	}
+	if !found4 || !found6 {
+		t.Error("paper configurations missing from the explorer output")
+	}
+}
+
+func TestRunTransientAndMissions(t *testing.T) {
+	points, err := RunTransient([]float64{0, 600, 1200})
+	if err != nil {
+		t.Fatalf("RunTransient: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Fresh systems start at their all-healthy reliability and degrade.
+	if points[0].FourVersion <= points[2].FourVersion {
+		t.Errorf("4v transient did not degrade: %+v", points)
+	}
+	missions, err := RunMissions([]float64{600, 86400})
+	if err != nil {
+		t.Fatalf("RunMissions: %v", err)
+	}
+	if len(missions) != 2 {
+		t.Fatalf("missions = %d", len(missions))
+	}
+	// Short missions are more reliable than long ones (fresh start).
+	if missions[0].SixVersion <= missions[1].SixVersion {
+		t.Errorf("mission averages not decreasing: %+v", missions)
+	}
+}
+
+func TestReportExtensions(t *testing.T) {
+	for _, name := range []string{"ablations", "architectures"} {
+		var sb strings.Builder
+		if err := Run(name, &sb); err != nil {
+			t.Fatalf("Run(%s): %v", name, err)
+		}
+		if len(sb.String()) < 100 {
+			t.Errorf("%s report suspiciously short: %q", name, sb.String())
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{600, "600s"},
+		{3600, "1h"},
+		{86400, "1d"},
+		{7 * 86400, "7d"},
+		{5400, "5400s"}, // not a whole number of hours
+	}
+	for _, tt := range tests {
+		if got := formatSeconds(tt.give); got != tt.want {
+			t.Errorf("formatSeconds(%g) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunAttacker(t *testing.T) {
+	rows, err := RunAttacker([]float64{1, 0.1})
+	if err != nil {
+		t.Fatalf("RunAttacker: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Duty 1 reproduces the headline numbers exactly.
+	if math.Abs(rows[0].FourVersion-0.8223487) > 1e-6 {
+		t.Errorf("duty-1 E[R_4v] = %.7f", rows[0].FourVersion)
+	}
+	if math.Abs(rows[0].SixVersion-0.94064835) > 1e-6 {
+		t.Errorf("duty-1 E[R_6v] = %.8f", rows[0].SixVersion)
+	}
+	// The E18 finding: burstiness helps 4v, hurts 6v.
+	if rows[1].FourVersion <= rows[0].FourVersion {
+		t.Errorf("bursty 4v %.6f should beat steady %.6f", rows[1].FourVersion, rows[0].FourVersion)
+	}
+	if rows[1].SixVersion >= rows[0].SixVersion {
+		t.Errorf("bursty 6v %.6f should trail steady %.6f", rows[1].SixVersion, rows[0].SixVersion)
+	}
+}
+
+func TestReportAttacker(t *testing.T) {
+	var sb strings.Builder
+	if err := ReportAttacker(&sb); err != nil {
+		t.Fatalf("ReportAttacker: %v", err)
+	}
+	if !strings.Contains(sb.String(), "E18") || !strings.Contains(sb.String(), "duty") {
+		t.Errorf("report: %q", sb.String())
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunHetero(t *testing.T) {
+	res, err := RunHetero(8, 42)
+	if err != nil {
+		t.Fatalf("RunHetero: %v", err)
+	}
+	if len(res.PerVersion) != 4 {
+		t.Fatalf("per-version rates = %d", len(res.PerVersion))
+	}
+	var mean float64
+	for _, p := range res.PerVersion {
+		if p <= 0 || p > 0.3 {
+			t.Errorf("measured inaccuracy %g implausible", p)
+		}
+		mean += p
+	}
+	mean /= 4
+	if math.Abs(mean-res.AveragedP) > 1e-12 {
+		t.Errorf("AveragedP = %g, mean = %g", res.AveragedP, mean)
+	}
+	// With similar per-version rates the two evaluations nearly coincide.
+	if math.Abs(res.AveragedE-res.HeterogeneousE) > 0.01 {
+		t.Errorf("averaged %g vs heterogeneous %g diverge unexpectedly", res.AveragedE, res.HeterogeneousE)
+	}
+	if !res.Covered {
+		t.Errorf("analytic %g outside simulated CI %v", res.HeterogeneousE, res.Simulated)
+	}
+}
+
+func TestReportHeteroRegistered(t *testing.T) {
+	if _, ok := Registry()["hetero"]; !ok {
+		t.Fatal("hetero experiment not registered")
+	}
+	// The registered report runs 16 replications; exercise the runner with
+	// a small count instead.
+	res, err := RunHetero(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulated.N != 2 {
+		t.Errorf("replications = %d", res.Simulated.N)
+	}
+}

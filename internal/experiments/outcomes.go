@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nvrel/internal/nvp"
+	"nvrel/internal/reliability"
+)
+
+// OutcomeDecomposition splits one architecture's steady-state voted
+// outputs into correct, erroneous, and skipped fractions (extension
+// experiment E19). The paper's E[R] merges correct and skipped (it is
+// 1 - P(error)); operationally, a skip still leaves the vehicle without a
+// perception output for that request, so the split matters.
+type OutcomeDecomposition struct {
+	Architecture string
+	Correct      float64
+	Erroneous    float64
+	Skipped      float64
+	// PaperR is E[R] under the same generative model (Correct + Skipped).
+	PaperR float64
+}
+
+// RunOutcomes computes the decomposition for both architectures at the
+// defaults under the generative error model (whose simulated counterpart
+// is the percept request tally).
+func RunOutcomes() ([]OutcomeDecomposition, error) {
+	var out []OutcomeDecomposition
+	for _, rejuv := range []bool{false, true} {
+		var (
+			m    *nvp.Model
+			name string
+			err  error
+		)
+		if rejuv {
+			m, err = nvp.BuildWithRejuvenation(nvp.DefaultSixVersion())
+			name = "six-version (with rejuvenation)"
+		} else {
+			m, err = nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
+			name = "four-version (no rejuvenation)"
+		}
+		if err != nil {
+			return nil, err
+		}
+		outcomes, err := reliability.Outcomes(m.Params.Reliability(), m.Params.Scheme())
+		if err != nil {
+			return nil, err
+		}
+		states, err := m.StateDistribution()
+		if err != nil {
+			return nil, err
+		}
+		var d OutcomeDecomposition
+		d.Architecture = name
+		for _, st := range states {
+			c, e, s := outcomes(st.Healthy, st.Compromised, st.Down)
+			d.Correct += st.Probability * c
+			d.Erroneous += st.Probability * e
+			d.Skipped += st.Probability * s
+		}
+		d.PaperR = d.Correct + d.Skipped
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ReportOutcomes writes the E19 report.
+func ReportOutcomes(w io.Writer) error {
+	rows, err := RunOutcomes()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E19 (extension): voted-output decomposition at Table II defaults")
+	fmt.Fprintln(w, "  (generative error model; the paper's R merges correct and skipped)")
+	fmt.Fprintf(w, "  %-34s %-11s %-11s %-11s %s\n", "architecture", "P(correct)", "P(error)", "P(skip)", "1-P(error)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-34s %-11.5f %-11.5f %-11.5f %.5f\n",
+			r.Architecture, r.Correct, r.Erroneous, r.Skipped, r.PaperR)
+	}
+	fmt.Fprintln(w, "  note: the six-version system converts most of the four-version system's")
+	fmt.Fprintln(w, "  errors into either correct outputs or safe skips")
+	return nil
+}

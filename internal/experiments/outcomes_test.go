@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nvrel/internal/nvp"
+	"nvrel/internal/percept"
+)
+
+func TestRunOutcomes(t *testing.T) {
+	rows, err := RunOutcomes()
+	if err != nil {
+		t.Fatalf("RunOutcomes: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if s := r.Correct + r.Erroneous + r.Skipped; math.Abs(s-1) > 1e-9 {
+			t.Errorf("%s: outcomes sum to %g", r.Architecture, s)
+		}
+		if math.Abs(r.PaperR-(r.Correct+r.Skipped)) > 1e-12 {
+			t.Errorf("%s: PaperR inconsistent", r.Architecture)
+		}
+	}
+	four, six := rows[0], rows[1]
+	if six.Correct <= four.Correct || six.Erroneous >= four.Erroneous {
+		t.Errorf("six-version should dominate: %+v vs %+v", six, four)
+	}
+	// The four-version system skips heavily at the defaults (half its time
+	// is spent with all modules compromised, where 2-2 splits abound).
+	if four.Skipped < 0.2 {
+		t.Errorf("four-version skip rate = %.4f, expected large", four.Skipped)
+	}
+}
+
+// TestOutcomesPredictSimulatedTallies closes the loop: the analytic
+// decomposition must match the event-level simulator's request tallies.
+func TestOutcomesPredictSimulatedTallies(t *testing.T) {
+	rows, err := RunOutcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := percept.Replicate(percept.Config{
+		Params:          nvp.DefaultSixVersion(),
+		Rejuvenation:    true,
+		Horizon:         2e6,
+		WarmUp:          5e4,
+		RequestInterval: 200,
+	}, 10, 8088)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six := rows[1]
+	if math.Abs(est.RequestReliability.Mean-six.Correct) > 0.01 {
+		t.Errorf("simulated P(correct) %.4f vs analytic %.4f", est.RequestReliability.Mean, six.Correct)
+	}
+	if math.Abs(est.RequestErrorRate.Mean-six.Erroneous) > 0.01 {
+		t.Errorf("simulated P(error) %.4f vs analytic %.4f", est.RequestErrorRate.Mean, six.Erroneous)
+	}
+}
+
+func TestReportOutcomes(t *testing.T) {
+	var sb strings.Builder
+	if err := ReportOutcomes(&sb); err != nil {
+		t.Fatalf("ReportOutcomes: %v", err)
+	}
+	if !strings.Contains(sb.String(), "E19") || !strings.Contains(sb.String(), "P(skip)") {
+		t.Errorf("report: %q", sb.String())
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSurvival(t *testing.T) {
+	rows, err := RunSurvival(120, []float64{600, 3600})
+	if err != nil {
+		t.Fatalf("RunSurvival: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FourVersion < 0 || r.FourVersion > 1 || r.SixVersion < 0 || r.SixVersion > 1 {
+			t.Errorf("row %+v outside [0,1]", r)
+		}
+	}
+	// Survival decreases with window length and the six-version system
+	// wins on the longer window (the advantage compounds).
+	if rows[1].FourVersion >= rows[0].FourVersion {
+		t.Errorf("4v survival not decreasing: %+v", rows)
+	}
+	if rows[1].SixVersion <= rows[1].FourVersion {
+		t.Errorf("6v should win at 1h: %+v", rows[1])
+	}
+}
+
+func TestReportSurvival(t *testing.T) {
+	var sb strings.Builder
+	if err := ReportSurvival(&sb); err != nil {
+		t.Fatalf("ReportSurvival: %v", err)
+	}
+	if !strings.Contains(sb.String(), "E17") || !strings.Contains(sb.String(), "1h") {
+		t.Errorf("report: %q", sb.String())
+	}
+}

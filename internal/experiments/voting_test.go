@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunVoting(t *testing.T) {
+	rows, err := RunVoting(3, 3e5, 77)
+	if err != nil {
+		t.Fatalf("RunVoting: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 schemes x 2 policies)", len(rows))
+	}
+	byKey := make(map[string]VotingRow, len(rows))
+	for _, r := range rows {
+		byKey[r.Scheme+"/"+r.WrongLabels] = r
+		if r.Reliability < 0 || r.Reliability > 1 || r.Safety < r.Reliability-1e-9 {
+			t.Errorf("implausible row %+v", r)
+		}
+	}
+	// Under independent wrong labels, four agreeing wrong outputs over 43
+	// classes are essentially impossible: the threshold voter's safety is
+	// nearly perfect.
+	th := byKey["4-out-of-n/independent-wrong-labels"]
+	if th.Safety < 0.999 {
+		t.Errorf("threshold safety under benign errors = %.4f, want ~1", th.Safety)
+	}
+	// Adversarially agreeing wrong labels realize the counting-rule worst
+	// case: strictly lower safety than the benign case.
+	adv := byKey["4-out-of-n/common-wrong-label"]
+	if adv.Safety >= th.Safety {
+		t.Errorf("adversarial safety %.4f should be below benign %.4f", adv.Safety, th.Safety)
+	}
+	// Unanimity skips massively but is the safest scheme under attack.
+	un := byKey["unanimity/common-wrong-label"]
+	if un.Skips < 0.2 {
+		t.Errorf("unanimity skip rate = %.4f, expected large", un.Skips)
+	}
+	if un.Safety <= adv.Safety {
+		t.Errorf("unanimity safety %.4f should beat threshold %.4f under attack", un.Safety, adv.Safety)
+	}
+}
+
+func TestReportVotingOutput(t *testing.T) {
+	// Exercise the registry path with a tiny configuration by calling the
+	// underlying runner directly (the registered report uses a longer
+	// horizon; it is covered by the CLI smoke tests).
+	rows, err := RunVoting(2, 2e5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range rows {
+		names = append(names, r.Scheme)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"4-out-of-n", "majority", "plurality", "unanimity"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing scheme %s in %s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a matrix is numerically singular.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	n     int
+	lu    *Dense // combined L (unit lower) and U (upper)
+	pivot []int
+	sign  int
+}
+
+// Factorize computes the LU factorization of the square matrix a with
+// partial pivoting. The input matrix is not modified.
+func Factorize(a *Dense) (*LU, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, ErrDimensionMismatch
+	}
+	n := rows
+	f := &LU{n: n, lu: a.Clone(), pivot: make([]int, n), sign: 1}
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p, max := k, math.Abs(f.lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(f.lu.At(i, k)); a > max {
+				p, max = i, a
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			f.swapRows(p, k)
+			f.pivot[p], f.pivot[k] = f.pivot[k], f.pivot[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / f.lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := f.lu.At(i, k) * inv
+			f.lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu.Add(i, j, -l*f.lu.At(k, j))
+			}
+		}
+	}
+	return f, nil
+}
+
+func (f *LU) swapRows(i, j int) {
+	for c := 0; c < f.n; c++ {
+		vi, vj := f.lu.At(i, c), f.lu.At(j, c)
+		f.lu.Set(i, c, vj)
+		f.lu.Set(j, c, vi)
+	}
+}
+
+// Solve solves A*x = b for x using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, ErrDimensionMismatch
+	}
+	x := make([]float64, f.n)
+	// Apply permutation: x = P*b.
+	for i := 0; i < f.n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < f.n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with upper triangle.
+	for i := f.n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < f.n; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	det := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// SolveLinear solves A*x = b directly (factorize + solve).
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,141 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	if !vecAlmostEqual(x, want, 1e-10) {
+		t.Errorf("x = %v, want %v", x, want)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := Factorize(NewDense(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestLUSolveWrongLength(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{
+		{3, 0, 0},
+		{0, 2, 0},
+		{0, 0, 5},
+	})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	if got := f.Det(); !almostEqual(got, 30, 1e-12) {
+		t.Errorf("Det = %g, want 30", got)
+	}
+	// Determinant sign under a row swap.
+	b, _ := NewDenseFrom([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	if got := fb.Det(); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Det = %g, want -1", got)
+	}
+}
+
+func TestLUPivotingRequired(t *testing.T) {
+	// Leading zero forces a pivot swap.
+	a, _ := NewDenseFrom([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := SolveLinear(a, []float64{3, 7})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !vecAlmostEqual(x, []float64{7, 3}, 1e-12) {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+// Property: for random well-conditioned matrices, A * Solve(A, b) == b.
+func TestLUSolveResidualProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		a := randMatrix(4, 4, seed)
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < 4; i++ {
+			a.Add(i, i, 5)
+		}
+		b := []float64{1, -2, 3, -4}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEqual(ax, b, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSolveHilbertModerate(t *testing.T) {
+	// A mildly ill-conditioned system still solves to reasonable accuracy.
+	const n = 5
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	xTrue := []float64{1, 1, 1, 1, 1}
+	b, err := a.MulVec(xTrue)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-6 {
+			t.Errorf("x[%d] = %g, want 1", i, x[i])
+		}
+	}
+}

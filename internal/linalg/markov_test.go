@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// birthDeathGenerator builds the generator of a simple birth-death CTMC with
+// birth rate lam and death rate mu on states 0..n-1.
+func birthDeathGenerator(n int, lam, mu float64) *Dense {
+	q := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			q.Set(i, i+1, lam)
+			q.Add(i, i, -lam)
+		}
+		if i > 0 {
+			q.Set(i, i-1, mu)
+			q.Add(i, i, -mu)
+		}
+	}
+	return q
+}
+
+func TestSteadyStateGTHBirthDeath(t *testing.T) {
+	// M/M/1/K queue: pi(i) proportional to rho^i.
+	const (
+		n   = 5
+		lam = 2.0
+		mu  = 3.0
+	)
+	q := birthDeathGenerator(n, lam, mu)
+	pi, err := SteadyStateGTH(q)
+	if err != nil {
+		t.Fatalf("SteadyStateGTH: %v", err)
+	}
+	rho := lam / mu
+	var norm float64
+	for i := 0; i < n; i++ {
+		norm += math.Pow(rho, float64(i))
+	}
+	for i := 0; i < n; i++ {
+		want := math.Pow(rho, float64(i)) / norm
+		if !almostEqual(pi[i], want, 1e-12) {
+			t.Errorf("pi[%d] = %g, want %g", i, pi[i], want)
+		}
+	}
+}
+
+func TestSteadyStateGTHTwoState(t *testing.T) {
+	// Classic up/down machine: pi_up = mu/(lam+mu).
+	q, _ := NewDenseFrom([][]float64{
+		{-0.1, 0.1},
+		{5, -5},
+	})
+	pi, err := SteadyStateGTH(q)
+	if err != nil {
+		t.Fatalf("SteadyStateGTH: %v", err)
+	}
+	if !almostEqual(pi[0], 5/5.1, 1e-12) {
+		t.Errorf("pi[0] = %g, want %g", pi[0], 5/5.1)
+	}
+}
+
+func TestSteadyStateGTHSingleState(t *testing.T) {
+	pi, err := SteadyStateGTH(NewDense(1, 1))
+	if err != nil {
+		t.Fatalf("SteadyStateGTH: %v", err)
+	}
+	if pi[0] != 1 {
+		t.Errorf("pi = %v, want [1]", pi)
+	}
+}
+
+func TestSteadyStateGTHReducibleFails(t *testing.T) {
+	// State 1 unreachable-from and not-reaching state 0: elimination of
+	// state 1 has no outgoing mass to lower states.
+	q := NewDense(2, 2) // all-zero generator: two absorbing states
+	if _, err := SteadyStateGTH(q); err == nil {
+		t.Error("expected failure for reducible chain")
+	}
+}
+
+func TestGTHMatchesLU(t *testing.T) {
+	// Stiff generator: rates spanning six orders of magnitude.
+	q, _ := NewDenseFrom([][]float64{
+		{-1e-3, 1e-3, 0},
+		{0, -1e-4, 1e-4},
+		{1e2, 0, -1e2},
+	})
+	gth, err := SteadyStateGTH(q)
+	if err != nil {
+		t.Fatalf("GTH: %v", err)
+	}
+	lu, err := SteadyStateLU(q)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	if !vecAlmostEqual(gth, lu, 1e-9) {
+		t.Errorf("GTH %v != LU %v", gth, lu)
+	}
+}
+
+func TestGTHMatchesLUProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Random irreducible generator: strictly positive off-diagonals.
+		const n = 4
+		q := NewDense(n, n)
+		m := randMatrix(n, n, seed)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				rate := math.Abs(m.At(i, j)) + 0.01
+				q.Set(i, j, rate)
+				rowSum += rate
+			}
+			q.Set(i, i, -rowSum)
+		}
+		gth, err := SteadyStateGTH(q)
+		if err != nil {
+			return false
+		}
+		lu, err := SteadyStateLU(q)
+		if err != nil {
+			return false
+		}
+		return vecAlmostEqual(gth, lu, 1e-8) && almostEqual(Sum(gth), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteadyStateDTMC(t *testing.T) {
+	p, _ := NewDenseFrom([][]float64{
+		{0.5, 0.5},
+		{0.25, 0.75},
+	})
+	pi, err := SteadyStateDTMC(p)
+	if err != nil {
+		t.Fatalf("SteadyStateDTMC: %v", err)
+	}
+	// Balance: pi0*0.5 = pi1*0.25 -> pi1 = 2*pi0 -> pi = (1/3, 2/3).
+	if !vecAlmostEqual(pi, []float64{1.0 / 3, 2.0 / 3}, 1e-12) {
+		t.Errorf("pi = %v, want [1/3 2/3]", pi)
+	}
+}
+
+func TestSteadyStateDTMCValidation(t *testing.T) {
+	bad, _ := NewDenseFrom([][]float64{
+		{0.5, 0.4}, // row does not sum to 1
+		{0.25, 0.75},
+	})
+	if _, err := SteadyStateDTMC(bad); err == nil {
+		t.Error("expected ErrNotStochastic")
+	}
+	neg, _ := NewDenseFrom([][]float64{
+		{1.5, -0.5},
+		{0.25, 0.75},
+	})
+	if _, err := SteadyStateDTMC(neg); err == nil {
+		t.Error("expected error for negative entries")
+	}
+}
+
+func TestCheckGenerator(t *testing.T) {
+	good := birthDeathGenerator(3, 1, 2)
+	if err := CheckGenerator(good, 1e-12); err != nil {
+		t.Errorf("CheckGenerator(good) = %v", err)
+	}
+	bad := good.Clone()
+	bad.Set(0, 1, -1)
+	if err := CheckGenerator(bad, 1e-12); err == nil {
+		t.Error("expected error for negative off-diagonal")
+	}
+	unbalanced := good.Clone()
+	unbalanced.Add(0, 0, 0.5)
+	if err := CheckGenerator(unbalanced, 1e-12); err == nil {
+		t.Error("expected error for non-zero row sum")
+	}
+	if err := CheckGenerator(NewDense(2, 3), 1e-12); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+func TestNormalizeAndSumAndDot(t *testing.T) {
+	v := []float64{1, 3}
+	Normalize(v)
+	if !vecAlmostEqual(v, []float64{0.25, 0.75}, 1e-15) {
+		t.Errorf("Normalize = %v", v)
+	}
+	if got := Sum(v); !almostEqual(got, 1, 1e-15) {
+		t.Errorf("Sum = %g", got)
+	}
+	d, err := Dot([]float64{1, 2}, []float64{3, 4})
+	if err != nil || d != 11 {
+		t.Errorf("Dot = %g, %v; want 11", d, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Dot should reject length mismatch")
+	}
+	// Normalizing the zero vector must not divide by zero.
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize(zero) = %v", z)
+	}
+}

@@ -1,0 +1,199 @@
+package linalg
+
+import (
+	"math"
+)
+
+// PoissonWeights returns the Poisson probabilities P[K = k] for k in
+// [0, right] with mean lambda, together with the chosen truncation point.
+// The truncation point is selected so the neglected right tail is below
+// epsilon. The weights are computed in log space to avoid overflow for
+// large lambda and renormalized to sum to one over the returned range.
+//
+// These weights drive uniformization: e^{Qt} = sum_k Poisson(k; qt) P^k.
+func PoissonWeights(lambda, epsilon float64) (weights []float64, right int) {
+	if lambda < 0 {
+		panic("linalg: negative Poisson mean")
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-12
+	}
+	if lambda == 0 {
+		return []float64{1}, 0
+	}
+	// A generous truncation: mean + c*sqrt(mean) covers the tail; grow the
+	// constant until the analytic tail bound is satisfied.
+	right = int(math.Ceil(lambda + 6*math.Sqrt(lambda) + 10))
+	for poissonRightTail(lambda, right) > epsilon {
+		right += int(math.Ceil(2*math.Sqrt(lambda))) + 5
+	}
+	weights = make([]float64, right+1)
+	logLambda := math.Log(lambda)
+	// log P[K=k] = -lambda + k*log(lambda) - lgamma(k+1)
+	var sum float64
+	for k := 0; k <= right; k++ {
+		lg, _ := math.Lgamma(float64(k + 1))
+		weights[k] = math.Exp(-lambda + float64(k)*logLambda - lg)
+		sum += weights[k]
+	}
+	for k := range weights {
+		weights[k] /= sum
+	}
+	return weights, right
+}
+
+// poissonRightTail bounds P[K > right] for K ~ Poisson(lambda) using a
+// Chernoff bound. It is intentionally conservative.
+func poissonRightTail(lambda float64, right int) float64 {
+	r := float64(right)
+	if r <= lambda {
+		return 1
+	}
+	// Chernoff: P[K >= r] <= exp(-lambda) (e*lambda/r)^r for r > lambda.
+	logBound := -lambda + r*(1+math.Log(lambda/r))
+	return math.Exp(logBound)
+}
+
+// UniformizedPower computes pi * e^{Q t} for a CTMC generator Q using
+// uniformization. rate must be >= max_i |Q[i,i]|; pass 0 to have it derived
+// from Q. epsilon bounds the truncation error.
+func UniformizedPower(q *Dense, pi []float64, t, rate, epsilon float64) ([]float64, error) {
+	n, cols := q.Dims()
+	if n != cols || len(pi) != n {
+		return nil, ErrDimensionMismatch
+	}
+	if t < 0 {
+		return nil, ErrDimensionMismatch
+	}
+	if rate <= 0 {
+		rate = uniformizationRate(q)
+	}
+	if rate == 0 || t == 0 {
+		out := make([]float64, n)
+		copy(out, pi)
+		return out, nil
+	}
+	p := uniformizedDTMC(q, rate)
+	weights, right := PoissonWeights(rate*t, epsilon)
+
+	cur := make([]float64, n)
+	copy(cur, pi)
+	out := make([]float64, n)
+	for k := 0; k <= right; k++ {
+		w := weights[k]
+		for i := range out {
+			out[i] += w * cur[i]
+		}
+		if k == right {
+			break
+		}
+		next, err := p.VecMul(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return out, nil
+}
+
+// UniformizedIntegral computes pi * Integral_0^t e^{Q s} ds using
+// uniformization. The result, dotted with a reward vector, yields the
+// expected accumulated reward over [0, t] starting from distribution pi.
+//
+// Using the identity
+//
+//	Integral_0^t e^{Qs} ds = (1/rate) * sum_{k>=0} tailP(k) * P^k
+//
+// where tailP(k) = P[K > k] for K ~ Poisson(rate*t).
+func UniformizedIntegral(q *Dense, pi []float64, t, rate, epsilon float64) ([]float64, error) {
+	n, cols := q.Dims()
+	if n != cols || len(pi) != n {
+		return nil, ErrDimensionMismatch
+	}
+	if t < 0 {
+		return nil, ErrDimensionMismatch
+	}
+	out := make([]float64, n)
+	if t == 0 {
+		return out, nil
+	}
+	if rate <= 0 {
+		rate = uniformizationRate(q)
+	}
+	if rate == 0 {
+		// Q == 0: the chain never moves; integral is t * pi.
+		for i := range out {
+			out[i] = t * pi[i]
+		}
+		return out, nil
+	}
+	p := uniformizedDTMC(q, rate)
+	weights, right := PoissonWeights(rate*t, epsilon)
+	// tail[k] = P[K > k] = 1 - sum_{j<=k} w[j]
+	tail := make([]float64, right+1)
+	acc := 0.0
+	for k := 0; k <= right; k++ {
+		acc += weights[k]
+		tail[k] = 1 - acc
+		if tail[k] < 0 {
+			tail[k] = 0
+		}
+	}
+	cur := make([]float64, n)
+	copy(cur, pi)
+	for k := 0; k <= right; k++ {
+		w := tail[k] / rate
+		for i := range out {
+			out[i] += w * cur[i]
+		}
+		if k == right {
+			break
+		}
+		next, err := p.VecMul(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	// The truncated series omits sum_{k>right} tail(k)/rate ~= 0 by choice
+	// of right; additionally t - sum_k tail(k)/rate == 0 analytically, so
+	// rescale the total mass to t for exactness.
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		scale := t / total
+		// Only rescale when the truncation error is small; otherwise the
+		// scale factor would hide a real problem.
+		if math.Abs(scale-1) < 1e-6 {
+			for i := range out {
+				out[i] *= scale
+			}
+		}
+	}
+	return out, nil
+}
+
+// uniformizationRate returns max_i |Q[i,i]| times a small safety margin.
+func uniformizationRate(q *Dense) float64 {
+	n, _ := q.Dims()
+	var max float64
+	for i := 0; i < n; i++ {
+		if a := math.Abs(q.At(i, i)); a > max {
+			max = a
+		}
+	}
+	return max * 1.02
+}
+
+// uniformizedDTMC returns P = I + Q/rate.
+func uniformizedDTMC(q *Dense, rate float64) *Dense {
+	n, _ := q.Dims()
+	p := q.Clone()
+	p.Scale(1 / rate)
+	for i := 0; i < n; i++ {
+		p.Add(i, i, 1)
+	}
+	return p
+}

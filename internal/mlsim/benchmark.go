@@ -1,0 +1,213 @@
+package mlsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nvrel/internal/des"
+)
+
+// SignBenchmark is a synthetic stand-in for the German Traffic Sign
+// Recognition Benchmark: C classes are represented by prototype vectors in
+// D dimensions; inputs are prototypes corrupted by observation noise.
+// Classifiers are diverse noisy prototype matchers: each module carries its
+// own perturbed copy of the prototypes, so modules err on different inputs
+// (the diversity NVP relies on) while sharing a common task difficulty.
+type SignBenchmark struct {
+	classes    int
+	dims       int
+	inputNoise float64
+	prototypes [][]float64
+}
+
+// BenchmarkConfig configures a synthetic sign benchmark.
+type BenchmarkConfig struct {
+	// Classes is the number of sign classes (GTSRB has 43).
+	Classes int
+	// Dims is the feature dimensionality.
+	Dims int
+	// InputNoise is the standard deviation of the observation noise added
+	// to each prototype coordinate when sampling an input.
+	InputNoise float64
+	// Seed fixes the prototype geometry.
+	Seed uint64
+}
+
+// DefaultBenchmarkConfig returns the calibrated stand-in for GTSRB: 43
+// classes (as GTSRB) with noise and diversity tuned so a three-module
+// ensemble of diverse classifiers (DefaultDiversity) measures roughly the
+// paper's healthy inaccuracy p = 0.08.
+func DefaultBenchmarkConfig() BenchmarkConfig {
+	return BenchmarkConfig{Classes: 43, Dims: 24, InputNoise: 0.2, Seed: 1}
+}
+
+// DefaultDiversity is the per-module weight-perturbation level paired with
+// DefaultBenchmarkConfig.
+const DefaultDiversity = 0.1
+
+// NewSignBenchmark builds the benchmark task.
+func NewSignBenchmark(cfg BenchmarkConfig) (*SignBenchmark, error) {
+	if cfg.Classes < 2 {
+		return nil, ErrTooFewClasses
+	}
+	if cfg.Dims <= 0 {
+		return nil, fmt.Errorf("mlsim: dims = %d must be positive", cfg.Dims)
+	}
+	if cfg.InputNoise < 0 || math.IsNaN(cfg.InputNoise) {
+		return nil, fmt.Errorf("mlsim: input noise = %g must be non-negative", cfg.InputNoise)
+	}
+	rng := des.NewRNG(cfg.Seed)
+	b := &SignBenchmark{
+		classes:    cfg.Classes,
+		dims:       cfg.Dims,
+		inputNoise: cfg.InputNoise,
+		prototypes: make([][]float64, cfg.Classes),
+	}
+	for c := range b.prototypes {
+		v := make([]float64, cfg.Dims)
+		for d := range v {
+			v[d] = gaussian(rng)
+		}
+		normalize(v)
+		b.prototypes[c] = v
+	}
+	return b, nil
+}
+
+// Classes returns the number of classes.
+func (b *SignBenchmark) Classes() int { return b.classes }
+
+// Sample draws a labeled input: a class chosen uniformly and its prototype
+// plus observation noise.
+func (b *SignBenchmark) Sample(rng *des.RNG) (x []float64, label int) {
+	label = rng.Intn(b.classes)
+	x = make([]float64, b.dims)
+	proto := b.prototypes[label]
+	for d := range x {
+		x[d] = proto[d] + b.inputNoise*gaussian(rng)
+	}
+	return x, label
+}
+
+// Classifier is a diverse prototype matcher, one per ML module version.
+type Classifier struct {
+	weights     [][]float64
+	attackNoise float64
+	rng         *des.RNG
+}
+
+// NewClassifier derives a module-specific classifier from the benchmark.
+// diversity is the standard deviation of the per-module weight
+// perturbation: zero yields identical modules, larger values yield more
+// diverse (and individually less accurate) modules.
+func (b *SignBenchmark) NewClassifier(diversity float64, seed uint64) (*Classifier, error) {
+	if diversity < 0 || math.IsNaN(diversity) {
+		return nil, errors.New("mlsim: diversity must be non-negative")
+	}
+	rng := des.NewRNG(seed)
+	w := make([][]float64, b.classes)
+	for c, proto := range b.prototypes {
+		row := make([]float64, b.dims)
+		for d, v := range proto {
+			row[d] = v + diversity*gaussian(rng)
+		}
+		w[c] = row
+	}
+	return &Classifier{weights: w, rng: rng}, nil
+}
+
+// Compromise degrades the classifier: an attack or fault adds persistent
+// noise of the given magnitude to every inference (the paper's compromised
+// state, where accuracy decays toward random guessing as the magnitude
+// grows).
+func (c *Classifier) Compromise(magnitude float64) {
+	if magnitude < 0 {
+		magnitude = 0
+	}
+	c.attackNoise = magnitude
+}
+
+// Rejuvenate restores the classifier to its healthy state (the paper's
+// reload-from-safe-memory rejuvenation action).
+func (c *Classifier) Rejuvenate() { c.attackNoise = 0 }
+
+// Compromised reports whether the classifier currently carries attack
+// noise.
+func (c *Classifier) Compromised() bool { return c.attackNoise > 0 }
+
+// Classify returns the predicted label for input x.
+func (c *Classifier) Classify(x []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for label, w := range c.weights {
+		var score float64
+		for d := range w {
+			score += w[d] * x[d]
+		}
+		if c.attackNoise > 0 {
+			score += c.attackNoise * gaussian(c.rng)
+		}
+		if score > bestScore {
+			best, bestScore = label, score
+		}
+	}
+	return best
+}
+
+// EstimateInaccuracy measures a classifier's error rate over n sampled
+// inputs: the benchmark's stand-in for the paper's "average inaccuracy of
+// LeNet, AlexNet and ResNet on GTSRB" (their p = 0.08).
+func (b *SignBenchmark) EstimateInaccuracy(c *Classifier, n int, rng *des.RNG) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("mlsim: sample count must be positive")
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		x, label := b.Sample(rng)
+		if c.Classify(x) != label {
+			errs++
+		}
+	}
+	return float64(errs) / float64(n), nil
+}
+
+// EstimateEnsembleInaccuracy returns the mean inaccuracy over a set of
+// classifiers, mirroring the paper's averaging over three networks.
+func (b *SignBenchmark) EstimateEnsembleInaccuracy(cs []*Classifier, n int, rng *des.RNG) (float64, error) {
+	if len(cs) == 0 {
+		return 0, errors.New("mlsim: no classifiers")
+	}
+	var total float64
+	for _, c := range cs {
+		p, err := b.EstimateInaccuracy(c, n, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += p
+	}
+	return total / float64(len(cs)), nil
+}
+
+// gaussian draws a standard normal sample via Box-Muller.
+func gaussian(rng *des.RNG) float64 {
+	u1 := rng.Float64()
+	for u1 == 0 {
+		u1 = rng.Float64()
+	}
+	u2 := rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

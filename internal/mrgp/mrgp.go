@@ -1,0 +1,189 @@
+// Package mrgp solves the steady state of the Deterministic and Stochastic
+// Petri Nets used by the rejuvenation architecture via Markov regenerative
+// process (MRGP) analysis.
+//
+// The solver targets the class of DSPNs produced by the paper's models: a
+// single deterministic transition (the rejuvenation clock) that is enabled
+// in every tangible marking and is only reset by its own firing. Under
+// these conditions the clock fires at fixed epochs tau, 2*tau, ... and those
+// epochs are regeneration points of the marking process:
+//
+//  1. between epochs the process evolves as the subordinated CTMC with
+//     generator Q built from the exponential transitions;
+//  2. at an epoch the clock fires, triggering an immediate-transition
+//     cascade described by a stochastic branching matrix D.
+//
+// The embedded chain at epochs has transition matrix  P = e^{Q tau} D.
+// Its stationary vector sigma, combined with the expected sojourn times
+// sigma * Integral_0^tau e^{Qt} dt, yields the time-stationary distribution.
+package mrgp
+
+import (
+	"errors"
+	"fmt"
+
+	"nvrel/internal/linalg"
+	"nvrel/internal/petri"
+)
+
+// Solver errors.
+var (
+	// ErrNoDeterministic is returned for graphs without any deterministic
+	// transition; use Graph.SteadyState instead.
+	ErrNoDeterministic = errors.New("mrgp: graph has no deterministic transition")
+
+	// ErrClockNotAlwaysEnabled is returned when some tangible marking does
+	// not enable the deterministic transition; such models are outside the
+	// solver's regeneration class.
+	ErrClockNotAlwaysEnabled = errors.New("mrgp: deterministic transition not enabled in every tangible marking")
+
+	// ErrMixedClocks is returned when tangible markings enable different
+	// deterministic transitions or delays.
+	ErrMixedClocks = errors.New("mrgp: multiple distinct deterministic transitions or delays")
+)
+
+// Solution holds the steady-state analysis of a clocked DSPN.
+type Solution struct {
+	// Pi is the time-stationary distribution over tangible states.
+	Pi []float64
+
+	// Embedded is the stationary distribution of the chain embedded just
+	// after clock firings.
+	Embedded []float64
+
+	// Delay is the clock period tau.
+	Delay float64
+}
+
+const truncationEpsilon = 1e-12
+
+// Solve computes the steady-state distribution of the tangible reachability
+// graph g, which must enable one deterministic transition (with one common
+// delay) in every tangible state.
+func Solve(g *petri.Graph) (*Solution, error) {
+	n := g.NumStates()
+	if n == 0 {
+		return nil, petri.ErrNoStates
+	}
+	if !g.HasDeterministic() {
+		return nil, ErrNoDeterministic
+	}
+	delay, err := commonDelay(g)
+	if err != nil {
+		return nil, err
+	}
+
+	q, err := g.Generator()
+	if err != nil {
+		return nil, err
+	}
+
+	// D: branching matrix applied at clock firings.
+	d := linalg.NewDense(n, n)
+	for i, sched := range g.Det {
+		for _, pe := range sched.Successors {
+			d.Add(i, pe.To, pe.Prob)
+		}
+	}
+
+	// T = e^{Q tau} and U = Integral_0^tau e^{Qt} dt via uniformization
+	// with scaling and doubling (see transient.go).
+	tMat, uMat, err := transientPair(q, delay)
+	if err != nil {
+		return nil, fmt.Errorf("transient pair: %w", err)
+	}
+
+	p, err := tMat.Mul(d)
+	if err != nil {
+		return nil, err
+	}
+	sigma, err := embeddedStationary(p)
+	if err != nil {
+		return nil, fmt.Errorf("embedded chain: %w", err)
+	}
+
+	occupancy, err := uMat.VecMul(sigma)
+	if err != nil {
+		return nil, err
+	}
+	linalg.Normalize(occupancy)
+
+	return &Solution{Pi: occupancy, Embedded: sigma, Delay: delay}, nil
+}
+
+// ExpectedReward computes the steady-state expected reward of a clocked
+// DSPN graph under the given rate-reward function.
+func ExpectedReward(g *petri.Graph, f petri.RewardFn) (float64, error) {
+	sol, err := Solve(g)
+	if err != nil {
+		return 0, err
+	}
+	return linalg.Dot(sol.Pi, g.RewardVector(f))
+}
+
+// embeddedStationary solves sigma = sigma * P for the embedded chain. The
+// chain is typically reducible: states visited only mid-cycle are transient
+// at regeneration epochs (for instance, markings without a rejuvenation
+// wave in flight are never observed immediately after a clock tick). The
+// stationary vector is therefore computed on the unique closed recurrent
+// class and is zero elsewhere.
+func embeddedStationary(p *linalg.Dense) ([]float64, error) {
+	n, _ := p.Dims()
+	members, err := recurrentClass(p)
+	if err != nil {
+		return nil, err
+	}
+	sigma := make([]float64, n)
+	if len(members) == 1 {
+		sigma[members[0]] = 1
+		return sigma, nil
+	}
+	sub := linalg.NewDense(len(members), len(members))
+	for a, i := range members {
+		// Renormalize rows over the class: mass leaking to transient
+		// states is truncation noise, and a recurrent class keeps its mass
+		// by definition.
+		var rowSum float64
+		for _, j := range members {
+			rowSum += p.At(i, j)
+		}
+		if rowSum <= 0 {
+			return nil, ErrNotErgodic
+		}
+		for b, j := range members {
+			sub.Set(a, b, p.At(i, j)/rowSum)
+		}
+	}
+	subPi, err := linalg.SteadyStateDTMC(sub)
+	if err != nil {
+		return nil, err
+	}
+	for a, i := range members {
+		sigma[i] = subPi[a]
+	}
+	return sigma, nil
+}
+
+// commonDelay verifies the regeneration-class restrictions and returns the
+// shared clock period.
+func commonDelay(g *petri.Graph) (float64, error) {
+	var (
+		delay float64
+		tref  petri.TransitionRef
+		seen  bool
+	)
+	for i, sched := range g.Det {
+		if sched == nil {
+			return 0, fmt.Errorf("%w: state %s", ErrClockNotAlwaysEnabled, g.Net.FormatMarking(g.Markings[i]))
+		}
+		if !seen {
+			delay, tref, seen = sched.Delay, sched.Transition, true
+			continue
+		}
+		if sched.Transition != tref || sched.Delay != delay {
+			return 0, fmt.Errorf("%w: %q/%g vs %q/%g", ErrMixedClocks,
+				g.Net.TransitionName(tref), delay, g.Net.TransitionName(sched.Transition), sched.Delay)
+		}
+	}
+	return delay, nil
+}

@@ -1,0 +1,140 @@
+package mrgp
+
+import (
+	"math"
+	"testing"
+
+	"nvrel/internal/linalg"
+)
+
+func TestPropagatorDistribution(t *testing.T) {
+	const (
+		lambda = 0.5
+		tau    = 2.0
+	)
+	n := buildRejuvenationToy(t, lambda, tau)
+	g := explore(t, n)
+	prop, err := NewPropagator(g)
+	if err != nil {
+		t.Fatalf("NewPropagator: %v", err)
+	}
+	if prop.Delay() != tau {
+		t.Errorf("Delay = %g", prop.Delay())
+	}
+	freshIdx, ok := g.StateIndex(n.InitialMarking())
+	if !ok {
+		t.Fatal("fresh state missing")
+	}
+	init := make([]float64, g.NumStates())
+	init[freshIdx] = 1
+
+	// Within the first cycle the component simply decays:
+	// P(fresh at t) = e^{-lambda t} for t < tau.
+	for _, tt := range []float64{0, 0.5, 1.5} {
+		pi, err := prop.Distribution(init, tt)
+		if err != nil {
+			t.Fatalf("Distribution(%g): %v", tt, err)
+		}
+		want := math.Exp(-lambda * tt)
+		if math.Abs(pi[freshIdx]-want) > 1e-9 {
+			t.Errorf("P(fresh at %g) = %.9f, want %.9f", tt, pi[freshIdx], want)
+		}
+	}
+	// Immediately after a tick the component is fresh again, then decays:
+	// P(fresh at tau + s) = e^{-lambda s}.
+	pi, err := prop.Distribution(init, tau+0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Exp(-lambda * 0.5); math.Abs(pi[freshIdx]-want) > 1e-9 {
+		t.Errorf("P(fresh at tau+0.5) = %.9f, want %.9f", pi[freshIdx], want)
+	}
+}
+
+func TestPropagatorAccumulatedReward(t *testing.T) {
+	const (
+		lambda = 0.5
+		tau    = 2.0
+	)
+	n := buildRejuvenationToy(t, lambda, tau)
+	g := explore(t, n)
+	prop, err := NewPropagator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshIdx, _ := g.StateIndex(n.InitialMarking())
+	init := make([]float64, g.NumStates())
+	init[freshIdx] = 1
+	reward := make([]float64, g.NumStates())
+	reward[freshIdx] = 1
+
+	// Over k full cycles: k * Integral_0^tau e^{-lambda t} dt.
+	perCycle := (1 - math.Exp(-lambda*tau)) / lambda
+	for _, cycles := range []int{1, 3} {
+		got, err := prop.AccumulatedReward(init, reward, float64(cycles)*tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(cycles) * perCycle
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("accumulated over %d cycles = %.9f, want %.9f", cycles, got, want)
+		}
+	}
+	// Constant reward of one accumulates exactly t.
+	ones := make([]float64, g.NumStates())
+	for i := range ones {
+		ones[i] = 1
+	}
+	got, err := prop.AccumulatedReward(init, ones, 5.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5.5) > 1e-8 {
+		t.Errorf("constant reward accumulated %.9f, want 5.5", got)
+	}
+}
+
+func TestPropagatorValidation(t *testing.T) {
+	n := buildRejuvenationToy(t, 0.5, 2)
+	g := explore(t, n)
+	prop, err := NewPropagator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prop.Distribution([]float64{1}, 1); err == nil {
+		t.Error("wrong-length distribution accepted")
+	}
+	if _, err := prop.Distribution(make([]float64, g.NumStates()), -1); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := prop.AccumulatedReward([]float64{1}, []float64{1}, 1); err == nil {
+		t.Error("wrong-length vectors accepted")
+	}
+	// Graphs without deterministic transitions are rejected.
+	plain := buildMM1KForGeneral(t)
+	pg := explore(t, plain)
+	if _, err := NewPropagator(pg); err == nil {
+		t.Error("pure CTMC accepted")
+	}
+}
+
+func TestPropagatorDistributionStaysStochastic(t *testing.T) {
+	n := buildRejuvenationToy(t, 1.0/1523, 600)
+	g := explore(t, n)
+	prop, err := NewPropagator(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]float64, g.NumStates())
+	idx, _ := g.StateIndex(n.InitialMarking())
+	init[idx] = 1
+	for _, tt := range []float64{0, 100, 600, 599.999, 600.001, 12345} {
+		pi, err := prop.Distribution(init, tt)
+		if err != nil {
+			t.Fatalf("t=%g: %v", tt, err)
+		}
+		if s := linalg.Sum(pi); math.Abs(s-1) > 1e-9 {
+			t.Errorf("t=%g: distribution sums to %g", tt, s)
+		}
+	}
+}

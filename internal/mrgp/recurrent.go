@@ -1,0 +1,147 @@
+package mrgp
+
+import (
+	"errors"
+
+	"nvrel/internal/linalg"
+)
+
+// ErrNotErgodic is returned when the embedded chain has no unique closed
+// recurrent class.
+var ErrNotErgodic = errors.New("mrgp: embedded chain has no unique recurrent class")
+
+// probEdgeFloor ignores vanishing transition probabilities produced by
+// uniformization truncation noise when classifying states.
+const probEdgeFloor = 1e-14
+
+// recurrentClass returns the states of the unique closed communicating
+// class of the stochastic matrix p. States outside the class are transient
+// under the embedded chain (they are entered only mid-cycle, never at a
+// regeneration epoch).
+func recurrentClass(p *linalg.Dense) ([]int, error) {
+	n, _ := p.Dims()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && p.At(i, j) > probEdgeFloor {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	comp := tarjanSCC(adj)
+
+	// A class is closed when no member has an edge leaving the class.
+	nComp := 0
+	for _, c := range comp {
+		if c+1 > nComp {
+			nComp = c + 1
+		}
+	}
+	closed := make([]bool, nComp)
+	for i := range closed {
+		closed[i] = true
+	}
+	for u, outs := range adj {
+		for _, v := range outs {
+			if comp[u] != comp[v] {
+				closed[comp[u]] = false
+			}
+		}
+	}
+	var members []int
+	found := -1
+	for c, isClosed := range closed {
+		if !isClosed {
+			continue
+		}
+		if found >= 0 {
+			return nil, ErrNotErgodic
+		}
+		found = c
+	}
+	if found < 0 {
+		return nil, ErrNotErgodic
+	}
+	for s, c := range comp {
+		if c == found {
+			members = append(members, s)
+		}
+	}
+	return members, nil
+}
+
+// tarjanSCC computes strongly connected components iteratively, returning a
+// component id per vertex.
+func tarjanSCC(adj [][]int) []int {
+	n := len(adj)
+	const unvisited = -1
+	var (
+		index    = make([]int, n)
+		lowlink  = make([]int, n)
+		onStack  = make([]bool, n)
+		comp     = make([]int, n)
+		stack    []int
+		nextIdx  int
+		nextComp int
+	)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+
+	type frame struct {
+		v, child int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = nextIdx
+		lowlink[start] = nextIdx
+		nextIdx++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.child < len(adj[v]) {
+				w := adj[v][f.child]
+				f.child++
+				if index[w] == unvisited {
+					index[w] = nextIdx
+					lowlink[w] = nextIdx
+					nextIdx++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			// v finished: pop frame, propagate lowlink, emit SCC if root.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nextComp
+					if w == v {
+						break
+					}
+				}
+				nextComp++
+			}
+		}
+	}
+	return comp
+}

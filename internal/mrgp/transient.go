@@ -1,0 +1,124 @@
+package mrgp
+
+import (
+	"nvrel/internal/linalg"
+)
+
+// transientTarget is the uniformization mass (rate x time) at which the
+// base-case series is evaluated; longer horizons are reached by doubling.
+const transientTarget = 32
+
+// transientPair computes T = e^{Q t} and U = Integral_0^t e^{Q s} ds as
+// matrices.
+//
+// Direct uniformization needs O(rate*t) series terms; with the paper's
+// rejuvenation intervals (hundreds to thousands of seconds against a 1/3 Hz
+// repair rate) that is over a thousand matrix terms. Scaling and doubling
+// evaluates the series at t/2^k where rate*t/2^k <= transientTarget and
+// then applies
+//
+//	T(2s) = T(s) T(s)
+//	U(2s) = U(s) + T(s) U(s)
+//
+// k times, reducing the work by roughly rate*t/(transientTarget + 3k).
+func transientPair(q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error) {
+	n, _ := q.Dims()
+	rate := maxExitRate(q)
+	if rate == 0 || t == 0 {
+		// Frozen chain: T = I, U = t*I.
+		tm = linalg.Identity(n)
+		um = linalg.Identity(n)
+		um.Scale(t)
+		return tm, um, nil
+	}
+
+	doublings := 0
+	base := t
+	for rate*base > transientTarget {
+		base /= 2
+		doublings++
+	}
+
+	tm, um, err = uniformizedPair(q, rate, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < doublings; i++ {
+		tu, err := tm.Mul(um)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := um.AddMat(tu); err != nil {
+			return nil, nil, err
+		}
+		if tm, err = tm.Mul(tm); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tm, um, nil
+}
+
+// uniformizedPair evaluates both series at horizon t directly.
+func uniformizedPair(q *linalg.Dense, rate, t float64) (tm, um *linalg.Dense, err error) {
+	n, _ := q.Dims()
+	p := q.Clone()
+	p.Scale(1 / rate)
+	for i := 0; i < n; i++ {
+		p.Add(i, i, 1)
+	}
+	weights, right := linalg.PoissonWeights(rate*t, truncationEpsilon)
+	tail := make([]float64, right+1)
+	acc := 0.0
+	for k := 0; k <= right; k++ {
+		acc += weights[k]
+		tail[k] = 1 - acc
+		if tail[k] < 0 {
+			tail[k] = 0
+		}
+	}
+
+	tm = linalg.NewDense(n, n)
+	um = linalg.NewDense(n, n)
+	power := linalg.Identity(n) // P^k
+	for k := 0; k <= right; k++ {
+		addScaled(tm, power, weights[k])
+		addScaled(um, power, tail[k]/rate)
+		if k == right {
+			break
+		}
+		if power, err = power.Mul(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tm, um, nil
+}
+
+// addScaled accumulates dst += s * src.
+func addScaled(dst, src *linalg.Dense, s float64) {
+	if s == 0 {
+		return
+	}
+	rows, cols := dst.Dims()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			dst.Add(i, j, s*src.At(i, j))
+		}
+	}
+}
+
+// maxExitRate returns the uniformization rate max_i |Q[i,i]| with a small
+// safety margin.
+func maxExitRate(q *linalg.Dense) float64 {
+	n, _ := q.Dims()
+	var max float64
+	for i := 0; i < n; i++ {
+		d := q.At(i, i)
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max * 1.02
+}

@@ -1,0 +1,126 @@
+package mrgp
+
+import (
+	"math"
+	"testing"
+
+	"nvrel/internal/linalg"
+)
+
+// randomGenerator builds a small irreducible generator from a seed.
+func randomGenerator(n int, seed uint64) *linalg.Dense {
+	q := linalg.NewDense(n, n)
+	s := seed*2654435769 + 1
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1000)/1000 + 0.05
+	}
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			r := next()
+			q.Set(i, j, r)
+			row += r
+		}
+		q.Set(i, i, -row)
+	}
+	return q
+}
+
+// TestTransientPairMatchesRowUniformization compares the doubled matrices
+// against the direct row-by-row uniformization for horizons long enough to
+// force several doublings.
+func TestTransientPairMatchesRowUniformization(t *testing.T) {
+	for _, horizon := range []float64{0.5, 3, 40, 300} {
+		q := randomGenerator(5, 7)
+		tm, um, err := transientPair(q, horizon)
+		if err != nil {
+			t.Fatalf("transientPair(%g): %v", horizon, err)
+		}
+		for i := 0; i < 5; i++ {
+			basis := make([]float64, 5)
+			basis[i] = 1
+			tRow, err := linalg.UniformizedPower(q, basis, horizon, 0, 1e-13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uRow, err := linalg.UniformizedIntegral(q, basis, horizon, 0, 1e-13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 5; j++ {
+				if math.Abs(tm.At(i, j)-tRow[j]) > 1e-8 {
+					t.Errorf("t=%g: T[%d,%d] = %g, want %g", horizon, i, j, tm.At(i, j), tRow[j])
+				}
+				if math.Abs(um.At(i, j)-uRow[j]) > 1e-7 {
+					t.Errorf("t=%g: U[%d,%d] = %g, want %g", horizon, i, j, um.At(i, j), uRow[j])
+				}
+			}
+		}
+	}
+}
+
+func TestTransientPairZeroTime(t *testing.T) {
+	q := randomGenerator(3, 1)
+	tm, um, err := transientPair(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			wantT := 0.0
+			if i == j {
+				wantT = 1
+			}
+			if tm.At(i, j) != wantT {
+				t.Errorf("T[%d,%d] = %g", i, j, tm.At(i, j))
+			}
+			if um.At(i, j) != 0 {
+				t.Errorf("U[%d,%d] = %g", i, j, um.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransientPairFrozenChain(t *testing.T) {
+	q := linalg.NewDense(2, 2) // zero generator
+	tm, um, err := transientPair(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.At(0, 0) != 1 || tm.At(0, 1) != 0 {
+		t.Errorf("T = %v", tm)
+	}
+	if um.At(0, 0) != 5 || um.At(1, 1) != 5 {
+		t.Errorf("U = %v", um)
+	}
+}
+
+// TestTransientPairRowsStochastic checks the structural invariants: rows
+// of T sum to one and rows of U sum to the horizon.
+func TestTransientPairRowsStochastic(t *testing.T) {
+	q := randomGenerator(6, 11)
+	const horizon = 120.0
+	tm, um, err := transientPair(q, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		var ts, us float64
+		for j := 0; j < 6; j++ {
+			ts += tm.At(i, j)
+			us += um.At(i, j)
+		}
+		if math.Abs(ts-1) > 1e-9 {
+			t.Errorf("row %d of T sums to %g", i, ts)
+		}
+		if math.Abs(us-horizon) > 1e-6 {
+			t.Errorf("row %d of U sums to %g, want %g", i, us, horizon)
+		}
+	}
+}

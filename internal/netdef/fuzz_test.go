@@ -1,0 +1,94 @@
+package netdef
+
+import (
+	"strings"
+	"testing"
+
+	"nvrel/internal/petri"
+)
+
+// FuzzParse asserts the parser never panics and that accepted inputs
+// produce structurally valid nets.
+func FuzzParse(f *testing.F) {
+	f.Add(mm1kSource)
+	f.Add("net x\nplace p 1\ntransition t exponential rate=1 in=p out=p\n")
+	f.Add("net x\nplace p 1\ntransition t immediate weight=2 priority=1 guard=\"#p > 0\" in=p\n")
+	f.Add("net x\nplace p 1\ntransition t deterministic delay=3 in=p*2 out=p*2 inhibit=p*9\n")
+	f.Add("net \nplace\ntransition")
+	f.Add("# only a comment")
+	f.Add("net x\nplace p -1")
+	f.Add(`net x
+place a 2
+place b
+transition t exponential rate=0.5 in=a,b*3 out=b guard="#a + #b <= 4 || #b == 0"
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString(src)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if n.NumPlaces() == 0 || n.NumTransitions() == 0 {
+			t.Errorf("accepted net with %d places, %d transitions", n.NumPlaces(), n.NumTransitions())
+		}
+		// A successfully parsed net must at least format its initial
+		// marking and expose a well-formed incidence check path.
+		_ = n.FormatMarking(n.InitialMarking())
+	})
+}
+
+// FuzzGuard asserts the guard compiler never panics and compiled guards
+// never index out of range on a marking of the declared size.
+func FuzzGuard(f *testing.F) {
+	f.Add("#a > 0")
+	f.Add("#a + #b == 3 && #c < 2")
+	f.Add("#a >= 1 || #b != 0")
+	f.Add("#a<= 2&&#b>0")
+	f.Add("garbage ** #")
+	f.Add("#a + + #b > 1")
+	places := map[string]petri.PlaceRef{"a": 0, "b": 1, "c": 2}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := parseGuard(src, places)
+		if err != nil {
+			return
+		}
+		// Compiled guards must evaluate without panicking.
+		_ = g(petri.Marking{1, 2, 3})
+		_ = g(petri.Marking{0, 0, 0})
+	})
+}
+
+// FuzzReward mirrors FuzzGuard for reward expressions.
+func FuzzReward(f *testing.F) {
+	f.Add("#a")
+	f.Add("2*#a + #b")
+	f.Add("0.25*#b + 3*#a")
+	f.Add("#a *")
+	f.Add("* #a")
+	places := map[string]petri.PlaceRef{"a": 0, "b": 1}
+	f.Fuzz(func(t *testing.T, src string) {
+		rf, err := ParseReward(src, places)
+		if err != nil {
+			return
+		}
+		if v := rf(petri.Marking{2, 3}); v != v {
+			t.Errorf("reward %q produced NaN", src)
+		}
+	})
+}
+
+// FuzzStripComment asserts comment stripping is panic-free and never
+// grows the line.
+func FuzzStripComment(f *testing.F) {
+	f.Add(`place p 1 # comment`)
+	f.Add(`transition t immediate guard="#a > 0" # tail`)
+	f.Add(`unterminated "quote # inside`)
+	f.Fuzz(func(t *testing.T, line string) {
+		out := stripComment(line)
+		if len(out) > len(line) {
+			t.Errorf("stripComment grew the line: %q -> %q", line, out)
+		}
+		if !strings.HasPrefix(line, out) {
+			t.Errorf("stripComment is not a prefix: %q -> %q", line, out)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package netdef
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nvrel/internal/petri"
+)
+
+// parseGuard compiles a guard expression over place token counts:
+//
+//	expr   := and ('||' and)*
+//	and    := cmp ('&&' cmp)*
+//	cmp    := sum op integer
+//	sum    := '#'place ('+' '#'place)*
+//	op     := '<' | '<=' | '==' | '!=' | '>=' | '>'
+func parseGuard(src string, places map[string]petri.PlaceRef) (petri.GuardFn, error) {
+	p := &guardParser{tokens: lexGuard(src), places: places}
+	fn, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("guard %q: %w", src, err)
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("guard %q: trailing input at %q", src, p.peek())
+	}
+	return fn, nil
+}
+
+type guardParser struct {
+	tokens []string
+	pos    int
+	places map[string]petri.PlaceRef
+}
+
+func (p *guardParser) done() bool { return p.pos >= len(p.tokens) }
+
+func (p *guardParser) peek() string {
+	if p.done() {
+		return "<end>"
+	}
+	return p.tokens[p.pos]
+}
+
+func (p *guardParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *guardParser) parseOr() (petri.GuardFn, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for !p.done() && p.peek() == "||" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(m petri.Marking) bool { return l(m) || right(m) }
+	}
+	return left, nil
+}
+
+func (p *guardParser) parseAnd() (petri.GuardFn, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for !p.done() && p.peek() == "&&" {
+		p.next()
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(m petri.Marking) bool { return l(m) && right(m) }
+	}
+	return left, nil
+}
+
+func (p *guardParser) parseCmp() (petri.GuardFn, error) {
+	refs, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	switch op {
+	case "<", "<=", "==", "!=", ">=", ">":
+	default:
+		return nil, fmt.Errorf("want comparison operator, got %q", op)
+	}
+	lit := p.next()
+	bound, err := strconv.Atoi(lit)
+	if err != nil {
+		return nil, fmt.Errorf("want integer bound, got %q", lit)
+	}
+	return func(m petri.Marking) bool {
+		var sum int
+		for _, r := range refs {
+			sum += m[r]
+		}
+		switch op {
+		case "<":
+			return sum < bound
+		case "<=":
+			return sum <= bound
+		case "==":
+			return sum == bound
+		case "!=":
+			return sum != bound
+		case ">=":
+			return sum >= bound
+		default:
+			return sum > bound
+		}
+	}, nil
+}
+
+func (p *guardParser) parseSum() ([]petri.PlaceRef, error) {
+	var refs []petri.PlaceRef
+	for {
+		tok := p.next()
+		if !strings.HasPrefix(tok, "#") {
+			return nil, fmt.Errorf("want #place, got %q", tok)
+		}
+		name := tok[1:]
+		ref, ok := p.places[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown place %q", name)
+		}
+		refs = append(refs, ref)
+		if p.done() || p.peek() != "+" {
+			return refs, nil
+		}
+		p.next()
+	}
+}
+
+// ParseReward compiles a linear reward expression over place token
+// counts, e.g. "#fresh" or "2*#half + #whole": the reward of a marking is
+// the weighted token sum.
+func ParseReward(src string, places map[string]petri.PlaceRef) (petri.RewardFn, error) {
+	type term struct {
+		weight float64
+		place  petri.PlaceRef
+	}
+	var terms []term
+	p := &guardParser{tokens: lexGuard(src), places: places}
+	for {
+		weight := 1.0
+		tok := p.next()
+		// Optional "<number>*" prefix.
+		if !strings.HasPrefix(tok, "#") {
+			w, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("reward %q: want coefficient or #place, got %q", src, tok)
+			}
+			if star := p.next(); star != "*" {
+				return nil, fmt.Errorf("reward %q: want '*' after coefficient, got %q", src, star)
+			}
+			weight = w
+			tok = p.next()
+		}
+		if !strings.HasPrefix(tok, "#") {
+			return nil, fmt.Errorf("reward %q: want #place, got %q", src, tok)
+		}
+		ref, ok := places[tok[1:]]
+		if !ok {
+			return nil, fmt.Errorf("reward %q: unknown place %q", src, tok[1:])
+		}
+		terms = append(terms, term{weight: weight, place: ref})
+		if p.done() {
+			break
+		}
+		if plus := p.next(); plus != "+" {
+			return nil, fmt.Errorf("reward %q: want '+', got %q", src, plus)
+		}
+	}
+	return func(m petri.Marking) float64 {
+		var s float64
+		for _, t := range terms {
+			s += t.weight * float64(m[t.place])
+		}
+		return s
+	}, nil
+}
+
+// lexGuard splits a guard expression into tokens.
+func lexGuard(src string) []string {
+	var (
+		out []string
+		cur strings.Builder
+	)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			flush()
+			i++
+		case c == '+' || c == '*':
+			flush()
+			out = append(out, string(c))
+			i++
+		case c == '&' || c == '|':
+			flush()
+			if i+1 < len(src) && src[i+1] == c {
+				out = append(out, string(c)+string(c))
+				i += 2
+			} else {
+				out = append(out, string(c))
+				i++
+			}
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			flush()
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, string(c)+"=")
+				i += 2
+			} else {
+				out = append(out, string(c))
+				i++
+			}
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	return out
+}

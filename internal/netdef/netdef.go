@@ -1,0 +1,278 @@
+// Package netdef parses a small line-oriented text format for defining
+// DSPNs, so models can be solved from the command line without writing
+// Go. The format covers constant rates, delays, weights, inhibitor arcs,
+// priorities, and guard expressions over place token counts:
+//
+//	# an M/M/1/3 queue with a deterministic inspector
+//	net mm1k
+//	place free 3
+//	place queue
+//	place clock 1
+//
+//	transition arrive exponential rate=2 in=free out=queue
+//	transition serve  exponential rate=3 in=queue out=free
+//	transition flush  immediate weight=1 priority=2 in=queue*3 out=free*3
+//	transition tick   deterministic delay=5 in=clock out=clock guard="#queue + #free >= 1"
+//
+// Arc lists are comma separated (`in=a,b*2`); `inhibit=` declares
+// inhibitor arcs. Guard expressions combine comparisons of token-count
+// sums with && and ||:
+//
+//	guard="#Pac + #Pmr == 0 && #Ptr >= 1"
+//
+// Marking-dependent rates and arc weights (the w1/w2/w5/w6 constructs of
+// the paper's rejuvenation net) are not expressible in text; build those
+// models through the Go API (package nvp).
+package netdef
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nvrel/internal/petri"
+)
+
+// ErrSyntax wraps all parse failures.
+var ErrSyntax = errors.New("netdef: syntax error")
+
+// Parse reads a net definition.
+func Parse(r io.Reader) (*petri.Net, error) {
+	p := &parser{places: make(map[string]petri.PlaceRef)}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := stripComment(scanner.Text())
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if p.builder == nil {
+		return nil, fmt.Errorf("%w: missing 'net <name>' header", ErrSyntax)
+	}
+	return p.builder.Build()
+}
+
+// ParseString reads a net definition from a string.
+func ParseString(s string) (*petri.Net, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type parser struct {
+	builder *petri.Builder
+	places  map[string]petri.PlaceRef
+}
+
+func (p *parser) line(line string) error {
+	fields := tokenize(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "net":
+		if p.builder != nil {
+			return errors.New("duplicate 'net' header")
+		}
+		if len(fields) != 2 {
+			return errors.New("want: net <name>")
+		}
+		p.builder = petri.NewBuilder(fields[1])
+		return nil
+	case "place":
+		return p.place(fields[1:])
+	case "transition":
+		return p.transition(fields[1:])
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+func (p *parser) place(args []string) error {
+	if p.builder == nil {
+		return errors.New("'place' before 'net' header")
+	}
+	switch len(args) {
+	case 1:
+		p.places[args[0]] = p.builder.AddPlace(args[0], 0)
+		return nil
+	case 2:
+		tokens, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("initial marking %q: %v", args[1], err)
+		}
+		p.places[args[0]] = p.builder.AddPlace(args[0], tokens)
+		return nil
+	default:
+		return errors.New("want: place <name> [initial-tokens]")
+	}
+}
+
+func (p *parser) transition(args []string) error {
+	if p.builder == nil {
+		return errors.New("'transition' before 'net' header")
+	}
+	if len(args) < 2 {
+		return errors.New("want: transition <name> <kind> key=value...")
+	}
+	spec := petri.Spec{Name: args[0]}
+	switch args[1] {
+	case "exponential":
+		spec.Kind = petri.Exponential
+	case "immediate":
+		spec.Kind = petri.Immediate
+	case "deterministic":
+		spec.Kind = petri.Deterministic
+	default:
+		return fmt.Errorf("unknown transition kind %q", args[1])
+	}
+	for _, kv := range args[2:] {
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("want key=value, got %q", kv)
+		}
+		if err := p.transitionField(&spec, key, value); err != nil {
+			return fmt.Errorf("%s: %v", key, err)
+		}
+	}
+	p.builder.AddTransition(spec)
+	return nil
+}
+
+func (p *parser) transitionField(spec *petri.Spec, key, value string) error {
+	switch key {
+	case "rate", "weight":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		spec.Rate = v
+	case "delay":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		spec.Delay = v
+	case "priority":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return err
+		}
+		spec.Priority = v
+	case "in":
+		arcs, err := p.arcs(value)
+		if err != nil {
+			return err
+		}
+		spec.Inputs = arcs
+	case "out":
+		arcs, err := p.arcs(value)
+		if err != nil {
+			return err
+		}
+		spec.Outputs = arcs
+	case "inhibit":
+		arcs, err := p.arcs(value)
+		if err != nil {
+			return err
+		}
+		spec.Inhibitors = arcs
+	case "guard":
+		g, err := parseGuard(value, p.places)
+		if err != nil {
+			return err
+		}
+		spec.Guard = g
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// arcs parses "a,b*2,c".
+func (p *parser) arcs(list string) ([]petri.Arc, error) {
+	var out []petri.Arc
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(item, "*")
+		ref, ok := p.places[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown place %q", name)
+		}
+		arc := petri.Arc{Place: ref}
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil {
+				return nil, fmt.Errorf("arc weight %q: %v", weightStr, err)
+			}
+			arc.Weight = w
+		}
+		out = append(out, arc)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty arc list")
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '#' comment, but not inside quoted
+// segments: guard expressions reference token counts as #place.
+func stripComment(line string) string {
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuotes = !inQuotes
+		case '#':
+			if !inQuotes {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// tokenize splits on spaces but keeps quoted segments (for guard="...")
+// together, stripping the quotes.
+func tokenize(line string) []string {
+	var (
+		out      []string
+		cur      strings.Builder
+		inQuotes bool
+	)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuotes = !inQuotes
+		case r == ' ' || r == '\t':
+			if inQuotes {
+				cur.WriteRune(r)
+			} else {
+				flush()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

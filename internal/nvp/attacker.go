@@ -1,0 +1,152 @@
+package nvp
+
+import (
+	"fmt"
+	"math"
+
+	"nvrel/internal/petri"
+)
+
+// AttackerParams models a bursty adversary as a two-state Markov-modulated
+// compromise process: the attacker alternates between an active campaign
+// phase and a quiet phase, and the module-compromise transition Tc fires
+// at a different rate in each phase. The paper's threat model assumes a
+// constant attack intensity (assumption 1, "attacks and faults can
+// continuously happen"); this extension asks how burstiness at the same
+// average intensity changes the comparison.
+type AttackerParams struct {
+	// MeanTimeOn is the mean duration of an attack campaign (s).
+	MeanTimeOn float64
+	// MeanTimeOff is the mean quiet time between campaigns (s).
+	MeanTimeOff float64
+	// OnRate is the compromise rate (1/s) while the campaign is active.
+	OnRate float64
+	// OffRate is the compromise rate (1/s) while quiet (often zero: pure
+	// attack-driven compromise).
+	OffRate float64
+}
+
+// Validate checks the attacker parameters.
+func (a AttackerParams) Validate() error {
+	check := func(name string, v float64, allowZero bool) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || (!allowZero && v == 0) {
+			return fmt.Errorf("nvp: attacker %s = %g invalid", name, v)
+		}
+		return nil
+	}
+	if err := check("MeanTimeOn", a.MeanTimeOn, false); err != nil {
+		return err
+	}
+	if err := check("MeanTimeOff", a.MeanTimeOff, false); err != nil {
+		return err
+	}
+	if err := check("OnRate", a.OnRate, true); err != nil {
+		return err
+	}
+	if err := check("OffRate", a.OffRate, true); err != nil {
+		return err
+	}
+	if a.OnRate == 0 && a.OffRate == 0 {
+		return fmt.Errorf("nvp: attacker with zero rates in both phases never compromises")
+	}
+	return nil
+}
+
+// AverageRate returns the long-run average compromise rate of the
+// modulated process.
+func (a AttackerParams) AverageRate() float64 {
+	on := a.MeanTimeOn / (a.MeanTimeOn + a.MeanTimeOff)
+	return on*a.OnRate + (1-on)*a.OffRate
+}
+
+// BurstyAttacker builds attacker parameters with the given duty cycle and
+// phase-cycle length whose average compromise rate equals averageRate:
+// the campaign phase carries the whole intensity, the quiet phase none.
+func BurstyAttacker(averageRate, dutyCycle, cycleLength float64) (AttackerParams, error) {
+	if dutyCycle <= 0 || dutyCycle > 1 || math.IsNaN(dutyCycle) {
+		return AttackerParams{}, fmt.Errorf("nvp: duty cycle %g must lie in (0,1]", dutyCycle)
+	}
+	if averageRate <= 0 || cycleLength <= 0 {
+		return AttackerParams{}, fmt.Errorf("nvp: average rate and cycle length must be positive")
+	}
+	if dutyCycle == 1 {
+		// Degenerate: always on. Keep a tiny off phase so the modulating
+		// chain stays irreducible, with matching rates so dynamics are
+		// exactly constant.
+		return AttackerParams{
+			MeanTimeOn:  cycleLength,
+			MeanTimeOff: cycleLength,
+			OnRate:      averageRate,
+			OffRate:     averageRate,
+		}, nil
+	}
+	return AttackerParams{
+		MeanTimeOn:  dutyCycle * cycleLength,
+		MeanTimeOff: (1 - dutyCycle) * cycleLength,
+		OnRate:      averageRate / dutyCycle,
+		OffRate:     0,
+	}, nil
+}
+
+// attachAttacker adds the modulating places and phase transitions to a
+// builder and returns the campaign-phase place for rate functions.
+func attachAttacker(b *petri.Builder, a AttackerParams) petri.PlaceRef {
+	aon := b.AddPlace("Aon", 0)
+	aoff := b.AddPlace("Aoff", 1)
+	b.AddTransition(petri.Spec{
+		Name: "Tstart", Kind: petri.Exponential, Rate: 1 / a.MeanTimeOff,
+		Inputs:  []petri.Arc{{Place: aoff}},
+		Outputs: []petri.Arc{{Place: aon}},
+	})
+	b.AddTransition(petri.Spec{
+		Name: "Tstop", Kind: petri.Exponential, Rate: 1 / a.MeanTimeOn,
+		Inputs:  []petri.Arc{{Place: aon}},
+		Outputs: []petri.Arc{{Place: aoff}},
+	})
+	return aon
+}
+
+// BuildNoRejuvenationAttacked is BuildNoRejuvenation with the modulated
+// compromise process replacing the constant-rate Tc.
+func BuildNoRejuvenationAttacked(p Params, a AttackerParams) (*Model, error) {
+	m, err := buildAttacked(p, a, false)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildWithRejuvenationAttacked is BuildWithRejuvenation with the
+// modulated compromise process replacing the constant-rate Tc.
+func BuildWithRejuvenationAttacked(p Params, a AttackerParams) (*Model, error) {
+	return buildAttacked(p, a, true)
+}
+
+// buildAttacked builds either architecture, attaching the attacker first
+// and overriding Tc with the phase-dependent rate.
+func buildAttacked(p Params, a AttackerParams, rejuvenation bool) (*Model, error) {
+	if err := p.Validate(rejuvenation); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	override := func(b *petri.Builder, pmh, pmc petri.PlaceRef) {
+		aon := attachAttacker(b, a)
+		b.AddTransition(petri.Spec{
+			Name: "Tc", Kind: petri.Exponential,
+			RateFn: func(m petri.Marking) float64 {
+				if m[aon] > 0 {
+					return a.OnRate
+				}
+				return a.OffRate
+			},
+			Inputs:  []petri.Arc{{Place: pmh}},
+			Outputs: []petri.Arc{{Place: pmc}},
+		})
+	}
+	if rejuvenation {
+		return buildRejuvenationNet(p, override)
+	}
+	return buildPlainNet(p, override)
+}

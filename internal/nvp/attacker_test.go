@@ -1,0 +1,156 @@
+package nvp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBurstyAttackerConservesAverageRate(t *testing.T) {
+	const (
+		avg   = 1.0 / 1523
+		cycle = 3000.0
+	)
+	for _, duty := range []float64{1, 0.5, 0.2, 0.05} {
+		a, err := BurstyAttacker(avg, duty, cycle)
+		if err != nil {
+			t.Fatalf("duty %g: %v", duty, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("duty %g: Validate: %v", duty, err)
+		}
+		if got := a.AverageRate(); math.Abs(got-avg) > 1e-15 {
+			t.Errorf("duty %g: average rate %g, want %g", duty, got, avg)
+		}
+	}
+}
+
+func TestBurstyAttackerValidation(t *testing.T) {
+	if _, err := BurstyAttacker(0.001, 0, 3000); err == nil {
+		t.Error("zero duty accepted")
+	}
+	if _, err := BurstyAttacker(0.001, 1.5, 3000); err == nil {
+		t.Error("duty above one accepted")
+	}
+	if _, err := BurstyAttacker(0, 0.5, 3000); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := BurstyAttacker(0.001, 0.5, 0); err == nil {
+		t.Error("zero cycle accepted")
+	}
+}
+
+func TestAttackerParamsValidate(t *testing.T) {
+	good := AttackerParams{MeanTimeOn: 100, MeanTimeOff: 200, OnRate: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []AttackerParams{
+		{MeanTimeOn: 0, MeanTimeOff: 200, OnRate: 0.01},
+		{MeanTimeOn: 100, MeanTimeOff: 0, OnRate: 0.01},
+		{MeanTimeOn: 100, MeanTimeOff: 200},
+		{MeanTimeOn: 100, MeanTimeOff: 200, OnRate: math.NaN()},
+		{MeanTimeOn: 100, MeanTimeOff: 200, OnRate: -1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, a)
+		}
+	}
+}
+
+// TestAttackedDutyOneMatchesBaseline: an always-on attacker at the default
+// rate is exactly the paper's constant-intensity model.
+func TestAttackedDutyOneMatchesBaseline(t *testing.T) {
+	a, err := BurstyAttacker(1.0/1523, 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rejuv := range []bool{false, true} {
+		var (
+			attacked, baseline *Model
+		)
+		if rejuv {
+			attacked, err = BuildWithRejuvenationAttacked(DefaultSixVersion(), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline, err = BuildWithRejuvenation(DefaultSixVersion())
+		} else {
+			attacked, err = BuildNoRejuvenationAttacked(DefaultFourVersion(), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline, err = BuildNoRejuvenation(DefaultFourVersion())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, err := attacked.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := baseline.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ea-eb) > 1e-9 {
+			t.Errorf("rejuv=%v: attacked duty-1 %.9f != baseline %.9f", rejuv, ea, eb)
+		}
+	}
+}
+
+func TestAttackedBurstinessDirections(t *testing.T) {
+	// The headline E18 finding: at constant average intensity, burstiness
+	// helps the plain system and hurts the rejuvenated one.
+	steady, err := BurstyAttacker(1.0/1523, 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := BurstyAttacker(1.0/1523, 0.1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4 := func(a AttackerParams) float64 {
+		m, err := BuildNoRejuvenationAttacked(DefaultFourVersion(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := m.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e6 := func(a AttackerParams) float64 {
+		m, err := BuildWithRejuvenationAttacked(DefaultSixVersion(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := m.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if e4(bursty) <= e4(steady) {
+		t.Errorf("burstiness should help the four-version system: %g vs %g", e4(bursty), e4(steady))
+	}
+	if e6(bursty) >= e6(steady) {
+		t.Errorf("burstiness should hurt the six-version system: %g vs %g", e6(bursty), e6(steady))
+	}
+}
+
+func TestAttackedRejectsBadInputs(t *testing.T) {
+	good, err := BurstyAttacker(0.001, 0.5, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badParams := DefaultFourVersion()
+	badParams.P = 7
+	if _, err := BuildNoRejuvenationAttacked(badParams, good); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := BuildWithRejuvenationAttacked(DefaultSixVersion(), AttackerParams{}); err == nil {
+		t.Error("zero attacker accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package nvp
+
+import (
+	"errors"
+
+	"nvrel/internal/ctmc"
+)
+
+// ErrOutageUnsupported is returned when exact outage analysis is requested
+// for the clocked architecture; use the simulator (percept) there.
+var ErrOutageUnsupported = errors.New("nvp: exact outage analysis requires the architecture without rejuvenation")
+
+// MeanTimeToVoterOutage returns the expected time, starting from the
+// all-healthy state, until the voter first cannot reach a decision: fewer
+// than 2f+1 (or 2f+r+1) modules remain operational, i.e. the system first
+// enters a state with k > N - threshold. This is the architecture's
+// MTTF-style safety metric — before this instant every output is either
+// correct, erroneous, or deliberately skipped; after it the voter is
+// structurally silent until a repair completes.
+//
+// Exact analysis is available for the CTMC architecture (no rejuvenation).
+// The clocked architecture needs the deterministic timer in the hitting
+// analysis; estimate it with the percept simulator instead.
+func (m *Model) MeanTimeToVoterOutage() (float64, error) {
+	if m.Arch == WithRejuvenation {
+		return 0, ErrOutageUnsupported
+	}
+	maxDown := m.Params.Scheme().MaxDown()
+	target := make([]bool, m.Graph.NumStates())
+	reachable := false
+	for s, mk := range m.Graph.Markings {
+		_, _, k := m.classify(mk)
+		if k > maxDown {
+			target[s] = true
+			reachable = true
+		}
+	}
+	if !reachable {
+		return 0, errors.New("nvp: no voter-outage states are reachable in this model")
+	}
+	q, err := m.Graph.Generator()
+	if err != nil {
+		return 0, err
+	}
+	chain, err := ctmc.FromGenerator(q)
+	if err != nil {
+		return 0, err
+	}
+	fp, err := ctmc.NewFirstPassage(chain, target)
+	if err != nil {
+		return 0, err
+	}
+	return fp.MeanTimeFrom(m.Graph.Initial)
+}

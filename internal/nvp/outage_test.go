@@ -1,0 +1,60 @@
+package nvp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMeanTimeToVoterOutageFourVersion(t *testing.T) {
+	m, err := BuildNoRejuvenation(DefaultFourVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtto, err := m.MeanTimeToVoterOutage()
+	if err != nil {
+		t.Fatalf("MeanTimeToVoterOutage: %v", err)
+	}
+	// Golden value from the exact first-passage solve; the scale is set by
+	// how unlikely a second failure is during a 3 s repair.
+	if mtto < 3.2e6 || mtto > 3.5e6 {
+		t.Errorf("MTTO = %.0f s, want ~3.34e6", mtto)
+	}
+}
+
+func TestMeanTimeToVoterOutageScalesWithRepair(t *testing.T) {
+	// Faster repair shrinks the window for a concurrent second failure, so
+	// the outage time grows roughly inversely with the repair time.
+	slow := DefaultFourVersion()
+	slow.MeanTimeToRepair = 30
+	mSlow, err := BuildNoRejuvenation(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowT, err := mSlow.MeanTimeToVoterOutage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := DefaultFourVersion()
+	fast.MeanTimeToRepair = 0.3
+	mFast, err := BuildNoRejuvenation(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastT, err := mFast.MeanTimeToVoterOutage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastT < 20*slowT {
+		t.Errorf("fast repair MTTO %.3g should dwarf slow repair %.3g", fastT, slowT)
+	}
+}
+
+func TestMeanTimeToVoterOutageRejectsClockedModel(t *testing.T) {
+	m, err := BuildWithRejuvenation(DefaultSixVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MeanTimeToVoterOutage(); !errors.Is(err, ErrOutageUnsupported) {
+		t.Errorf("err = %v, want ErrOutageUnsupported", err)
+	}
+}

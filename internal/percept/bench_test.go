@@ -1,0 +1,51 @@
+package percept
+
+import (
+	"testing"
+
+	"nvrel/internal/des"
+	"nvrel/internal/nvp"
+)
+
+func BenchmarkSimulationSixVersion(b *testing.B) {
+	cfg := Config{
+		Params:          nvp.DefaultSixVersion(),
+		Rejuvenation:    true,
+		Horizon:         2e5,
+		WarmUp:          1e4,
+		RequestInterval: 300,
+	}
+	master := des.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := New(cfg, master.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationLabelVoting(b *testing.B) {
+	cfg := Config{
+		Params:          nvp.DefaultSixVersion(),
+		Rejuvenation:    true,
+		Horizon:         2e5,
+		WarmUp:          1e4,
+		RequestInterval: 300,
+		Classes:         43,
+	}
+	master := des.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := New(cfg, master.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

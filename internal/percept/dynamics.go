@@ -1,0 +1,269 @@
+package percept
+
+import (
+	"fmt"
+
+	"nvrel/internal/des"
+	"nvrel/internal/nvp"
+	"nvrel/internal/voter"
+)
+
+// rescheduleLifecycle re-draws the three lifecycle timers (compromise,
+// failure, repair) for the current population. Because all firing times
+// are exponential, resampling on every state change is statistically
+// identical to keeping the clocks running (memorylessness) and matches the
+// race semantics of the underlying CTMC exactly, for both single-server
+// and per-token semantics.
+func (s *System) rescheduleLifecycle() {
+	p := s.cfg.Params
+
+	s.compromiseEv.Cancel()
+	s.compromiseEv = nil
+	if s.healthy > 0 {
+		if a := s.cfg.Attacker; a != nil {
+			rate := a.OffRate
+			if s.attackOn {
+				rate = a.OnRate
+			}
+			if rate > 0 {
+				s.compromiseEv = s.mustSchedule(s.rng.Exp(1/rate), s.onCompromise)
+			}
+		} else {
+			s.compromiseEv = s.mustSchedule(s.lifecycleDelay(p.MeanTimeToCompromise, s.healthy), s.onCompromise)
+		}
+	}
+
+	s.failEv.Cancel()
+	s.failEv = nil
+	if s.compromised > 0 {
+		s.failEv = s.mustSchedule(s.lifecycleDelay(p.MeanTimeToFailure, s.compromised), s.onFailure)
+	}
+
+	s.repairEv.Cancel()
+	s.repairEv = nil
+	if s.failed > 0 {
+		s.repairEv = s.mustSchedule(s.lifecycleDelay(p.MeanTimeToRepair, s.failed), s.onRepair)
+	}
+
+	// The rejuvenation-completion rate is marking dependent
+	// (1/(base x #Pmr)); resample it too.
+	s.rejuvDoneEv.Cancel()
+	s.rejuvDoneEv = nil
+	if s.rejuvenating > 0 {
+		mean := p.MeanTimeToRejuvenate * float64(s.rejuvenating)
+		s.rejuvDoneEv = s.mustSchedule(s.rng.Exp(mean), s.onRejuvenationDone)
+	}
+}
+
+// lifecycleDelay draws the next firing delay under the configured server
+// semantics.
+func (s *System) lifecycleDelay(mean float64, tokens int) float64 {
+	if s.cfg.Params.Semantics == nvp.PerToken {
+		return s.rng.Exp(mean / float64(tokens))
+	}
+	return s.rng.Exp(mean)
+}
+
+func (s *System) onCompromise() {
+	if s.healthy == 0 {
+		return
+	}
+	s.healthy--
+	s.compromised++
+	s.observe("module compromised")
+	s.noteStateChange()
+	s.afterTransition()
+}
+
+func (s *System) onFailure() {
+	if s.compromised == 0 {
+		return
+	}
+	s.compromised--
+	s.failed++
+	s.observe("module failed")
+	s.noteStateChange()
+	s.afterTransition()
+}
+
+func (s *System) onRepair() {
+	if s.failed == 0 {
+		return
+	}
+	s.failed--
+	s.healthy++
+	s.observe("module repaired")
+	s.noteStateChange()
+	s.afterTransition()
+}
+
+// onRejuvenationDone completes the whole in-flight batch (the net's Trj
+// consumes min(#Pmr, r) tokens and returns them to Pmh; #Pmr never exceeds
+// r).
+func (s *System) onRejuvenationDone() {
+	if s.rejuvenating == 0 {
+		return
+	}
+	s.healthy += s.rejuvenating
+	s.rejuvenating = 0
+	s.observe("rejuvenation complete")
+	s.noteStateChange()
+	s.afterTransition()
+}
+
+// afterTransition dispatches any parked rejuvenation tokens whose guard
+// became true, re-arms a waiting clock, and resamples the lifecycle
+// timers.
+func (s *System) afterTransition() {
+	s.dispatchWave()
+	s.maybeRestartClock()
+	s.rescheduleLifecycle()
+}
+
+// scheduleAttackPhaseFlip arms the attacker's next phase change.
+func (s *System) scheduleAttackPhaseFlip() {
+	a := s.cfg.Attacker
+	if a == nil {
+		return
+	}
+	mean := a.MeanTimeOff
+	if s.attackOn {
+		mean = a.MeanTimeOn
+	}
+	s.attackPhaseEv = s.mustSchedule(s.rng.Exp(mean), func() {
+		s.attackOn = !s.attackOn
+		if s.attackOn {
+			s.observe("attack campaign started")
+		} else {
+			s.observe("attack campaign ended")
+		}
+		s.scheduleAttackPhaseFlip()
+		s.rescheduleLifecycle()
+	})
+}
+
+// scheduleClockTick arms the deterministic rejuvenation clock (Trc).
+func (s *System) scheduleClockTick(interval float64) error {
+	if _, err := s.sim.Schedule(interval, func() {
+		s.onClockTick(interval)
+	}); err != nil {
+		return fmt.Errorf("percept: scheduling clock: %w", err)
+	}
+	return nil
+}
+
+// onClockTick implements Tac + Trt: if no wave is in flight, dispatch r
+// activation tokens (which Trj1/Trj2 consume immediately when guard g2
+// holds, or park otherwise). Under the free-running policy the clock
+// restarts immediately; under the waits-for-wave policy it restarts when
+// the wave drains (see maybeRestartClock).
+func (s *System) onClockTick(interval float64) {
+	s.observe("rejuvenation clock tick")
+	if s.parked == 0 && s.rejuvenating == 0 {
+		s.parked = s.cfg.Params.R
+		s.dispatchWave()
+		s.rescheduleLifecycle()
+	}
+	if s.cfg.Params.Clock == nvp.ClockWaitsForWave {
+		s.clockWaiting = true
+		s.maybeRestartClock()
+		return
+	}
+	if err := s.scheduleClockTick(interval); err != nil {
+		// Scheduling a positive, finite interval cannot fail; a failure
+		// here is a programming error.
+		panic(err)
+	}
+}
+
+// maybeRestartClock re-arms a waiting clock once the rejuvenation wave has
+// fully drained (no parked tokens, no module rejuvenating).
+func (s *System) maybeRestartClock() {
+	if !s.clockWaiting || s.parked > 0 || s.rejuvenating > 0 {
+		return
+	}
+	s.clockWaiting = false
+	if err := s.scheduleClockTick(s.cfg.Params.RejuvenationInterval); err != nil {
+		panic(err)
+	}
+}
+
+// dispatchWave moves modules into rejuvenation while activation tokens are
+// parked and the guard g2 (#failed + #rejuvenating < r) holds, choosing a
+// compromised module with probability j/(i+j) (weights w1/w2: the system
+// cannot distinguish healthy from compromised modules).
+func (s *System) dispatchWave() {
+	r := s.cfg.Params.R
+	changed := false
+	for s.parked > 0 && s.failed+s.rejuvenating < r && s.healthy+s.compromised > 0 {
+		total := s.healthy + s.compromised
+		if s.rng.Float64() < float64(s.compromised)/float64(total) {
+			s.compromised--
+		} else {
+			s.healthy--
+		}
+		s.rejuvenating++
+		s.parked--
+		changed = true
+	}
+	if changed {
+		s.observe("rejuvenation wave dispatched")
+		s.noteStateChange()
+	}
+}
+
+// scheduleNextRequest arms the Poisson perception-request stream.
+func (s *System) scheduleNextRequest() error {
+	if _, err := s.sim.Schedule(s.rng.Exp(s.cfg.RequestInterval), s.onRequest); err != nil {
+		return fmt.Errorf("percept: scheduling request: %w", err)
+	}
+	return nil
+}
+
+// onRequest samples one perception request. Without label voting the
+// operational modules' correctness flags feed the counting rule; with
+// label voting enabled each module outputs a class label, the label scheme
+// decides, and the counting rule is tallied from the same sample so both
+// views stay comparable.
+func (s *System) onRequest() {
+	if s.measuring {
+		if s.labelScheme != nil {
+			truth := s.rng.Intn(s.cfg.Classes)
+			labels, err := s.errModel.SampleLabels(
+				s.rng, truth, s.cfg.Classes, s.healthy, s.compromised, s.cfg.wrongLabelPolicy())
+			if err != nil {
+				panic(fmt.Sprintf("percept: label sampling: %v", err))
+			}
+			s.labelTally.Record(voter.ClassifyDecision(s.labelScheme.Decide(labels), truth))
+			correct := make([]bool, len(labels))
+			for i, l := range labels {
+				correct[i] = l == truth
+			}
+			s.tally.Record(s.rule.Classify(correct))
+		} else {
+			correct := s.errModel.SampleCorrectness(s.rng, s.healthy, s.compromised)
+			s.tally.Record(s.rule.Classify(correct))
+		}
+		s.requests++
+	}
+	if err := s.scheduleNextRequest(); err != nil {
+		panic(err)
+	}
+}
+
+// observe emits a trace line if an observer is configured.
+func (s *System) observe(event string) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer(s.sim.Now(), fmt.Sprintf("%s (H=%d C=%d F=%d R=%d)",
+			event, s.healthy, s.compromised, s.failed, s.rejuvenating))
+	}
+}
+
+// mustSchedule wraps Schedule for delays we generate ourselves.
+func (s *System) mustSchedule(delay float64, action func()) *des.Handle {
+	h, err := s.sim.Schedule(delay, action)
+	if err != nil {
+		panic(fmt.Sprintf("percept: internal scheduling error: %v", err))
+	}
+	return h
+}

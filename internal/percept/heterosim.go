@@ -1,0 +1,192 @@
+package percept
+
+import (
+	"errors"
+	"fmt"
+
+	"nvrel/internal/des"
+	"nvrel/internal/nvp"
+	"nvrel/internal/voter"
+)
+
+// HeteroConfig configures the identity-tracking simulator: unlike the main
+// simulator (which tracks only population counts), it follows each module
+// version individually, so versions can carry their own healthy error
+// rates. It exists to validate the subset-averaging assumption of
+// reliability.Heterogeneous: because the lifecycle dynamics treat all
+// modules exchangeably, the time-average over which subset is healthy
+// equals the uniform subset average the analytic model uses.
+type HeteroConfig struct {
+	// Params supplies the lifecycle timing, scheme, and compromised error
+	// probability (PPrime); the scalar P and Alpha are ignored.
+	Params nvp.Params
+	// HealthyErr is each version's error probability while healthy
+	// (length N). Errors are sampled independently per module.
+	HealthyErr []float64
+	// Horizon, WarmUp, RequestInterval as in Config.
+	Horizon, WarmUp, RequestInterval float64
+}
+
+// Validate checks the configuration.
+func (c HeteroConfig) Validate() error {
+	var errs []error
+	if err := c.Params.Validate(false); err != nil {
+		errs = append(errs, err)
+	}
+	if len(c.HealthyErr) != c.Params.N {
+		errs = append(errs, fmt.Errorf("percept: %d healthy error rates for %d versions", len(c.HealthyErr), c.Params.N))
+	}
+	for i, p := range c.HealthyErr {
+		if p < 0 || p > 1 || p != p {
+			errs = append(errs, fmt.Errorf("percept: version %d error rate %g outside [0,1]", i, p))
+		}
+	}
+	if c.Horizon <= 0 || c.WarmUp < 0 || c.WarmUp >= c.Horizon {
+		errs = append(errs, fmt.Errorf("percept: bad window [%g, %g]", c.WarmUp, c.Horizon))
+	}
+	if c.RequestInterval <= 0 {
+		errs = append(errs, errors.New("percept: hetero simulation needs request sampling"))
+	}
+	return errors.Join(errs...)
+}
+
+// moduleHealth is a per-module lifecycle position.
+type moduleHealth int
+
+const (
+	healthHealthy moduleHealth = iota + 1
+	healthCompromised
+	healthFailed
+)
+
+// heteroSystem simulates the no-rejuvenation architecture with per-module
+// identity.
+type heteroSystem struct {
+	cfg   HeteroConfig
+	rng   *des.RNG
+	sim   des.Simulation
+	state []moduleHealth
+	rule  voter.CountRule
+
+	compromiseEv, failEv, repairEv *des.Handle
+
+	measuring bool
+	tally     voter.Tally
+}
+
+// RunHeterogeneous simulates the no-rejuvenation architecture with
+// per-version error rates and returns the request tally.
+func RunHeterogeneous(cfg HeteroConfig, rng *des.RNG) (voter.Tally, error) {
+	if err := cfg.Validate(); err != nil {
+		return voter.Tally{}, err
+	}
+	if rng == nil {
+		return voter.Tally{}, errors.New("percept: nil rng")
+	}
+	rule, err := voter.NewCountRule(cfg.Params.Scheme().Threshold())
+	if err != nil {
+		return voter.Tally{}, err
+	}
+	h := &heteroSystem{
+		cfg:   cfg,
+		rng:   rng,
+		state: make([]moduleHealth, cfg.Params.N),
+		rule:  rule,
+	}
+	for i := range h.state {
+		h.state[i] = healthHealthy
+	}
+	h.reschedule()
+	h.scheduleRequest()
+	if _, err := h.sim.Schedule(cfg.WarmUp, func() { h.measuring = true }); err != nil {
+		return voter.Tally{}, err
+	}
+	h.sim.RunUntil(cfg.Horizon)
+	return h.tally, nil
+}
+
+// pick returns a uniformly random module index in the given health state,
+// or -1 when none exists.
+func (h *heteroSystem) pick(want moduleHealth) int {
+	var candidates []int
+	for i, st := range h.state {
+		if st == want {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[h.rng.Intn(len(candidates))]
+}
+
+func (h *heteroSystem) count(want moduleHealth) int {
+	n := 0
+	for _, st := range h.state {
+		if st == want {
+			n++
+		}
+	}
+	return n
+}
+
+// reschedule re-draws the single-server lifecycle timers (memoryless
+// resampling, as in the main simulator).
+func (h *heteroSystem) reschedule() {
+	p := h.cfg.Params
+	h.compromiseEv.Cancel()
+	h.compromiseEv = nil
+	if h.count(healthHealthy) > 0 {
+		h.compromiseEv = h.must(h.rng.Exp(p.MeanTimeToCompromise), func() {
+			h.move(healthHealthy, healthCompromised)
+		})
+	}
+	h.failEv.Cancel()
+	h.failEv = nil
+	if h.count(healthCompromised) > 0 {
+		h.failEv = h.must(h.rng.Exp(p.MeanTimeToFailure), func() {
+			h.move(healthCompromised, healthFailed)
+		})
+	}
+	h.repairEv.Cancel()
+	h.repairEv = nil
+	if h.count(healthFailed) > 0 {
+		h.repairEv = h.must(h.rng.Exp(p.MeanTimeToRepair), func() {
+			h.move(healthFailed, healthHealthy)
+		})
+	}
+}
+
+// move transitions a uniformly chosen module between health states.
+func (h *heteroSystem) move(from, to moduleHealth) {
+	if i := h.pick(from); i >= 0 {
+		h.state[i] = to
+	}
+	h.reschedule()
+}
+
+func (h *heteroSystem) scheduleRequest() {
+	h.must(h.rng.Exp(h.cfg.RequestInterval), func() {
+		if h.measuring {
+			var correct []bool
+			for i, st := range h.state {
+				switch st {
+				case healthHealthy:
+					correct = append(correct, !h.rng.Bernoulli(h.cfg.HealthyErr[i]))
+				case healthCompromised:
+					correct = append(correct, !h.rng.Bernoulli(h.cfg.Params.PPrime))
+				}
+			}
+			h.tally.Record(h.rule.Classify(correct))
+		}
+		h.scheduleRequest()
+	})
+}
+
+func (h *heteroSystem) must(delay float64, action func()) *des.Handle {
+	hd, err := h.sim.Schedule(delay, action)
+	if err != nil {
+		panic(fmt.Sprintf("percept: internal scheduling error: %v", err))
+	}
+	return hd
+}

@@ -1,0 +1,127 @@
+package percept
+
+import (
+	"math"
+	"testing"
+
+	"nvrel/internal/des"
+	"nvrel/internal/nvp"
+	"nvrel/internal/reliability"
+)
+
+func heteroConfig() HeteroConfig {
+	return HeteroConfig{
+		Params:          nvp.DefaultFourVersion(),
+		HealthyErr:      []float64{0.04, 0.08, 0.12, 0.08},
+		Horizon:         2e6,
+		WarmUp:          5e4,
+		RequestInterval: 200,
+	}
+}
+
+func TestHeteroConfigValidate(t *testing.T) {
+	good := heteroConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*HeteroConfig)
+	}{
+		{name: "wrong rate count", mutate: func(c *HeteroConfig) { c.HealthyErr = c.HealthyErr[:2] }},
+		{name: "rate out of range", mutate: func(c *HeteroConfig) { c.HealthyErr[0] = 2 }},
+		{name: "zero horizon", mutate: func(c *HeteroConfig) { c.Horizon = 0 }},
+		{name: "no requests", mutate: func(c *HeteroConfig) { c.RequestInterval = 0 }},
+		{name: "bad params", mutate: func(c *HeteroConfig) { c.Params.PPrime = 3 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := heteroConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := RunHeterogeneous(heteroConfig(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// TestHeterogeneousSimulationMatchesAnalytic validates the subset-
+// averaging assumption of reliability.Heterogeneous end to end: the
+// identity-tracking simulator's request safety (1 - error rate) must
+// match E[R] computed with the subset-averaged Poisson-binomial model
+// over the same lifecycle steady state.
+func TestHeterogeneousSimulationMatchesAnalytic(t *testing.T) {
+	cfg := heteroConfig()
+
+	// Analytic side: the lifecycle ignores identities, so the state
+	// distribution is the standard four-version CTMC's; the reward uses
+	// the heterogeneous model.
+	model, err := nvp.BuildNoRejuvenation(cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := reliability.Heterogeneous(reliability.HeterogeneousParams{
+		HealthyErr:     cfg.HealthyErr,
+		CompromisedErr: cfg.Params.PPrime,
+	}, cfg.Params.Scheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.ExpectedReliability(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated side over replications.
+	var acc des.Accumulator
+	master := des.NewRNG(13579)
+	for rep := 0; rep < 16; rep++ {
+		tally, err := RunHeterogeneous(cfg, master.Fork())
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(tally.Safety())
+	}
+	sum := acc.Summarize()
+	if !sum.Contains(want) {
+		t.Errorf("analytic %v outside simulated CI %v", want, sum)
+	}
+}
+
+func TestHeterogeneousSimulationDeterministic(t *testing.T) {
+	cfg := heteroConfig()
+	cfg.Horizon = 3e5
+	a, err := RunHeterogeneous(cfg, des.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunHeterogeneous(cfg, des.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different tallies: %+v vs %+v", a, b)
+	}
+}
+
+func TestHeterogeneousEqualRatesMatchHomogeneous(t *testing.T) {
+	// With equal per-version rates the heterogeneous reward reduces to the
+	// Independent model, whose E[R] differs from the common-cause
+	// generative model; just pin a sanity band here.
+	cfg := heteroConfig()
+	cfg.HealthyErr = []float64{0.08, 0.08, 0.08, 0.08}
+	cfg.Horizon = 1e6
+	tally, err := RunHeterogeneous(cfg, des.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Safety() < 0.7 || tally.Safety() > 0.95 {
+		t.Errorf("safety = %.4f out of plausible band", tally.Safety())
+	}
+	if math.IsNaN(tally.Reliability()) {
+		t.Error("NaN reliability")
+	}
+}

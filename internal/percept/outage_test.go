@@ -1,0 +1,94 @@
+package percept
+
+import (
+	"testing"
+
+	"nvrel/internal/des"
+	"nvrel/internal/nvp"
+)
+
+func TestRunUntilOutageValidation(t *testing.T) {
+	sys, err := New(fourVersionConfig(), des.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunUntilOutage(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestRunUntilOutageCensoring(t *testing.T) {
+	// A short horizon against a ~39-day MTTO: the run must censor.
+	sys, err := New(fourVersionConfig(), des.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOut, err := sys.RunUntilOutage(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tOut >= 0 {
+		t.Errorf("outage at %g within 1000 s is wildly improbable", tOut)
+	}
+}
+
+// TestEstimateOutageMatchesExact is the simulation/analysis cross-check
+// for the first-passage solver.
+func TestEstimateOutageMatchesExact(t *testing.T) {
+	model, err := nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := model.MeanTimeToVoterOutage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateOutage(fourVersionConfig(), 48, 4242, 100*exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Censored != 0 {
+		t.Errorf("censored = %d with a 100x horizon", est.Censored)
+	}
+	if !est.MeanTime.Contains(exact) {
+		t.Errorf("exact %.0f outside simulated CI %v", exact, est.MeanTime)
+	}
+	// The exponential MLE agrees with the plain mean when nothing is
+	// censored.
+	if est.ExponentialMLE <= 0 {
+		t.Errorf("MLE = %g", est.ExponentialMLE)
+	}
+}
+
+func TestEstimateOutageValidation(t *testing.T) {
+	if _, err := EstimateOutage(fourVersionConfig(), 0, 1, 1e6); err == nil {
+		t.Error("zero replications accepted")
+	}
+	bad := fourVersionConfig()
+	bad.Horizon = -1
+	if _, err := EstimateOutage(bad, 2, 1, 1e6); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestOutageRejuvenationExtendsAvailability(t *testing.T) {
+	// Compare censoring at a fixed horizon: the six-version system with
+	// rejuvenation must survive far more often than the four-version one.
+	const horizon = 2e7
+	four, err := EstimateOutage(fourVersionConfig(), 10, 99, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := EstimateOutage(Config{
+		Params:       nvp.DefaultSixVersion(),
+		Rejuvenation: true,
+		Horizon:      1,
+	}, 10, 99, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.Censored <= four.Censored {
+		t.Errorf("six-version censored %d should exceed four-version %d at horizon %g",
+			six.Censored, four.Censored, horizon)
+	}
+}

@@ -1,0 +1,323 @@
+// Package percept is an executable, event-level realization of the
+// paper's perception system: N ML modules that are compromised by faults
+// and attacks, fail, get repaired, and (in the rejuvenation architecture)
+// are proactively rejuvenated by a deterministic clock, while a voter
+// classifies a stream of perception requests.
+//
+// The simulator serves two purposes:
+//
+//   - cross-validation: its time-weighted state occupancy and analytic-
+//     reward estimate must agree with the DSPN solvers (packages nvp,
+//     ctmc, mrgp) within confidence bounds, which exercises the entire
+//     analytic pipeline end to end;
+//   - request-level realism: unlike the analytic models it produces actual
+//     voted outputs from a generative error model (package mlsim), so the
+//     effect of the approximations baked into the paper's closed-form
+//     reliability functions can be measured.
+package percept
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nvrel/internal/des"
+	"nvrel/internal/mlsim"
+	"nvrel/internal/nvp"
+	"nvrel/internal/reliability"
+	"nvrel/internal/voter"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	// Params carries the model parameters (Table II) including N, F, R,
+	// the timing constants, and the server semantics.
+	Params nvp.Params
+
+	// Rejuvenation enables the clocked architecture of Figures 2(b)+(c).
+	Rejuvenation bool
+
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+
+	// WarmUp discards the initial transient: requests before WarmUp are
+	// not tallied and occupancy is measured from WarmUp onward.
+	WarmUp float64
+
+	// RequestInterval is the mean spacing of perception requests (Poisson
+	// arrivals). Zero disables request sampling (state-occupancy only).
+	RequestInterval float64
+
+	// Classes, when at least two, switches requests to label-level voting:
+	// each request draws a ground-truth label and per-module output labels
+	// from the generative model, and LabelScheme decides the output. The
+	// count-rule tally is still maintained from the same samples, so both
+	// views stay comparable.
+	Classes int
+
+	// WrongLabels selects how erring modules choose their wrong label.
+	// The zero value means mlsim.CommonWrongLabel (adversarial agreement).
+	WrongLabels mlsim.WrongLabelPolicy
+
+	// LabelScheme decides label votes. Nil means the BFT threshold
+	// voter.Threshold{K: 2f+r+1}.
+	LabelScheme voter.LabelScheme
+
+	// Attacker, when non-nil, replaces the constant-rate compromise
+	// process with the Markov-modulated adversary (mirrors
+	// nvp.BuildNoRejuvenationAttacked / BuildWithRejuvenationAttacked).
+	Attacker *nvp.AttackerParams
+
+	// Observer, when non-nil, receives a timestamped line for every
+	// lifecycle event (compromise, failure, repair, rejuvenation,
+	// clock tick, attacker phase change). For tracing and debugging;
+	// leave nil in measurement runs.
+	Observer func(time float64, event string)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	var errs []error
+	if err := c.Params.Validate(c.Rejuvenation); err != nil {
+		errs = append(errs, err)
+	}
+	if c.Horizon <= 0 {
+		errs = append(errs, fmt.Errorf("percept: horizon = %g must be positive", c.Horizon))
+	}
+	if c.WarmUp < 0 || c.WarmUp >= c.Horizon {
+		errs = append(errs, fmt.Errorf("percept: warm-up = %g must lie in [0, horizon)", c.WarmUp))
+	}
+	if c.RequestInterval < 0 {
+		errs = append(errs, fmt.Errorf("percept: request interval = %g must be non-negative", c.RequestInterval))
+	}
+	if c.Classes == 1 || c.Classes < 0 {
+		errs = append(errs, fmt.Errorf("percept: classes = %d must be zero or at least two", c.Classes))
+	}
+	if c.WrongLabels != 0 && c.WrongLabels != mlsim.CommonWrongLabel && c.WrongLabels != mlsim.IndependentWrongLabels {
+		errs = append(errs, fmt.Errorf("percept: unknown wrong-label policy %d", c.WrongLabels))
+	}
+	if c.Attacker != nil {
+		if err := c.Attacker.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// wrongLabelPolicy resolves the configured policy default.
+func (c Config) wrongLabelPolicy() mlsim.WrongLabelPolicy {
+	if c.WrongLabels == 0 {
+		return mlsim.CommonWrongLabel
+	}
+	return c.WrongLabels
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Tally counts voted request outcomes from the generative error model
+	// under the paper's counting rule (A.2/A.3).
+	Tally voter.Tally
+
+	// LabelTally counts outcomes under the configured label scheme; only
+	// populated when Config.Classes enables label voting.
+	LabelTally voter.Tally
+
+	// AnalyticReward is the time-weighted average of the paper's
+	// reliability function over the visited states: the simulation
+	// estimate of E[R_sys], directly comparable to the DSPN solvers.
+	AnalyticReward float64
+
+	// Occupancy maps module-population states (i, j, k) to the fraction
+	// of post-warm-up time spent there.
+	Occupancy map[[3]int]float64
+
+	// Requests is the number of tallied perception requests.
+	Requests int
+
+	// FirstOutage is the time at which the voter first became structurally
+	// silent (fewer than Threshold operational modules), measured from
+	// time zero. Negative when no outage occurred within the horizon.
+	FirstOutage float64
+}
+
+// System is a single-run simulator instance.
+type System struct {
+	cfg Config
+	rng *des.RNG
+	sim des.Simulation
+
+	healthy, compromised, failed, rejuvenating int
+	parked                                     int  // undispatched activation tokens (Pac)
+	clockWaiting                               bool // waits-for-wave policy: clock held until the wave drains
+	attackOn                                   bool // Markov-modulated attacker phase
+
+	compromiseEv, failEv, repairEv, rejuvDoneEv, attackPhaseEv *des.Handle
+
+	errModel *mlsim.ErrorModel
+	rf       reliability.StateFn
+	rule     voter.CountRule
+
+	labelScheme voter.LabelScheme
+
+	firstOutage float64
+	maxDown     int
+
+	occupancy  map[[3]int]float64
+	lastState  [3]int
+	lastObs    float64
+	measuring  bool
+	windowLo   float64
+	tally      voter.Tally
+	labelTally voter.Tally
+	requests   int
+}
+
+// New prepares a simulator driven by the given random stream.
+func New(cfg Config, rng *des.RNG) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("percept: nil rng")
+	}
+	em, err := mlsim.NewErrorModel(cfg.Params.P, cfg.Params.PPrime, cfg.Params.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	rule, err := voter.NewCountRule(cfg.Params.Scheme().Threshold())
+	if err != nil {
+		return nil, err
+	}
+	rf, err := paperReliability(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:       cfg,
+		rng:       rng,
+		errModel:  em,
+		rule:      rule,
+		rf:        rf,
+		occupancy: make(map[[3]int]float64),
+		healthy:   cfg.Params.N,
+	}
+	s.firstOutage = -1
+	s.maxDown = cfg.Params.Scheme().MaxDown()
+	if cfg.Classes >= 2 {
+		s.labelScheme = cfg.LabelScheme
+		if s.labelScheme == nil {
+			th, err := voter.NewThreshold(cfg.Params.Scheme().Threshold())
+			if err != nil {
+				return nil, err
+			}
+			s.labelScheme = th
+		}
+	}
+	return s, nil
+}
+
+// paperReliability selects the same reward the analytic models use: the
+// verbatim appendix matrices for the two published configurations, the
+// generalized dependent model otherwise (mirrors nvp.Model.PaperReliability).
+func paperReliability(p nvp.Params) (reliability.StateFn, error) {
+	pr := p.Reliability()
+	switch {
+	case p.N == 4 && p.F == 1 && p.R == 0:
+		return reliability.FourVersion(pr)
+	case p.N == 6 && p.F == 1 && p.R == 1:
+		return reliability.SixVersion(pr)
+	default:
+		return reliability.Dependent(pr, p.Scheme())
+	}
+}
+
+// Run executes the simulation and returns its result. A System is
+// single-use: call New again for another replication.
+func (s *System) Run() (*Result, error) {
+	s.scheduleAttackPhaseFlip()
+	s.rescheduleLifecycle()
+	if s.cfg.Rejuvenation {
+		if err := s.scheduleClockTick(s.cfg.Params.RejuvenationInterval); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.RequestInterval > 0 {
+		if err := s.scheduleNextRequest(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.sim.Schedule(s.cfg.WarmUp, s.startMeasuring); err != nil {
+		return nil, err
+	}
+	s.sim.RunUntil(s.cfg.Horizon)
+	return s.finish()
+}
+
+func (s *System) startMeasuring() {
+	s.measuring = true
+	s.windowLo = s.sim.Now()
+	s.lastObs = s.sim.Now()
+	s.lastState = s.stateTriple()
+}
+
+func (s *System) finish() (*Result, error) {
+	window := s.cfg.Horizon - s.windowLo
+	if !s.measuring || window <= 0 {
+		return nil, errors.New("percept: measurement window is empty")
+	}
+	// Close the occupancy window at the horizon.
+	s.occupancy[s.lastState] += s.cfg.Horizon - s.lastObs
+	s.lastObs = s.cfg.Horizon
+
+	res := &Result{
+		Tally:       s.tally,
+		LabelTally:  s.labelTally,
+		Occupancy:   make(map[[3]int]float64, len(s.occupancy)),
+		Requests:    s.requests,
+		FirstOutage: s.firstOutage,
+	}
+	// Sum in sorted state order so results are bit-for-bit reproducible
+	// across runs (map iteration order would perturb the last ulp).
+	states := make([][3]int, 0, len(s.occupancy))
+	for state := range s.occupancy {
+		states = append(states, state)
+	}
+	sort.Slice(states, func(a, b int) bool {
+		if states[a][0] != states[b][0] {
+			return states[a][0] < states[b][0]
+		}
+		if states[a][1] != states[b][1] {
+			return states[a][1] < states[b][1]
+		}
+		return states[a][2] < states[b][2]
+	})
+	var reward float64
+	for _, state := range states {
+		frac := s.occupancy[state] / window
+		res.Occupancy[state] = frac
+		reward += frac * s.rf(state[0], state[1], state[2])
+	}
+	res.AnalyticReward = reward
+	return res, nil
+}
+
+// stateTriple returns (healthy, compromised, failed+rejuvenating).
+func (s *System) stateTriple() [3]int {
+	return [3]int{s.healthy, s.compromised, s.failed + s.rejuvenating}
+}
+
+// noteStateChange accrues occupancy up to now for the state being left
+// and records the first voter outage. Call it after mutating the
+// population counts.
+func (s *System) noteStateChange() {
+	if s.firstOutage < 0 && s.failed+s.rejuvenating > s.maxDown {
+		s.firstOutage = s.sim.Now()
+	}
+	if !s.measuring {
+		return
+	}
+	now := s.sim.Now()
+	s.occupancy[s.lastState] += now - s.lastObs
+	s.lastObs = now
+	s.lastState = s.stateTriple()
+}

@@ -1,0 +1,72 @@
+package percept
+
+import (
+	"errors"
+
+	"nvrel/internal/des"
+)
+
+// Estimate aggregates replicated simulation runs.
+type Estimate struct {
+	// AnalyticReward summarizes the simulation estimate of E[R_sys] under
+	// the paper's reliability functions.
+	AnalyticReward des.Summary
+
+	// RequestReliability summarizes the fraction of correct voted outputs
+	// under the generative error model (zero-valued when request sampling
+	// is disabled).
+	RequestReliability des.Summary
+
+	// RequestErrorRate summarizes the fraction of erroneous voted outputs.
+	RequestErrorRate des.Summary
+
+	// RequestSafety summarizes 1 - error rate: the generative-model
+	// counterpart of the paper's R = 1 - P(error) (safe skips count).
+	RequestSafety des.Summary
+
+	// LabelReliability and LabelSafety summarize the label-voting tallies
+	// (zero-valued unless Config.Classes enables label voting).
+	LabelReliability des.Summary
+	LabelSafety      des.Summary
+}
+
+// Replicate runs n independent replications of the configured simulation
+// and summarizes the estimates with 95% confidence intervals.
+func Replicate(cfg Config, n int, seed uint64) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errors.New("percept: replication count must be positive")
+	}
+	var rewards, reliab, errRate, safety, labelRel, labelSafe des.Accumulator
+	master := des.NewRNG(seed)
+	for rep := 0; rep < n; rep++ {
+		sys, err := New(cfg, master.Fork())
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		rewards.Add(res.AnalyticReward)
+		if cfg.RequestInterval > 0 {
+			reliab.Add(res.Tally.Reliability())
+			errRate.Add(res.Tally.ErrorRate())
+			safety.Add(res.Tally.Safety())
+			if cfg.Classes >= 2 {
+				labelRel.Add(res.LabelTally.Reliability())
+				labelSafe.Add(res.LabelTally.Safety())
+			}
+		}
+	}
+	return &Estimate{
+		AnalyticReward:     rewards.Summarize(),
+		RequestReliability: reliab.Summarize(),
+		RequestErrorRate:   errRate.Summarize(),
+		RequestSafety:      safety.Summarize(),
+		LabelReliability:   labelRel.Summarize(),
+		LabelSafety:        labelSafe.Summarize(),
+	}, nil
+}

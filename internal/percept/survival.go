@@ -1,0 +1,62 @@
+package percept
+
+import (
+	"errors"
+	"math"
+
+	"nvrel/internal/des"
+)
+
+// SurvivalEstimate is the simulated probability that a mission window
+// passes without a single erroneous voted output.
+type SurvivalEstimate struct {
+	// Probability is the surviving fraction of replications.
+	Probability float64
+	// Lo and Hi bound the 95% confidence interval (normal approximation
+	// to the binomial).
+	Lo, Hi float64
+	// Replications is the sample size.
+	Replications int
+}
+
+// Contains reports whether p lies inside the confidence interval.
+func (s SurvivalEstimate) Contains(p float64) bool { return p >= s.Lo && p <= s.Hi }
+
+// EstimateSurvival replicates full-window runs and counts those with zero
+// erroneous outputs. The configuration's WarmUp is forced to zero: the
+// survival window starts at deployment.
+func EstimateSurvival(cfg Config, n int, seed uint64) (*SurvivalEstimate, error) {
+	if n <= 0 {
+		return nil, errors.New("percept: replication count must be positive")
+	}
+	if cfg.RequestInterval <= 0 {
+		return nil, errors.New("percept: survival estimation needs request sampling")
+	}
+	cfg.WarmUp = 0
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := des.NewRNG(seed)
+	survived := 0
+	for rep := 0; rep < n; rep++ {
+		sys, err := New(cfg, master.Fork())
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		if res.Tally.Erroneous == 0 {
+			survived++
+		}
+	}
+	p := float64(survived) / float64(n)
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	return &SurvivalEstimate{
+		Probability:  p,
+		Lo:           math.Max(0, p-1.96*se),
+		Hi:           math.Min(1, p+1.96*se),
+		Replications: n,
+	}, nil
+}

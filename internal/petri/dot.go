@@ -1,0 +1,84 @@
+package petri
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the net in Graphviz DOT format using the conventions of
+// the paper's figures: places are circles annotated with their initial
+// tokens, immediate transitions are thin black bars, exponential
+// transitions are white rectangles, deterministic transitions are bold
+// black rectangles, and inhibitor arcs end in an open dot.
+func (n *Net) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", n.name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n\n")
+
+	for i, p := range n.places {
+		label := p.name
+		if p.initial > 0 {
+			label = fmt.Sprintf("%s\\n%d", p.name, p.initial)
+		}
+		fmt.Fprintf(&b, "  p%d [shape=circle, label=\"%s\"];\n", i, label)
+	}
+	b.WriteString("\n")
+
+	for i := range n.transitions {
+		tr := &n.transitions[i]
+		var attrs string
+		switch tr.Kind {
+		case Immediate:
+			attrs = "shape=box, style=filled, fillcolor=black, fontcolor=white, height=0.08, width=0.4"
+		case Exponential:
+			attrs = "shape=box, style=filled, fillcolor=white"
+		case Deterministic:
+			attrs = "shape=box, style=\"filled,bold\", fillcolor=gray20, fontcolor=white"
+		}
+		label := tr.Name
+		if tr.Guard != nil {
+			label += "\\n[guard]"
+		}
+		fmt.Fprintf(&b, "  t%d [%s, label=\"%s\"];\n", i, attrs, label)
+	}
+	b.WriteString("\n")
+
+	arcLabel := func(a Arc) string {
+		switch {
+		case a.WeightFn != nil:
+			return " [label=\"w(m)\"]"
+		case a.Weight > 1:
+			return fmt.Sprintf(" [label=\"%d\"]", a.Weight)
+		default:
+			return ""
+		}
+	}
+	for i := range n.transitions {
+		tr := &n.transitions[i]
+		for _, a := range tr.Inputs {
+			fmt.Fprintf(&b, "  p%d -> t%d%s;\n", a.Place, i, arcLabel(a))
+		}
+		for _, a := range tr.Outputs {
+			fmt.Fprintf(&b, "  t%d -> p%d%s;\n", i, a.Place, arcLabel(a))
+		}
+		for _, a := range tr.Inhibitors {
+			fmt.Fprintf(&b, "  p%d -> t%d [arrowhead=odot%s];\n", a.Place, i, inhibitorWeight(a))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func inhibitorWeight(a Arc) string {
+	switch {
+	case a.WeightFn != nil:
+		return ", label=\"w(m)\""
+	case a.Weight > 1:
+		return fmt.Sprintf(", label=\"%d\"", a.Weight)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,63 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder("dotnet")
+	src := b.AddPlace("src", 2)
+	dst := b.AddPlace("dst", 0)
+	gate := b.AddPlace("gate", 0)
+	b.AddTransition(Spec{
+		Name: "exp", Kind: Exponential, Rate: 1,
+		Inputs:     []Arc{{Place: src, Weight: 2}},
+		Outputs:    []Arc{{Place: dst}},
+		Inhibitors: []Arc{{Place: gate, Weight: 3}},
+	})
+	b.AddTransition(Spec{
+		Name: "imm", Kind: Immediate, Rate: 1,
+		Guard:  func(m Marking) bool { return true },
+		Inputs: []Arc{{Place: dst}},
+		Outputs: []Arc{{
+			Place:    src,
+			WeightFn: func(m Marking) int { return 1 },
+		}},
+	})
+	b.AddTransition(Spec{
+		Name: "det", Kind: Deterministic, Delay: 5,
+		Inputs:  []Arc{{Place: dst}},
+		Outputs: []Arc{{Place: src}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteDOT(&sb); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "dotnet"`,
+		`shape=circle`,
+		`src\n2`,       // initial marking annotation
+		`label="2"`,    // constant arc weight
+		`label="w(m)"`, // marking-dependent arc weight
+		`arrowhead=odot`,
+		`label="3"`, // inhibitor weight
+		`imm\n[guard]`,
+		`fillcolor=black`,  // immediate styling
+		`fillcolor=white`,  // exponential styling
+		`fillcolor=gray20`, // deterministic styling
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}

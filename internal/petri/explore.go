@@ -1,0 +1,267 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Exploration limits and errors.
+const defaultMaxMarkings = 1 << 18
+
+var (
+	// ErrImmediateCycle is returned when immediate transitions can fire in
+	// a cycle without reaching a tangible marking.
+	ErrImmediateCycle = errors.New("petri: cycle of vanishing markings")
+
+	// ErrStateSpaceTooLarge is returned when exploration exceeds the
+	// marking budget.
+	ErrStateSpaceTooLarge = errors.New("petri: state space exceeds marking budget")
+
+	// ErrMultipleDeterministic is returned when more than one deterministic
+	// transition is enabled in some tangible marking; the MRGP solver in
+	// this repository requires the standard DSPN restriction of at most one.
+	ErrMultipleDeterministic = errors.New("petri: multiple deterministic transitions enabled in one marking")
+)
+
+// RateEdge is an aggregated exponential transition between tangible
+// markings: from state From, at rate Rate, the chain jumps to state To.
+type RateEdge struct {
+	From, To int
+	Rate     float64
+}
+
+// ProbEdge is a probabilistic successor: with probability Prob the system
+// lands in tangible state To.
+type ProbEdge struct {
+	To   int
+	Prob float64
+}
+
+// DetSchedule describes the deterministic transition enabled in a tangible
+// marking and the distribution over tangible markings reached when it fires
+// (after eliminating any vanishing markings its firing triggers).
+type DetSchedule struct {
+	Transition TransitionRef
+	Delay      float64
+	Successors []ProbEdge
+}
+
+// Graph is the tangible reachability graph of a DSPN: the state space of
+// the underlying stochastic process.
+type Graph struct {
+	Net      *Net
+	Markings []Marking // tangible markings, index = state id
+	Initial  []float64 // distribution over tangible states at time zero
+
+	// Exp holds aggregated exponential rate edges (no self-loops).
+	Exp []RateEdge
+
+	// Det[i] describes the deterministic transition enabled in state i, or
+	// is nil when none is enabled.
+	Det []*DetSchedule
+
+	index map[string]int
+}
+
+// ExploreOptions tunes reachability exploration.
+type ExploreOptions struct {
+	// MaxMarkings bounds the number of distinct markings visited
+	// (tangible + vanishing). Zero means the package default.
+	MaxMarkings int
+}
+
+// Explore builds the tangible reachability graph from the net's initial
+// marking.
+func Explore(n *Net, opts ExploreOptions) (*Graph, error) {
+	maxMarkings := opts.MaxMarkings
+	if maxMarkings <= 0 {
+		maxMarkings = defaultMaxMarkings
+	}
+	g := &Graph{Net: n, index: make(map[string]int)}
+	e := &explorer{net: n, graph: g, max: maxMarkings, vanishing: make(map[string][]ProbEdge)}
+
+	// Resolving the initial marking interns its tangible support, seeding
+	// the exploration frontier.
+	init, err := e.resolve(n.InitialMarking(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("resolving initial marking: %w", err)
+	}
+
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+
+	g.Initial = make([]float64, len(g.Markings))
+	for _, pe := range init {
+		g.Initial[pe.To] += pe.Prob
+	}
+	return g, nil
+}
+
+// NumStates returns the number of tangible states.
+func (g *Graph) NumStates() int { return len(g.Markings) }
+
+// StateIndex returns the state id of a tangible marking, if present.
+func (g *Graph) StateIndex(m Marking) (int, bool) {
+	i, ok := g.index[m.Key()]
+	return i, ok
+}
+
+// Tokens returns the token count of place p in tangible state s.
+func (g *Graph) Tokens(s int, p PlaceRef) int { return g.Markings[s][p] }
+
+type explorer struct {
+	net       *Net
+	graph     *Graph
+	max       int
+	frontier  []int
+	visited   int
+	vanishing map[string][]ProbEdge // memoized vanishing resolutions
+}
+
+// intern registers a tangible marking, returning its state id.
+func (e *explorer) intern(m Marking) (int, error) {
+	key := m.Key()
+	if id, ok := e.graph.index[key]; ok {
+		return id, nil
+	}
+	if e.visited++; e.visited > e.max {
+		return 0, ErrStateSpaceTooLarge
+	}
+	id := len(e.graph.Markings)
+	e.graph.index[key] = id
+	e.graph.Markings = append(e.graph.Markings, m.Clone())
+	e.graph.Det = append(e.graph.Det, nil)
+	e.frontier = append(e.frontier, id)
+	return id, nil
+}
+
+// resolve eliminates vanishing markings reachable from m by immediate
+// firings, returning a distribution over tangible state ids. The stack
+// parameter carries the keys of vanishing markings on the current expansion
+// path for cycle detection.
+func (e *explorer) resolve(m Marking, stack []string) ([]ProbEdge, error) {
+	if !e.net.IsVanishing(m) {
+		id, err := e.intern(m)
+		if err != nil {
+			return nil, err
+		}
+		return []ProbEdge{{To: id, Prob: 1}}, nil
+	}
+	key := m.Key()
+	if memo, ok := e.vanishing[key]; ok {
+		return memo, nil
+	}
+	for _, k := range stack {
+		if k == key {
+			return nil, fmt.Errorf("%w at %s", ErrImmediateCycle, e.net.FormatMarking(m))
+		}
+	}
+	if e.visited++; e.visited > e.max {
+		return nil, ErrStateSpaceTooLarge
+	}
+	stack = append(stack, key)
+
+	immediates, _, _ := e.net.enabledByKind(m)
+	var total float64
+	weights := make([]float64, len(immediates))
+	for i, t := range immediates {
+		w := e.net.rateOf(t, m)
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("petri: enabled immediate transitions have zero total weight in %s", e.net.FormatMarking(m))
+	}
+	acc := make(map[int]float64)
+	for i, t := range immediates {
+		p := weights[i] / total
+		next, err := e.net.Fire(t, m)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := e.resolve(next, stack)
+		if err != nil {
+			return nil, err
+		}
+		for _, pe := range sub {
+			acc[pe.To] += p * pe.Prob
+		}
+	}
+	out := sortedEdges(acc)
+	e.vanishing[key] = out
+	return out, nil
+}
+
+// run processes the tangible frontier until exhaustion.
+func (e *explorer) run() error {
+	for len(e.frontier) > 0 {
+		id := e.frontier[len(e.frontier)-1]
+		e.frontier = e.frontier[:len(e.frontier)-1]
+		if err := e.expand(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expand computes the exponential rate edges and the deterministic schedule
+// of tangible state id.
+func (e *explorer) expand(id int) error {
+	m := e.graph.Markings[id]
+	_, exps, dets := e.net.enabledByKind(m)
+
+	if len(dets) > 1 {
+		names := make([]string, len(dets))
+		for i, t := range dets {
+			names[i] = e.net.TransitionName(t)
+		}
+		return fmt.Errorf("%w: %v in %s", ErrMultipleDeterministic, names, e.net.FormatMarking(m))
+	}
+
+	for _, t := range exps {
+		rate := e.net.rateOf(t, m)
+		next, err := e.net.Fire(t, m)
+		if err != nil {
+			return err
+		}
+		dist, err := e.resolve(next, nil)
+		if err != nil {
+			return err
+		}
+		for _, pe := range dist {
+			if pe.To == id {
+				continue // rate mass returning to the same tangible state is a no-op
+			}
+			e.graph.Exp = append(e.graph.Exp, RateEdge{From: id, To: pe.To, Rate: rate * pe.Prob})
+		}
+	}
+
+	if len(dets) == 1 {
+		t := dets[0]
+		next, err := e.net.Fire(t, m)
+		if err != nil {
+			return err
+		}
+		dist, err := e.resolve(next, nil)
+		if err != nil {
+			return err
+		}
+		e.graph.Det[id] = &DetSchedule{
+			Transition: t,
+			Delay:      e.net.transitions[t].Delay,
+			Successors: dist,
+		}
+	}
+	return nil
+}
+
+func sortedEdges(acc map[int]float64) []ProbEdge {
+	out := make([]ProbEdge, 0, len(acc))
+	for to, p := range acc {
+		out = append(out, ProbEdge{To: to, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}

@@ -1,0 +1,105 @@
+package petri
+
+import (
+	"fmt"
+	"math"
+)
+
+// Enabled reports whether transition t may fire in marking m: every input
+// place holds at least the arc multiplicity, every inhibitor place holds
+// strictly fewer tokens than its arc multiplicity, and the guard (if any)
+// holds.
+func (n *Net) Enabled(t TransitionRef, m Marking) bool {
+	tr := &n.transitions[t]
+	if tr.Guard != nil && !tr.Guard(m) {
+		return false
+	}
+	for _, a := range tr.Inputs {
+		if m[a.Place] < a.multiplicity(m) {
+			return false
+		}
+	}
+	for _, a := range tr.Inhibitors {
+		if m[a.Place] >= a.multiplicity(m) {
+			return false
+		}
+	}
+	// An immediate or exponential transition with a marking-dependent
+	// weight of zero is effectively disabled.
+	switch tr.Kind {
+	case Immediate, Exponential:
+		if w := n.rateOf(t, m); w <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire returns the marking after firing t in m. Arc multiplicities are
+// evaluated on the pre-firing marking (standard GSPN semantics, required by
+// the paper's w5/w6 arcs whose multiplicity depends on #Pmr before the
+// rejuvenation batch completes). Fire does not re-check enabledness of
+// guards; callers should test Enabled first.
+func (n *Net) Fire(t TransitionRef, m Marking) (Marking, error) {
+	tr := &n.transitions[t]
+	out := m.Clone()
+	for _, a := range tr.Inputs {
+		w := a.multiplicity(m)
+		out[a.Place] -= w
+		if out[a.Place] < 0 {
+			return nil, fmt.Errorf("petri: firing %q in %s drives place %q negative",
+				tr.Name, n.FormatMarking(m), n.places[a.Place].name)
+		}
+	}
+	for _, a := range tr.Outputs {
+		out[a.Place] += a.multiplicity(m)
+	}
+	return out, nil
+}
+
+// rateOf evaluates the rate (exponential) or weight (immediate) of t in m.
+func (n *Net) rateOf(t TransitionRef, m Marking) float64 {
+	tr := &n.transitions[t]
+	if tr.RateFn != nil {
+		return tr.RateFn(m)
+	}
+	return tr.Rate
+}
+
+// enabledByKind returns the enabled transitions of each kind in m. For
+// immediate transitions only the highest enabled priority class is returned.
+func (n *Net) enabledByKind(m Marking) (immediates, exponentials, deterministics []TransitionRef) {
+	bestPriority := math.MinInt
+	for i := range n.transitions {
+		t := TransitionRef(i)
+		if !n.Enabled(t, m) {
+			continue
+		}
+		switch n.transitions[i].Kind {
+		case Immediate:
+			switch p := n.transitions[i].Priority; {
+			case p > bestPriority:
+				bestPriority = p
+				immediates = immediates[:0]
+				immediates = append(immediates, t)
+			case p == bestPriority:
+				immediates = append(immediates, t)
+			}
+		case Exponential:
+			exponentials = append(exponentials, t)
+		case Deterministic:
+			deterministics = append(deterministics, t)
+		}
+	}
+	return immediates, exponentials, deterministics
+}
+
+// IsVanishing reports whether any immediate transition is enabled in m.
+func (n *Net) IsVanishing(m Marking) bool {
+	for i := range n.transitions {
+		if n.transitions[i].Kind == Immediate && n.Enabled(TransitionRef(i), m) {
+			return true
+		}
+	}
+	return false
+}

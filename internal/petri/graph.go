@@ -1,0 +1,74 @@
+package petri
+
+import (
+	"errors"
+
+	"nvrel/internal/linalg"
+)
+
+// ErrNoStates is returned when a graph has an empty tangible state space.
+var ErrNoStates = errors.New("petri: graph has no tangible states")
+
+// Generator assembles the CTMC generator matrix over the tangible states
+// from the exponential rate edges. Deterministic transitions are not
+// represented; callers analyzing a DSPN with a deterministic transition
+// should use package mrgp, which combines this generator with the
+// deterministic schedules.
+func (g *Graph) Generator() (*linalg.Dense, error) {
+	n := g.NumStates()
+	if n == 0 {
+		return nil, ErrNoStates
+	}
+	q := linalg.NewDense(n, n)
+	for _, e := range g.Exp {
+		q.Add(e.From, e.To, e.Rate)
+		q.Add(e.From, e.From, -e.Rate)
+	}
+	return q, nil
+}
+
+// HasDeterministic reports whether any tangible state enables a
+// deterministic transition.
+func (g *Graph) HasDeterministic() bool {
+	for _, d := range g.Det {
+		if d != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RewardFn maps a tangible marking to a rate reward.
+type RewardFn func(Marking) float64
+
+// RewardVector evaluates a reward function over every tangible state.
+func (g *Graph) RewardVector(f RewardFn) []float64 {
+	r := make([]float64, g.NumStates())
+	for i, m := range g.Markings {
+		r[i] = f(m)
+	}
+	return r
+}
+
+// SteadyState computes the stationary distribution of a graph with no
+// deterministic transitions (a plain GSPN/CTMC).
+func (g *Graph) SteadyState() ([]float64, error) {
+	if g.HasDeterministic() {
+		return nil, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
+	}
+	q, err := g.Generator()
+	if err != nil {
+		return nil, err
+	}
+	return linalg.SteadyStateGTH(q)
+}
+
+// ExpectedReward computes the steady-state expected reward of a graph with
+// no deterministic transitions.
+func (g *Graph) ExpectedReward(f RewardFn) (float64, error) {
+	pi, err := g.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return linalg.Dot(pi, g.RewardVector(f))
+}

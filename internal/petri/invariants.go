@@ -1,0 +1,290 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrMarkingDependentArcs is returned when structural analysis is asked of
+// a net whose arc multiplicities depend on the marking: such arcs have no
+// fixed incidence entry.
+var ErrMarkingDependentArcs = errors.New("petri: structural analysis requires constant arc weights")
+
+// Incidence returns the place x transition incidence matrix
+// C[p][t] = out(p, t) - in(p, t) for nets with constant arc weights.
+// Inhibitor arcs do not move tokens and are ignored.
+func (n *Net) Incidence() ([][]int, error) {
+	c := make([][]int, len(n.places))
+	for p := range c {
+		c[p] = make([]int, len(n.transitions))
+	}
+	for ti := range n.transitions {
+		tr := &n.transitions[ti]
+		for _, a := range tr.Inputs {
+			if a.WeightFn != nil {
+				return nil, fmt.Errorf("%w: transition %q input arc", ErrMarkingDependentArcs, tr.Name)
+			}
+			c[a.Place][ti] -= constWeight(a)
+		}
+		for _, a := range tr.Outputs {
+			if a.WeightFn != nil {
+				return nil, fmt.Errorf("%w: transition %q output arc", ErrMarkingDependentArcs, tr.Name)
+			}
+			c[a.Place][ti] += constWeight(a)
+		}
+	}
+	return c, nil
+}
+
+func constWeight(a Arc) int {
+	if a.Weight == 0 {
+		return 1
+	}
+	return a.Weight
+}
+
+// PInvariants computes the minimal-support non-negative place invariants
+// (P-semiflows) of a net with constant arc weights using the Farkas
+// algorithm: vectors y >= 0 with y^T C = 0, meaning the weighted token sum
+// sum_p y[p] * m[p] is constant over every firing sequence.
+func (n *Net) PInvariants() ([][]int, error) {
+	c, err := n.Incidence()
+	if err != nil {
+		return nil, err
+	}
+	return farkas(c), nil
+}
+
+// TInvariants computes the minimal-support non-negative transition
+// invariants (T-semiflows): vectors x >= 0 with C x = 0, meaning firing
+// every transition t exactly x[t] times returns the net to its starting
+// marking. A live and bounded net is covered by T-invariants; the module
+// lifecycle Tc -> Tf -> Tr is the canonical one in the paper's models.
+func (n *Net) TInvariants() ([][]int, error) {
+	c, err := n.Incidence()
+	if err != nil {
+		return nil, err
+	}
+	// T-invariants of C are P-invariants of C^T: reuse the Farkas core by
+	// transposing.
+	nPlaces := len(n.places)
+	nTrans := len(n.transitions)
+	ct := make([][]int, nTrans)
+	for t := 0; t < nTrans; t++ {
+		ct[t] = make([]int, nPlaces)
+		for p := 0; p < nPlaces; p++ {
+			ct[t][p] = c[p][t]
+		}
+	}
+	return farkas(ct), nil
+}
+
+// farkas runs the Farkas minimal-semiflow algorithm on an incidence-like
+// matrix with rows indexed by the entity the invariant weights.
+func farkas(c [][]int) [][]int {
+	nRows := len(c)
+	if nRows == 0 {
+		return nil
+	}
+	nCols := len(c[0])
+
+	type row struct {
+		c   []int
+		inv []int
+	}
+	rows := make([]row, nRows)
+	for r := 0; r < nRows; r++ {
+		rows[r] = row{c: append([]int(nil), c[r]...), inv: make([]int, nRows)}
+		rows[r].inv[r] = 1
+	}
+	for col := 0; col < nCols; col++ {
+		var zero, pos, neg []row
+		for _, r := range rows {
+			switch {
+			case r.c[col] == 0:
+				zero = append(zero, r)
+			case r.c[col] > 0:
+				pos = append(pos, r)
+			default:
+				neg = append(neg, r)
+			}
+		}
+		for _, rp := range pos {
+			for _, rn := range neg {
+				a, b := rp.c[col], -rn.c[col]
+				g := gcd(a, b)
+				fp, fn := b/g, a/g
+				nc := make([]int, nCols)
+				for k := range nc {
+					nc[k] = fp*rp.c[k] + fn*rn.c[k]
+				}
+				niv := make([]int, nRows)
+				for k := range niv {
+					niv[k] = fp*rp.inv[k] + fn*rn.inv[k]
+				}
+				zero = append(zero, row{c: nc, inv: niv})
+			}
+		}
+		rows = zero
+	}
+	seen := make(map[string]bool)
+	var out [][]int
+	for _, r := range rows {
+		if isZeroVector(r.inv) {
+			continue
+		}
+		v := normalizeVector(r.inv)
+		key := fmt.Sprint(v)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+		}
+	}
+	out = minimalSupport(out)
+	sort.Slice(out, func(i, j int) bool { return lessVec(out[i], out[j]) })
+	return out
+}
+
+// StructurallyBounded reports whether every place is covered by a
+// positive-weight P-invariant, which certifies that the net is bounded
+// for every initial marking (each covered place's token count is capped
+// by the invariant's conserved sum). A false result does not prove
+// unboundedness — it only means no certificate exists; reachability
+// exploration still enforces its marking budget either way.
+func (n *Net) StructurallyBounded() (bool, error) {
+	invs, err := n.PInvariants()
+	if err != nil {
+		return false, err
+	}
+	covered := make([]bool, n.NumPlaces())
+	for _, inv := range invs {
+		for p, w := range inv {
+			if w > 0 {
+				covered[p] = true
+			}
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CheckInvariant verifies over the tangible reachability graph that the
+// weighted token sum is the same in every reachable tangible marking. It
+// works for any net, including marking-dependent arc weights, since it
+// inspects reached markings rather than structure.
+func (g *Graph) CheckInvariant(weights []int) error {
+	if len(weights) != g.Net.NumPlaces() {
+		return fmt.Errorf("petri: invariant has %d weights for %d places", len(weights), g.Net.NumPlaces())
+	}
+	if g.NumStates() == 0 {
+		return ErrNoStates
+	}
+	want := weightedSum(weights, g.Markings[0])
+	for _, m := range g.Markings[1:] {
+		if got := weightedSum(weights, m); got != want {
+			return fmt.Errorf("petri: invariant violated: %d in %s vs %d in %s",
+				got, g.Net.FormatMarking(m), want, g.Net.FormatMarking(g.Markings[0]))
+		}
+	}
+	return nil
+}
+
+func weightedSum(weights []int, m Marking) int {
+	var s int
+	for p, w := range weights {
+		s += w * m[p]
+	}
+	return s
+}
+
+func normalizeVector(v []int) []int {
+	g := 0
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		g = gcd(g, x)
+	}
+	if g <= 1 {
+		return append([]int(nil), v...)
+	}
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = x / g
+	}
+	return out
+}
+
+func isZeroVector(v []int) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// minimalSupport drops invariants whose support strictly contains another
+// invariant's support.
+func minimalSupport(vs [][]int) [][]int {
+	var out [][]int
+	for i, v := range vs {
+		minimal := true
+		for j, w := range vs {
+			if i == j {
+				continue
+			}
+			if supportSubset(w, v) && !supportEqual(w, v) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func supportSubset(a, b []int) bool {
+	for i := range a {
+		if a[i] != 0 && b[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func supportEqual(a, b []int) bool {
+	return supportSubset(a, b) && supportSubset(b, a)
+}
+
+func lessVec(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

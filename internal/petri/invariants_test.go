@@ -1,0 +1,331 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIncidenceMM1K(t *testing.T) {
+	n := buildMM1K(t, 3, 1, 1)
+	c, err := n.Incidence()
+	if err != nil {
+		t.Fatalf("Incidence: %v", err)
+	}
+	// Places: queue (0), free (1); transitions: arrive (0), serve (1).
+	want := [][]int{
+		{1, -1},
+		{-1, 1},
+	}
+	for p := range want {
+		for tr := range want[p] {
+			if c[p][tr] != want[p][tr] {
+				t.Errorf("C[%d][%d] = %d, want %d", p, tr, c[p][tr], want[p][tr])
+			}
+		}
+	}
+}
+
+func TestPInvariantsMM1K(t *testing.T) {
+	n := buildMM1K(t, 3, 1, 1)
+	invs, err := n.PInvariants()
+	if err != nil {
+		t.Fatalf("PInvariants: %v", err)
+	}
+	if len(invs) != 1 {
+		t.Fatalf("invariants = %v, want exactly one", invs)
+	}
+	if invs[0][0] != 1 || invs[0][1] != 1 {
+		t.Errorf("invariant = %v, want [1 1]", invs[0])
+	}
+}
+
+// buildTwoConservationNet has two disjoint token-conservation loops, so
+// two minimal P-invariants.
+func buildTwoConservationNet(t *testing.T) *Net {
+	t.Helper()
+	b := NewBuilder("two-loops")
+	a1 := b.AddPlace("a1", 1)
+	a2 := b.AddPlace("a2", 0)
+	b1 := b.AddPlace("b1", 2)
+	b2 := b.AddPlace("b2", 0)
+	b.AddTransition(Spec{
+		Name: "aFwd", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: a1}}, Outputs: []Arc{{Place: a2}},
+	})
+	b.AddTransition(Spec{
+		Name: "aBack", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: a2}}, Outputs: []Arc{{Place: a1}},
+	})
+	b.AddTransition(Spec{
+		Name: "bFwd", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: b1}}, Outputs: []Arc{{Place: b2}},
+	})
+	b.AddTransition(Spec{
+		Name: "bBack", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: b2}}, Outputs: []Arc{{Place: b1}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPInvariantsTwoLoops(t *testing.T) {
+	n := buildTwoConservationNet(t)
+	invs, err := n.PInvariants()
+	if err != nil {
+		t.Fatalf("PInvariants: %v", err)
+	}
+	if len(invs) != 2 {
+		t.Fatalf("invariants = %v, want two", invs)
+	}
+	// Sorted: [0 0 1 1] then [1 1 0 0].
+	want := [][]int{{0, 0, 1, 1}, {1, 1, 0, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if invs[i][j] != want[i][j] {
+				t.Fatalf("invariants = %v, want %v", invs, want)
+			}
+		}
+	}
+}
+
+func TestPInvariantsWeighted(t *testing.T) {
+	// 2 tokens of "half" convert to 1 token of "whole" and back:
+	// invariant is 1*half + 2*whole.
+	b := NewBuilder("weighted")
+	half := b.AddPlace("half", 4)
+	whole := b.AddPlace("whole", 0)
+	b.AddTransition(Spec{
+		Name: "combine", Kind: Exponential, Rate: 1,
+		Inputs:  []Arc{{Place: half, Weight: 2}},
+		Outputs: []Arc{{Place: whole}},
+	})
+	b.AddTransition(Spec{
+		Name: "split", Kind: Exponential, Rate: 1,
+		Inputs:  []Arc{{Place: whole}},
+		Outputs: []Arc{{Place: half, Weight: 2}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := n.PInvariants()
+	if err != nil {
+		t.Fatalf("PInvariants: %v", err)
+	}
+	if len(invs) != 1 || invs[0][0] != 1 || invs[0][1] != 2 {
+		t.Errorf("invariants = %v, want [[1 2]]", invs)
+	}
+	// And the invariant holds over the reachability graph.
+	g, err := Explore(n, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariant(invs[0]); err != nil {
+		t.Errorf("CheckInvariant: %v", err)
+	}
+}
+
+func TestPInvariantsRejectMarkingDependentArcs(t *testing.T) {
+	b := NewBuilder("dyn")
+	p := b.AddPlace("p", 2)
+	q := b.AddPlace("q", 0)
+	b.AddTransition(Spec{
+		Name: "drain", Kind: Exponential, Rate: 1,
+		Inputs:  []Arc{{Place: p, WeightFn: func(m Marking) int { return m[p] }}},
+		Outputs: []Arc{{Place: q}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.PInvariants(); !errors.Is(err, ErrMarkingDependentArcs) {
+		t.Errorf("err = %v, want ErrMarkingDependentArcs", err)
+	}
+	if _, err := n.Incidence(); !errors.Is(err, ErrMarkingDependentArcs) {
+		t.Errorf("err = %v, want ErrMarkingDependentArcs", err)
+	}
+}
+
+func TestPInvariantsNoConservation(t *testing.T) {
+	// A source transition breaks all conservation: no invariants involving
+	// the fed place.
+	b := NewBuilder("source")
+	p := b.AddPlace("p", 0)
+	b.AddTransition(Spec{
+		Name: "feed", Kind: Exponential, Rate: 1,
+		Outputs: []Arc{{Place: p}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := n.PInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 0 {
+		t.Errorf("invariants = %v, want none", invs)
+	}
+}
+
+func TestCheckInvariantDetectsViolation(t *testing.T) {
+	n := buildMM1K(t, 3, 1, 1)
+	g, err := Explore(n, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckInvariant([]int{1, 1}); err != nil {
+		t.Errorf("valid invariant rejected: %v", err)
+	}
+	if err := g.CheckInvariant([]int{1, 0}); err == nil {
+		t.Error("non-invariant accepted")
+	}
+	if err := g.CheckInvariant([]int{1}); err == nil {
+		t.Error("wrong-length invariant accepted")
+	}
+}
+
+func TestTInvariantsMM1K(t *testing.T) {
+	// arrive then serve returns the queue to its marking: x = [1 1].
+	n := buildMM1K(t, 3, 1, 1)
+	invs, err := n.TInvariants()
+	if err != nil {
+		t.Fatalf("TInvariants: %v", err)
+	}
+	if len(invs) != 1 || invs[0][0] != 1 || invs[0][1] != 1 {
+		t.Errorf("T-invariants = %v, want [[1 1]]", invs)
+	}
+}
+
+func TestTInvariantsLifecycle(t *testing.T) {
+	// The paper's module lifecycle: Tc then Tf then Tr cycles a module
+	// H -> C -> N -> H, so [1 1 1] is the unique minimal T-invariant.
+	b := NewBuilder("lifecycle")
+	h := b.AddPlace("H", 4)
+	c := b.AddPlace("C", 0)
+	f := b.AddPlace("F", 0)
+	b.AddTransition(Spec{Name: "Tc", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: h}}, Outputs: []Arc{{Place: c}}})
+	b.AddTransition(Spec{Name: "Tf", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: c}}, Outputs: []Arc{{Place: f}}})
+	b.AddTransition(Spec{Name: "Tr", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: f}}, Outputs: []Arc{{Place: h}}})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := n.TInvariants()
+	if err != nil {
+		t.Fatalf("TInvariants: %v", err)
+	}
+	if len(invs) != 1 || invs[0][0] != 1 || invs[0][1] != 1 || invs[0][2] != 1 {
+		t.Errorf("T-invariants = %v, want [[1 1 1]]", invs)
+	}
+	// And the P-invariant view: H + C + F conserved.
+	pinvs, err := n.PInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinvs) != 1 || pinvs[0][0] != 1 || pinvs[0][1] != 1 || pinvs[0][2] != 1 {
+		t.Errorf("P-invariants = %v, want [[1 1 1]]", pinvs)
+	}
+}
+
+func TestTInvariantsWeighted(t *testing.T) {
+	// combine consumes 2 half-tokens, split produces 2: firing each once
+	// cycles the marking, so [1 1].
+	b := NewBuilder("weighted-t")
+	half := b.AddPlace("half", 4)
+	whole := b.AddPlace("whole", 0)
+	b.AddTransition(Spec{Name: "combine", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: half, Weight: 2}}, Outputs: []Arc{{Place: whole}}})
+	b.AddTransition(Spec{Name: "split", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: whole}}, Outputs: []Arc{{Place: half, Weight: 2}}})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := n.TInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 || invs[0][0] != 1 || invs[0][1] != 1 {
+		t.Errorf("T-invariants = %v, want [[1 1]]", invs)
+	}
+}
+
+func TestTInvariantsRejectMarkingDependent(t *testing.T) {
+	b := NewBuilder("dyn-t")
+	p := b.AddPlace("p", 2)
+	b.AddTransition(Spec{
+		Name: "drain", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: p, WeightFn: func(m Marking) int { return m[p] }}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.TInvariants(); !errors.Is(err, ErrMarkingDependentArcs) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{12, 8, 4}, {8, 12, 4}, {-12, 8, 4}, {7, 13, 1}, {0, 0, 1}, {0, 5, 5},
+	}
+	for _, tt := range tests {
+		if got := gcd(tt.a, tt.b); got != tt.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestStructurallyBounded(t *testing.T) {
+	// The conserved MM1K net is certified bounded.
+	bounded := buildMM1K(t, 3, 1, 1)
+	ok, err := bounded.StructurallyBounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("conserved net should be certified bounded")
+	}
+
+	// A source transition feeding a place defeats the certificate.
+	b := NewBuilder("unbounded")
+	p := b.AddPlace("p", 0)
+	b.AddTransition(Spec{
+		Name: "feed", Kind: Exponential, Rate: 1,
+		Outputs: []Arc{{Place: p}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = n.StructurallyBounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("net with a source transition should not be certified")
+	}
+
+	// Marking-dependent arcs propagate the structural-analysis error.
+	bd := NewBuilder("dyn-bound")
+	q := bd.AddPlace("q", 1)
+	bd.AddTransition(Spec{
+		Name: "t", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: q, WeightFn: func(m Marking) int { return m[q] }}},
+	})
+	dn, err := bd.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dn.StructurallyBounded(); err == nil {
+		t.Error("marking-dependent net should error")
+	}
+}

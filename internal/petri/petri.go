@@ -1,0 +1,307 @@
+// Package petri implements the Deterministic and Stochastic Petri Net
+// (DSPN) formalism used by the paper's perception-system models: places,
+// immediate transitions (with priorities and marking-dependent weights),
+// exponentially timed transitions (with marking-dependent rates), and
+// deterministic transitions, plus guard functions and inhibitor arcs.
+//
+// The package also builds the tangible reachability graph with
+// vanishing-marking elimination, producing the continuous-time Markov chain
+// and deterministic-clock structure consumed by packages ctmc and mrgp. It
+// plays the role TimeNET's modeling layer plays in the paper.
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates transition timing semantics.
+type Kind int
+
+// Transition kinds.
+const (
+	Immediate Kind = iota + 1
+	Exponential
+	Deterministic
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Immediate:
+		return "immediate"
+	case Exponential:
+		return "exponential"
+	case Deterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Marking is a token count per place, indexed by PlaceRef.
+type Marking []int
+
+// Clone returns a copy of the marking.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Key returns a canonical string key for map lookup.
+func (m Marking) Key() string {
+	var b strings.Builder
+	for i, v := range m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// Total returns the total number of tokens.
+func (m Marking) Total() int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// PlaceRef identifies a place within its net.
+type PlaceRef int
+
+// TransitionRef identifies a transition within its net.
+type TransitionRef int
+
+// WeightFn computes a marking-dependent arc multiplicity.
+type WeightFn func(Marking) int
+
+// RateFn computes a marking-dependent firing rate or weight.
+type RateFn func(Marking) float64
+
+// GuardFn is an enabling predicate evaluated on the current marking.
+type GuardFn func(Marking) bool
+
+// Arc connects a place to a transition (input/inhibitor) or a transition to
+// a place (output). A nil WeightFn means the constant Weight is used; the
+// constant defaults to 1 when both are zero-valued.
+type Arc struct {
+	Place    PlaceRef
+	Weight   int
+	WeightFn WeightFn
+}
+
+func (a Arc) multiplicity(m Marking) int {
+	if a.WeightFn != nil {
+		return a.WeightFn(m)
+	}
+	if a.Weight == 0 {
+		return 1
+	}
+	return a.Weight
+}
+
+// Spec declares a transition for Builder.AddTransition.
+type Spec struct {
+	Name string
+	Kind Kind
+
+	// Rate is the firing rate for Exponential transitions or the conflict
+	// weight for Immediate transitions. Exactly one of Rate and RateFn must
+	// be set for those kinds (Rate > 0 counts as set).
+	Rate   float64
+	RateFn RateFn
+
+	// Delay is the firing delay of Deterministic transitions.
+	Delay float64
+
+	// Priority orders immediate transitions: higher fires first. Ignored
+	// for timed transitions.
+	Priority int
+
+	// Guard, if non-nil, must hold for the transition to be enabled.
+	Guard GuardFn
+
+	Inputs     []Arc
+	Outputs    []Arc
+	Inhibitors []Arc
+}
+
+type place struct {
+	name    string
+	initial int
+}
+
+type transition struct {
+	Spec
+	id TransitionRef
+}
+
+// Net is an immutable DSPN produced by a Builder.
+type Net struct {
+	name        string
+	places      []place
+	transitions []transition
+	byName      map[string]TransitionRef
+}
+
+// Builder assembles a Net. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	net  *Net
+	errs []error
+}
+
+// NewBuilder returns a builder for a net with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{net: &Net{name: name, byName: make(map[string]TransitionRef)}}
+}
+
+// AddPlace declares a place with an initial token count and returns its ref.
+func (b *Builder) AddPlace(name string, initial int) PlaceRef {
+	if name == "" {
+		b.errs = append(b.errs, errors.New("petri: place name must not be empty"))
+	}
+	if initial < 0 {
+		b.errs = append(b.errs, fmt.Errorf("petri: place %q has negative initial marking %d", name, initial))
+	}
+	for _, p := range b.net.places {
+		if p.name == name {
+			b.errs = append(b.errs, fmt.Errorf("petri: duplicate place name %q", name))
+		}
+	}
+	b.net.places = append(b.net.places, place{name: name, initial: initial})
+	return PlaceRef(len(b.net.places) - 1)
+}
+
+// AddTransition declares a transition and returns its ref.
+func (b *Builder) AddTransition(s Spec) TransitionRef {
+	id := TransitionRef(len(b.net.transitions))
+	b.validateSpec(s)
+	if _, dup := b.net.byName[s.Name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("petri: duplicate transition name %q", s.Name))
+	} else if s.Name != "" {
+		b.net.byName[s.Name] = id
+	}
+	b.net.transitions = append(b.net.transitions, transition{Spec: s, id: id})
+	return id
+}
+
+func (b *Builder) validateSpec(s Spec) {
+	fail := func(format string, args ...any) {
+		b.errs = append(b.errs, fmt.Errorf("petri: transition %q: "+format, append([]any{s.Name}, args...)...))
+	}
+	if s.Name == "" {
+		b.errs = append(b.errs, errors.New("petri: transition name must not be empty"))
+	}
+	switch s.Kind {
+	case Immediate, Exponential:
+		hasConst := s.Rate != 0
+		hasFn := s.RateFn != nil
+		if hasConst == hasFn {
+			fail("exactly one of Rate and RateFn must be set")
+		}
+		if hasConst && (s.Rate < 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0)) {
+			fail("invalid rate %g", s.Rate)
+		}
+		if s.Delay != 0 {
+			fail("Delay is only valid for deterministic transitions")
+		}
+	case Deterministic:
+		if s.Delay <= 0 || math.IsNaN(s.Delay) || math.IsInf(s.Delay, 0) {
+			fail("invalid delay %g", s.Delay)
+		}
+		if s.Rate != 0 || s.RateFn != nil {
+			fail("Rate is only valid for immediate and exponential transitions")
+		}
+	default:
+		fail("unknown kind %v", s.Kind)
+	}
+	if s.Priority != 0 && s.Kind != Immediate {
+		fail("Priority is only valid for immediate transitions")
+	}
+	checkArcs := func(role string, arcs []Arc) {
+		for _, a := range arcs {
+			if int(a.Place) < 0 || int(a.Place) >= len(b.net.places) {
+				fail("%s arc references unknown place %d", role, a.Place)
+			}
+			if a.Weight < 0 {
+				fail("%s arc has negative weight %d", role, a.Weight)
+			}
+			if a.Weight != 0 && a.WeightFn != nil {
+				fail("%s arc sets both Weight and WeightFn", role)
+			}
+		}
+	}
+	checkArcs("input", s.Inputs)
+	checkArcs("output", s.Outputs)
+	checkArcs("inhibitor", s.Inhibitors)
+}
+
+// Build finalizes the net, returning all accumulated errors.
+func (b *Builder) Build() (*Net, error) {
+	if len(b.net.places) == 0 {
+		b.errs = append(b.errs, errors.New("petri: net has no places"))
+	}
+	if len(b.net.transitions) == 0 {
+		b.errs = append(b.errs, errors.New("petri: net has no transitions"))
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	return b.net, nil
+}
+
+// Name returns the net name.
+func (n *Net) Name() string { return n.name }
+
+// NumPlaces returns the number of places.
+func (n *Net) NumPlaces() int { return len(n.places) }
+
+// NumTransitions returns the number of transitions.
+func (n *Net) NumTransitions() int { return len(n.transitions) }
+
+// PlaceName returns the name of the given place.
+func (n *Net) PlaceName(p PlaceRef) string { return n.places[p].name }
+
+// TransitionName returns the name of the given transition.
+func (n *Net) TransitionName(t TransitionRef) string { return n.transitions[t].Name }
+
+// TransitionByName looks up a transition by name.
+func (n *Net) TransitionByName(name string) (TransitionRef, bool) {
+	t, ok := n.byName[name]
+	return t, ok
+}
+
+// InitialMarking returns the declared initial marking.
+func (n *Net) InitialMarking() Marking {
+	m := make(Marking, len(n.places))
+	for i, p := range n.places {
+		m[i] = p.initial
+	}
+	return m
+}
+
+// FormatMarking renders a marking with place names for diagnostics.
+func (n *Net) FormatMarking(m Marking) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, v := range m {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s:%d", n.places[i].name, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,386 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderValidNet(t *testing.T) {
+	b := NewBuilder("mm1k")
+	queue := b.AddPlace("queue", 0)
+	free := b.AddPlace("free", 3)
+	b.AddTransition(Spec{
+		Name: "arrive", Kind: Exponential, Rate: 2,
+		Inputs:  []Arc{{Place: free}},
+		Outputs: []Arc{{Place: queue}},
+	})
+	b.AddTransition(Spec{
+		Name: "serve", Kind: Exponential, Rate: 3,
+		Inputs:  []Arc{{Place: queue}},
+		Outputs: []Arc{{Place: free}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if n.NumPlaces() != 2 || n.NumTransitions() != 2 {
+		t.Errorf("got %d places, %d transitions", n.NumPlaces(), n.NumTransitions())
+	}
+	if n.PlaceName(queue) != "queue" {
+		t.Errorf("PlaceName = %q", n.PlaceName(queue))
+	}
+	if _, ok := n.TransitionByName("serve"); !ok {
+		t.Error("TransitionByName(serve) not found")
+	}
+	if _, ok := n.TransitionByName("nope"); ok {
+		t.Error("TransitionByName(nope) unexpectedly found")
+	}
+	m := n.InitialMarking()
+	if m[queue] != 0 || m[free] != 3 {
+		t.Errorf("initial marking = %v", m)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{
+			name:  "empty net",
+			build: func(b *Builder) {},
+			want:  "no places",
+		},
+		{
+			name: "duplicate place",
+			build: func(b *Builder) {
+				b.AddPlace("p", 0)
+				b.AddPlace("p", 0)
+			},
+			want: "duplicate place",
+		},
+		{
+			name: "negative initial marking",
+			build: func(b *Builder) {
+				b.AddPlace("p", -1)
+			},
+			want: "negative initial marking",
+		},
+		{
+			name: "duplicate transition",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Inputs: []Arc{{Place: p}}})
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Inputs: []Arc{{Place: p}}})
+			},
+			want: "duplicate transition",
+		},
+		{
+			name: "exponential without rate",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Inputs: []Arc{{Place: p}}})
+			},
+			want: "exactly one of Rate and RateFn",
+		},
+		{
+			name: "exponential with both rates",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{
+					Name: "t", Kind: Exponential, Rate: 1,
+					RateFn: func(Marking) float64 { return 1 },
+					Inputs: []Arc{{Place: p}},
+				})
+			},
+			want: "exactly one of Rate and RateFn",
+		},
+		{
+			name: "deterministic without delay",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Deterministic, Inputs: []Arc{{Place: p}}})
+			},
+			want: "invalid delay",
+		},
+		{
+			name: "deterministic with rate",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Deterministic, Delay: 1, Rate: 2, Inputs: []Arc{{Place: p}}})
+			},
+			want: "Rate is only valid",
+		},
+		{
+			name: "exponential with delay",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Delay: 3, Inputs: []Arc{{Place: p}}})
+			},
+			want: "Delay is only valid",
+		},
+		{
+			name: "priority on timed transition",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Priority: 2, Inputs: []Arc{{Place: p}}})
+			},
+			want: "Priority is only valid",
+		},
+		{
+			name: "unknown kind",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Inputs: []Arc{{Place: p}}})
+			},
+			want: "unknown kind",
+		},
+		{
+			name: "arc to unknown place",
+			build: func(b *Builder) {
+				b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Inputs: []Arc{{Place: 7}}})
+			},
+			want: "unknown place",
+		},
+		{
+			name: "negative arc weight",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Inputs: []Arc{{Place: p, Weight: -2}}})
+			},
+			want: "negative weight",
+		},
+		{
+			name: "arc with weight and weight fn",
+			build: func(b *Builder) {
+				p := b.AddPlace("p", 1)
+				b.AddTransition(Spec{
+					Name: "t", Kind: Exponential, Rate: 1,
+					Inputs: []Arc{{Place: p, Weight: 1, WeightFn: func(Marking) int { return 1 }}},
+				})
+			},
+			want: "both Weight and WeightFn",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := NewBuilder("bad")
+			tt.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{Immediate, "immediate"},
+		{Exponential, "exponential"},
+		{Deterministic, "deterministic"},
+		{Kind(42), "Kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestMarkingKeyAndClone(t *testing.T) {
+	m := Marking{1, 0, 3}
+	if m.Key() != "1,0,3" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if m.Total() != 4 {
+		t.Errorf("Total = %d", m.Total())
+	}
+}
+
+func TestEnabledAndFire(t *testing.T) {
+	b := NewBuilder("basic")
+	src := b.AddPlace("src", 2)
+	dst := b.AddPlace("dst", 0)
+	move := b.AddTransition(Spec{
+		Name: "move", Kind: Exponential, Rate: 1,
+		Inputs:  []Arc{{Place: src, Weight: 2}},
+		Outputs: []Arc{{Place: dst, Weight: 3}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := n.InitialMarking()
+	if !n.Enabled(move, m) {
+		t.Fatal("move should be enabled with 2 tokens")
+	}
+	next, err := n.Fire(move, m)
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if next[src] != 0 || next[dst] != 3 {
+		t.Errorf("after fire: %v", next)
+	}
+	if n.Enabled(move, next) {
+		t.Error("move should be disabled with 0 tokens")
+	}
+}
+
+func TestInhibitorArc(t *testing.T) {
+	b := NewBuilder("inhibited")
+	p := b.AddPlace("p", 1)
+	blocker := b.AddPlace("blocker", 0)
+	tr := b.AddTransition(Spec{
+		Name: "t", Kind: Exponential, Rate: 1,
+		Inputs:     []Arc{{Place: p}},
+		Inhibitors: []Arc{{Place: blocker, Weight: 2}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := n.InitialMarking()
+	if !n.Enabled(tr, m) {
+		t.Error("enabled with 0 blocker tokens (< weight 2)")
+	}
+	m[blocker] = 1
+	if !n.Enabled(tr, m) {
+		t.Error("enabled with 1 blocker token (< weight 2)")
+	}
+	m[blocker] = 2
+	if n.Enabled(tr, m) {
+		t.Error("disabled with 2 blocker tokens (>= weight 2)")
+	}
+}
+
+func TestGuard(t *testing.T) {
+	b := NewBuilder("guarded")
+	p := b.AddPlace("p", 1)
+	q := b.AddPlace("q", 0)
+	tr := b.AddTransition(Spec{
+		Name: "t", Kind: Exponential, Rate: 1,
+		Guard:  func(m Marking) bool { return m[q] == 0 },
+		Inputs: []Arc{{Place: p}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m := n.InitialMarking()
+	if !n.Enabled(tr, m) {
+		t.Error("guard should hold with q empty")
+	}
+	m[q] = 1
+	if n.Enabled(tr, m) {
+		t.Error("guard should fail with q occupied")
+	}
+}
+
+func TestMarkingDependentWeightEvaluatedPreFiring(t *testing.T) {
+	// Transition consumes all tokens from src (weight = #src) and emits the
+	// same count into dst; both weights must see the pre-firing marking.
+	b := NewBuilder("batch")
+	src := b.AddPlace("src", 3)
+	dst := b.AddPlace("dst", 0)
+	tr := b.AddTransition(Spec{
+		Name: "drain", Kind: Exponential, Rate: 1,
+		Inputs:  []Arc{{Place: src, WeightFn: func(m Marking) int { return m[src] }}},
+		Outputs: []Arc{{Place: dst, WeightFn: func(m Marking) int { return m[src] }}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	next, err := n.Fire(tr, n.InitialMarking())
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if next[src] != 0 || next[dst] != 3 {
+		t.Errorf("after batch fire: %v, want src=0 dst=3", next)
+	}
+}
+
+func TestFireUnderflowError(t *testing.T) {
+	b := NewBuilder("underflow")
+	p := b.AddPlace("p", 1)
+	tr := b.AddTransition(Spec{
+		Name: "t", Kind: Exponential, Rate: 1,
+		Inputs: []Arc{{Place: p, Weight: 2}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := n.Fire(tr, n.InitialMarking()); err == nil {
+		t.Error("expected underflow error")
+	}
+}
+
+func TestZeroRateFnDisablesTransition(t *testing.T) {
+	b := NewBuilder("zero-rate")
+	p := b.AddPlace("p", 1)
+	tr := b.AddTransition(Spec{
+		Name: "t", Kind: Exponential,
+		RateFn: func(m Marking) float64 { return 0 },
+		Inputs: []Arc{{Place: p}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if n.Enabled(tr, n.InitialMarking()) {
+		t.Error("transition with zero rate should be disabled")
+	}
+}
+
+func TestIsVanishing(t *testing.T) {
+	b := NewBuilder("vanish")
+	p := b.AddPlace("p", 1)
+	q := b.AddPlace("q", 0)
+	b.AddTransition(Spec{
+		Name: "imm", Kind: Immediate, Rate: 1,
+		Inputs:  []Arc{{Place: p}},
+		Outputs: []Arc{{Place: q}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !n.IsVanishing(n.InitialMarking()) {
+		t.Error("marking with enabled immediate should be vanishing")
+	}
+	if n.IsVanishing(Marking{0, 1}) {
+		t.Error("marking without enabled immediates should be tangible")
+	}
+}
+
+func TestFormatMarking(t *testing.T) {
+	b := NewBuilder("fmt")
+	b.AddPlace("a", 1)
+	b.AddPlace("b", 0)
+	b.AddPlace("c", 2)
+	p := b.AddPlace("d", 0)
+	b.AddTransition(Spec{Name: "t", Kind: Exponential, Rate: 1, Inputs: []Arc{{Place: p}}})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got := n.FormatMarking(n.InitialMarking())
+	if got != "{a:1, c:2}" {
+		t.Errorf("FormatMarking = %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package reliability
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HeterogeneousParams describe an N-version system whose module versions
+// have individually measured accuracies — the situation of a real
+// deployment (the paper averages LeNet/AlexNet/ResNet into one p; here
+// each version keeps its own).
+type HeterogeneousParams struct {
+	// HealthyErr is each module's error probability while healthy
+	// (length N, matching the scheme).
+	HealthyErr []float64
+	// CompromisedErr is the error probability of a compromised module
+	// (compromised outputs approach random regardless of the version, so
+	// a single scalar as in the paper).
+	CompromisedErr float64
+}
+
+// Validate checks the parameters against the scheme.
+func (hp HeterogeneousParams) Validate(s Scheme) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(hp.HealthyErr) != s.N {
+		return fmt.Errorf("reliability: %d healthy error rates for %d versions", len(hp.HealthyErr), s.N)
+	}
+	for i, p := range hp.HealthyErr {
+		if p < 0 || p > 1 || p != p {
+			return fmt.Errorf("reliability: version %d error rate %g outside [0,1]", i, p)
+		}
+	}
+	if hp.CompromisedErr < 0 || hp.CompromisedErr > 1 || hp.CompromisedErr != hp.CompromisedErr {
+		return fmt.Errorf("reliability: compromised error rate %g outside [0,1]", hp.CompromisedErr)
+	}
+	return nil
+}
+
+// Heterogeneous returns a reliability function for modules with
+// per-version accuracies and independent errors. Since the analytic state
+// (i, j, k) does not identify which versions are healthy, the healthy
+// error distribution is averaged over all subsets of size i (computed
+// exactly via the elementary-symmetric-polynomial recursion, not by
+// enumeration), and compromised modules err independently with
+// CompromisedErr. The wrong-output count distribution per subset is the
+// Poisson-binomial law, computed by dynamic programming.
+func Heterogeneous(hp HeterogeneousParams, s Scheme) (StateFn, error) {
+	if err := hp.Validate(s); err != nil {
+		return nil, errors.Join(ErrBadParams, err)
+	}
+	n := s.N
+	threshold := s.Threshold()
+
+	// wrongDist[i][m] = P(exactly m of the i healthy modules err),
+	// averaged over all i-subsets of versions with equal weight.
+	//
+	// Both the subset average and the per-subset Poisson-binomial law are
+	// captured by one DP over versions: process versions one at a time;
+	// state (#included, #wrong). Each version is included in a random
+	// subset; averaging over subsets of size exactly i is done by
+	// conditioning the unconstrained inclusion DP on the count, which is
+	// equivalent to tracking joint (included, wrong) counts with
+	// inclusion "weight" 1 and normalizing by C(n, i).
+	type key struct{ inc, wrong int }
+	weights := map[key]float64{{0, 0}: 1}
+	for _, p := range hp.HealthyErr {
+		next := make(map[key]float64, len(weights)*2)
+		for k, w := range weights {
+			// Version excluded from the healthy subset.
+			next[k] += w
+			// Version included: errs with its own probability.
+			next[key{k.inc + 1, k.wrong + 1}] += w * p
+			next[key{k.inc + 1, k.wrong}] += w * (1 - p)
+		}
+		weights = next
+	}
+	wrongDist := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		wrongDist[i] = make([]float64, i+1)
+	}
+	for k, w := range weights {
+		wrongDist[k.inc][k.wrong] += w
+	}
+	for i := 0; i <= n; i++ {
+		// Normalize by the total subset weight C(n, i).
+		c := float64(binomial(n, i))
+		for m := range wrongDist[i] {
+			wrongDist[i][m] /= c
+		}
+	}
+
+	return func(i, j, k int) float64 {
+		if i+j+k != n || i < 0 || j < 0 || k < 0 {
+			panic(fmt.Sprintf("reliability: state (%d,%d,%d) does not describe %d modules", i, j, k, n))
+		}
+		if i+j < threshold {
+			return 0
+		}
+		var perr float64
+		for mh := 0; mh <= i; mh++ {
+			ph := wrongDist[i][mh]
+			if ph == 0 {
+				continue
+			}
+			for mc := 0; mc <= j; mc++ {
+				if mh+mc < threshold {
+					continue
+				}
+				perr += ph * binomialPMF(j, mc, hp.CompromisedErr)
+			}
+		}
+		return clamp01(1 - perr)
+	}, nil
+}

@@ -1,0 +1,167 @@
+package reliability
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHeterogeneousMatchesIndependentWhenEqual(t *testing.T) {
+	// Equal per-version rates must reduce exactly to the Independent
+	// model.
+	s := Scheme{N: 6, F: 1, R: 1}
+	const p = 0.08
+	het, err := Heterogeneous(HeterogeneousParams{
+		HealthyErr:     []float64{p, p, p, p, p, p},
+		CompromisedErr: 0.5,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := Independent(Params{P: p, PPrime: 0.5, Alpha: 0.3}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachState(6, func(i, j, k int) {
+		if math.Abs(het(i, j, k)-ind(i, j, k)) > 1e-12 {
+			t.Errorf("(%d,%d,%d): het %.12f != ind %.12f", i, j, k, het(i, j, k), ind(i, j, k))
+		}
+	})
+}
+
+func TestHeterogeneousSubsetAveraging(t *testing.T) {
+	// Two versions, one perfect and one broken, one healthy module
+	// (i=1, j=0, k=1), scheme N=2 f=0 r=1 (threshold 2): with only one
+	// operational module the voter can never decide -> reliability 0,
+	// regardless of which version survives.
+	s := Scheme{N: 2, F: 0, R: 0}
+	het, err := Heterogeneous(HeterogeneousParams{
+		HealthyErr:     []float64{0, 1},
+		CompromisedErr: 0.5,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold is 1: a single healthy module decides alone. Averaged
+	// over which version is healthy: 1/2 * (1-0) + 1/2 * (1-1) = 0.5.
+	if got := het(1, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R(1,0,1) = %g, want 0.5 (subset average)", got)
+	}
+	// Both healthy: P(err) = P(>=1 wrong among both) ... threshold 1
+	// wrong output IS an error only when >= threshold = 1. The broken
+	// version always errs, so P(err) = 1 -> R = 0.
+	if got := het(2, 0, 0); got != 0 {
+		t.Errorf("R(2,0,0) = %g, want 0", got)
+	}
+}
+
+func TestHeterogeneousPoissonBinomialHandCalc(t *testing.T) {
+	// Three versions with rates 0.1, 0.2, 0.3 all healthy; scheme N=3
+	// f=0 r=1 => threshold 2. P(>=2 wrong) =
+	// 0.1*0.2*0.7 + 0.1*0.8*0.3 + 0.9*0.2*0.3 + 0.1*0.2*0.3 = 0.098.
+	s := Scheme{N: 3, F: 0, R: 1}
+	het, err := Heterogeneous(HeterogeneousParams{
+		HealthyErr:     []float64{0.1, 0.2, 0.3},
+		CompromisedErr: 0.5,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (0.1*0.2*0.7 + 0.1*0.8*0.3 + 0.9*0.2*0.3 + 0.1*0.2*0.3)
+	if got := het(3, 0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("R(3,0,0) = %.12f, want %.12f", got, want)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	s := Scheme{N: 4, F: 1}
+	cases := []HeterogeneousParams{
+		{HealthyErr: []float64{0.1, 0.1}, CompromisedErr: 0.5},            // wrong length
+		{HealthyErr: []float64{0.1, 0.1, 0.1, 2}, CompromisedErr: 0.5},    // out of range
+		{HealthyErr: []float64{0.1, 0.1, 0.1, 0.1}, CompromisedErr: -0.5}, // bad p'
+		{HealthyErr: []float64{0.1, 0.1, 0.1, math.NaN()}, CompromisedErr: 0.5},
+	}
+	for i, hp := range cases {
+		if _, err := Heterogeneous(hp, s); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: err = %v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestOutcomesSumToOne(t *testing.T) {
+	out, err := Outcomes(Params{P: 0.08, PPrime: 0.5, Alpha: 0.5}, Scheme{N: 6, F: 1, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachState(6, func(i, j, k int) {
+		c, e, s := out(i, j, k)
+		if sum := c + e + s; math.Abs(sum-1) > 1e-12 {
+			t.Errorf("(%d,%d,%d): outcomes sum to %g", i, j, k, sum)
+		}
+		if c < 0 || e < 0 || s < 0 {
+			t.Errorf("(%d,%d,%d): negative outcome (%g,%g,%g)", i, j, k, c, e, s)
+		}
+	})
+}
+
+func TestOutcomesConsistentWithGenerative(t *testing.T) {
+	// 1 - P(error) from Outcomes must equal the Generative reliability.
+	pr := Params{P: 0.08, PPrime: 0.5, Alpha: 0.5}
+	s := Scheme{N: 6, F: 1, R: 1}
+	out, err := Outcomes(pr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generative(pr, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachState(6, func(i, j, k int) {
+		_, e, _ := out(i, j, k)
+		if i+j < s.Threshold() {
+			return // Generative reports 0 for skip states by convention
+		}
+		if math.Abs((1-e)-gen(i, j, k)) > 1e-12 {
+			t.Errorf("(%d,%d,%d): 1-P(err) %.12f != generative %.12f", i, j, k, 1-e, gen(i, j, k))
+		}
+	})
+}
+
+func TestOutcomesSkipStates(t *testing.T) {
+	out, err := Outcomes(Params{P: 0.08, PPrime: 0.5, Alpha: 0.5}, Scheme{N: 4, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, e, s := out(1, 1, 2)
+	if c != 0 || e != 0 || s != 1 {
+		t.Errorf("skip state = (%g,%g,%g), want (0,0,1)", c, e, s)
+	}
+}
+
+func TestOutcomesValidation(t *testing.T) {
+	if _, err := Outcomes(Params{P: -1, PPrime: 0.5, Alpha: 0.5}, Scheme{N: 4, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Outcomes(Params{P: 0.1, PPrime: 0.5, Alpha: 0.5}, Scheme{N: 1, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHeterogeneousCompromisedOnly(t *testing.T) {
+	// All compromised states ignore the per-version rates entirely.
+	s := Scheme{N: 4, F: 1}
+	het, err := Heterogeneous(HeterogeneousParams{
+		HealthyErr:     []float64{0.01, 0.99, 0.5, 0.2},
+		CompromisedErr: 0.5,
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := Independent(Params{P: 0.1, PPrime: 0.5, Alpha: 0.1}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(het(0, 4, 0)-ind(0, 4, 0)) > 1e-12 {
+		t.Errorf("R(0,4,0): het %.12f != ind %.12f", het(0, 4, 0), ind(0, 4, 0))
+	}
+}

@@ -1,0 +1,172 @@
+// Package reliability implements the output-reliability functions of the
+// paper: the probability that the voter of an N-version perception system
+// produces a correct output given the number of healthy (i), compromised
+// (j), and non-operational or rejuvenating (k) ML modules.
+//
+// Three models are provided:
+//
+//   - FourVersion / SixVersion: the paper's appendix formulas, implemented
+//     verbatim (matrices R_f4 and R_f6). These are the functions behind the
+//     published headline numbers. The printed appendix contains two
+//     impossible terms that are corrected here with the minimal reading
+//     that restores consistency (documented at the relevant functions).
+//   - Dependent: a self-consistent generalization of the appendix's
+//     Ege-style dependent-error model to arbitrary N, f, r. It agrees with
+//     most appendix entries exactly and differs from three entries where
+//     the appendix is internally inconsistent (R_{2,2,0}, R_{0,4,0},
+//     R_{4,2,0}); the differences are exercised in the tests.
+//   - Independent: a no-dependency baseline (alpha ignored; healthy errors
+//     i.i.d. Bernoulli(p)).
+//
+// All models share the threat semantics of assumptions A.2/A.3: an output
+// is erroneous only when at least T modules vote incorrectly, where T is
+// the voting threshold (2f+1 without rejuvenation, 2f+r+1 with); states
+// without enough operational modules to reach T correct outputs have
+// reliability zero (the voter safely skips, which the reward counts as not
+// correct).
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params are the error-probability inputs of Table II.
+type Params struct {
+	// P is the output error probability of a healthy ML module.
+	P float64
+	// PPrime is the output error probability of a compromised ML module
+	// (p' > p; outputs in a compromised state approach random).
+	PPrime float64
+	// Alpha is the error-probability dependency factor between healthy
+	// modules (0 = independent-ish, 1 = fully dependent).
+	Alpha float64
+}
+
+// Validate checks that all parameters are probabilities.
+func (p Params) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("reliability: parameter %s = %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := check("p", p.P); err != nil {
+		return err
+	}
+	if err := check("p'", p.PPrime); err != nil {
+		return err
+	}
+	return check("alpha", p.Alpha)
+}
+
+// StateFn maps a module-state triple (i healthy, j compromised, k down or
+// rejuvenating) to output reliability in [0, 1].
+type StateFn func(i, j, k int) float64
+
+// ErrBadParams wraps parameter validation failures from constructors.
+var ErrBadParams = errors.New("reliability: invalid parameters")
+
+// FourVersion returns the paper's R_f4 state reliability function for the
+// four-version system without rejuvenation (n = 4, f = 1, voting threshold
+// 2f+1 = 3). States with k > 1 have reliability zero.
+func FourVersion(pr Params) (StateFn, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, errors.Join(ErrBadParams, err)
+	}
+	p, pp, a := pr.P, pr.PPrime, pr.Alpha
+	table := map[[3]int]float64{
+		{4, 0, 0}: 1 - (p*a*a*a + 4*p*a*a*(1-a)),
+		{3, 1, 0}: 1 - (p*a*a + 3*p*a*(1-a)*pp),
+		{3, 0, 1}: 1 - p*a*a,
+		{2, 2, 0}: 1 - (p*pp*pp + 2*p*a*pp*(1-pp)),
+		{2, 1, 1}: 1 - p*a*pp,
+		{1, 3, 0}: 1 - (pp*pp*pp + 3*p*pp*pp*(1-pp)),
+		{1, 2, 1}: 1 - p*pp*pp,
+		{0, 4, 0}: 1 - (pow(pp, 4) + 3*pow(pp, 3)*(1-pp)),
+		{0, 3, 1}: 1 - pow(pp, 3),
+	}
+	return fromTable(table, 4), nil
+}
+
+// SixVersion returns the paper's R_f6 state reliability function for the
+// six-version system with rejuvenation (n = 6, f = 1, r = 1, voting
+// threshold 2f+r+1 = 4). States with k > 2 have reliability zero.
+//
+// Two printed terms are corrected with the minimal consistent reading:
+//   - R_{2,3,1}: the impossible "p*a*p'^4" (only three compromised modules
+//     exist) is read as p*a*p'^3;
+//   - R_{2,4,0}: the duplicated "2p(1-a)p'^4" is read as "(1-p)p'^4", which
+//     makes the entry agree exactly with the dependent model every other
+//     entry of the row follows.
+func SixVersion(pr Params) (StateFn, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, errors.Join(ErrBadParams, err)
+	}
+	p, pp, a := pr.P, pr.PPrime, pr.Alpha
+	q := 1 - pp
+	table := map[[3]int]float64{
+		{6, 0, 0}: 1 - (p*pow(a, 5) + 6*p*pow(a, 4)*(1-a) + 15*p*pow(a, 3)*pow(1-a, 2)),
+		{5, 1, 0}: 1 - (p*pow(a, 4) + 5*p*pow(a, 3)*(1-a) + 10*p*a*a*pow(1-a, 2)*pp),
+		{5, 0, 1}: 1 - (p*pow(a, 4) + 5*p*pow(a, 3)*(1-a)),
+		{4, 2, 0}: 1 - (p*pow(a, 3)*pp*pp + 2*p*pow(a, 3)*pp*q +
+			4*p*a*a*(1-a)*pp*pp + 8*p*a*a*(1-a)*pp*q + 6*p*a*pow(1-a, 2)*pp*pp),
+		{4, 1, 1}: 1 - (p*pow(a, 3) + 4*p*a*a*(1-a)*pp),
+		{4, 0, 2}: 1 - p*pow(a, 3),
+		{3, 3, 0}: 1 - (p*a*a*pow(pp, 3) + 3*p*a*a*pp*pp*q + 3*p*a*(1-a)*pow(pp, 3) +
+			3*p*a*a*pp*q*q + 9*p*a*(1-a)*pp*pp*q + 3*p*pow(1-a, 2)*pow(pp, 3)),
+		{3, 2, 1}: 1 - (p*a*a*pp*pp + 2*p*a*a*pp*q + 3*p*a*(1-a)*pp*pp),
+		{3, 1, 2}: 1 - p*a*a*pp,
+		{2, 4, 0}: 1 - (p*a*pow(pp, 4) + 4*p*a*pow(pp, 3)*q + (1-p)*pow(pp, 4) +
+			6*p*a*pp*pp*q*q + 8*p*(1-a)*pow(pp, 3)*q + 2*p*(1-a)*pow(pp, 4)),
+		{2, 3, 1}: 1 - (p*a*pow(pp, 3) + 3*p*a*pp*pp*q + 2*p*(1-a)*pow(pp, 3)),
+		{2, 2, 2}: 1 - p*a*pp*pp,
+		{1, 5, 0}: 1 - (pow(pp, 5) + 5*pow(pp, 4)*q + 10*p*pow(pp, 3)*q*q),
+		{1, 4, 1}: 1 - (pow(pp, 4) + 4*p*pow(pp, 3)*q),
+		{1, 3, 2}: 1 - p*pow(pp, 3),
+		{0, 6, 0}: 1 - (pow(pp, 6) + 6*pow(pp, 5)*q + 15*pow(pp, 4)*q*q),
+		{0, 5, 1}: 1 - (pow(pp, 5) + 5*pow(pp, 4)*q),
+		{0, 4, 2}: 1 - pow(pp, 4),
+	}
+	return fromTable(table, 6), nil
+}
+
+// fromTable builds a StateFn from explicit entries; any (i, j, k) summing
+// to n but absent from the table has reliability zero (voting rule not
+// satisfiable), and triples not summing to n are rejected by panic since
+// they indicate a solver bug, not user input.
+func fromTable(table map[[3]int]float64, n int) StateFn {
+	for k, v := range table {
+		// The appendix formulas are first-order expansions whose error
+		// terms can leave [0,1] for extreme (p, p', alpha) combinations
+		// well outside the paper's operating regime; clamp like a reward
+		// function must be.
+		table[k] = clamp01(v)
+	}
+	return func(i, j, k int) float64 {
+		if i+j+k != n || i < 0 || j < 0 || k < 0 {
+			panic(fmt.Sprintf("reliability: state (%d,%d,%d) does not describe %d modules", i, j, k, n))
+		}
+		return table[[3]int{i, j, k}]
+	}
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for ; n > 0; n-- {
+		r *= x
+	}
+	return r
+}

@@ -1,0 +1,449 @@
+package reliability
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// defaultParams are the Table II defaults.
+var defaultParams = Params{P: 0.08, PPrime: 0.5, Alpha: 0.5}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Params
+		wantErr bool
+	}{
+		{name: "defaults", give: defaultParams},
+		{name: "bounds", give: Params{P: 0, PPrime: 1, Alpha: 1}},
+		{name: "p negative", give: Params{P: -0.1, PPrime: 0.5, Alpha: 0.5}, wantErr: true},
+		{name: "p above one", give: Params{P: 1.1, PPrime: 0.5, Alpha: 0.5}, wantErr: true},
+		{name: "p prime NaN", give: Params{P: 0.1, PPrime: math.NaN(), Alpha: 0.5}, wantErr: true},
+		{name: "alpha above one", give: Params{P: 0.1, PPrime: 0.5, Alpha: 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConstructorsRejectBadParams(t *testing.T) {
+	bad := Params{P: -1, PPrime: 0.5, Alpha: 0.5}
+	if _, err := FourVersion(bad); !errors.Is(err, ErrBadParams) {
+		t.Errorf("FourVersion err = %v", err)
+	}
+	if _, err := SixVersion(bad); !errors.Is(err, ErrBadParams) {
+		t.Errorf("SixVersion err = %v", err)
+	}
+	if _, err := Dependent(bad, Scheme{N: 4, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("Dependent err = %v", err)
+	}
+	if _, err := Independent(bad, Scheme{N: 4, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("Independent err = %v", err)
+	}
+	if _, err := Dependent(defaultParams, Scheme{N: 2, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("Dependent with undersized scheme err = %v", err)
+	}
+}
+
+func TestSchemeValidateAndThreshold(t *testing.T) {
+	tests := []struct {
+		name          string
+		give          Scheme
+		wantErr       bool
+		wantThreshold int
+		wantMaxDown   int
+	}{
+		{name: "four-version f=1", give: Scheme{N: 4, F: 1}, wantThreshold: 3, wantMaxDown: 1},
+		{name: "six-version f=1 r=1", give: Scheme{N: 6, F: 1, R: 1}, wantThreshold: 4, wantMaxDown: 2},
+		{name: "three-version majority", give: Scheme{N: 3, F: 0, R: 1}, wantThreshold: 2, wantMaxDown: 1},
+		{name: "single module", give: Scheme{N: 1, F: 0, R: 0}, wantThreshold: 1, wantMaxDown: 0},
+		{name: "too few replicas", give: Scheme{N: 3, F: 1}, wantErr: true},
+		{name: "negative f", give: Scheme{N: 4, F: -1}, wantErr: true},
+		{name: "empty", give: Scheme{}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			if tt.wantErr {
+				return
+			}
+			if got := tt.give.Threshold(); got != tt.wantThreshold {
+				t.Errorf("Threshold() = %d, want %d", got, tt.wantThreshold)
+			}
+			if got := tt.give.MaxDown(); got != tt.wantMaxDown {
+				t.Errorf("MaxDown() = %d, want %d", got, tt.wantMaxDown)
+			}
+		})
+	}
+}
+
+// TestFourVersionKnownValues pins the verbatim appendix formulas at the
+// Table II defaults (hand-computed).
+func TestFourVersionKnownValues(t *testing.T) {
+	r, err := FourVersion(defaultParams)
+	if err != nil {
+		t.Fatalf("FourVersion: %v", err)
+	}
+	tests := []struct {
+		i, j, k int
+		want    float64
+	}{
+		{4, 0, 0, 1 - (0.08*0.125 + 4*0.08*0.25*0.5)},   // 0.95
+		{3, 1, 0, 1 - (0.08*0.25 + 3*0.08*0.5*0.5*0.5)}, // 0.95
+		{3, 0, 1, 1 - 0.08*0.25},                        // 0.98
+		{2, 2, 0, 1 - (0.08*0.25 + 2*0.08*0.5*0.5*0.5)}, // 0.96
+		{2, 1, 1, 1 - 0.08*0.5*0.5},                     // 0.98
+		{1, 3, 0, 1 - (0.125 + 3*0.08*0.25*0.5)},        // 0.845
+		{1, 2, 1, 1 - 0.08*0.25},                        // 0.98
+		{0, 4, 0, 1 - (0.0625 + 3*0.125*0.5)},           // 0.75
+		{0, 3, 1, 1 - 0.125},                            // 0.875
+		{0, 0, 4, 0},                                    // k too large
+		{1, 1, 2, 0},                                    // k too large
+		{2, 0, 2, 0},                                    // k too large
+	}
+	for _, tt := range tests {
+		if got := r(tt.i, tt.j, tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("R(%d,%d,%d) = %.12g, want %.12g", tt.i, tt.j, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestSixVersionKnownValues(t *testing.T) {
+	r, err := SixVersion(defaultParams)
+	if err != nil {
+		t.Fatalf("SixVersion: %v", err)
+	}
+	const (
+		p  = 0.08
+		pp = 0.5
+		a  = 0.5
+	)
+	tests := []struct {
+		i, j, k int
+		want    float64
+	}{
+		{6, 0, 0, 1 - (p*0.03125 + 6*p*0.0625*0.5 + 15*p*0.125*0.25)},
+		{5, 0, 1, 1 - (p*0.0625 + 5*p*0.125*0.5)},
+		{4, 0, 2, 1 - p*0.125},
+		{2, 2, 2, 1 - p*a*pp*pp},
+		{0, 6, 0, 1 - (math.Pow(pp, 6) + 6*math.Pow(pp, 5)*0.5 + 15*math.Pow(pp, 4)*0.25)},
+		{0, 4, 2, 1 - math.Pow(pp, 4)},
+		{0, 0, 6, 0},
+		{1, 2, 3, 0},
+		{3, 0, 3, 0},
+	}
+	for _, tt := range tests {
+		if got := r(tt.i, tt.j, tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("R(%d,%d,%d) = %.12g, want %.12g", tt.i, tt.j, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestStateFnPanicsOnBadState(t *testing.T) {
+	r, err := FourVersion(defaultParams)
+	if err != nil {
+		t.Fatalf("FourVersion: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for state not summing to n")
+		}
+	}()
+	r(1, 1, 1)
+}
+
+// TestVerbatimMatchesDependentWhereConsistent verifies that the appendix
+// formulas agree with the generalized dependent model on every state
+// except the three entries where the appendix is internally inconsistent
+// (documented in DESIGN.md): R_{2,2,0} and R_{0,4,0} for the four-version
+// system and R_{4,2,0} for the six-version system.
+func TestVerbatimMatchesDependentWhereConsistent(t *testing.T) {
+	params := []Params{
+		defaultParams,
+		{P: 0.01, PPrime: 0.9, Alpha: 0.2},
+		{P: 0.2, PPrime: 0.3, Alpha: 0.8},
+	}
+	inconsistent4 := map[[3]int]bool{{2, 2, 0}: true, {0, 4, 0}: true}
+	inconsistent6 := map[[3]int]bool{{4, 2, 0}: true}
+
+	for _, pr := range params {
+		v4, err := FourVersion(pr)
+		if err != nil {
+			t.Fatalf("FourVersion: %v", err)
+		}
+		d4, err := Dependent(pr, Scheme{N: 4, F: 1})
+		if err != nil {
+			t.Fatalf("Dependent: %v", err)
+		}
+		forEachState(4, func(i, j, k int) {
+			got, want := v4(i, j, k), d4(i, j, k)
+			if inconsistent4[[3]int{i, j, k}] {
+				if math.Abs(got-want) < 1e-12 && pr.Alpha != 1 {
+					t.Errorf("params %+v: R4(%d,%d,%d) unexpectedly consistent", pr, i, j, k)
+				}
+				return
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("params %+v: R4(%d,%d,%d): verbatim %.12g != dependent %.12g", pr, i, j, k, got, want)
+			}
+		})
+
+		v6, err := SixVersion(pr)
+		if err != nil {
+			t.Fatalf("SixVersion: %v", err)
+		}
+		d6, err := Dependent(pr, Scheme{N: 6, F: 1, R: 1})
+		if err != nil {
+			t.Fatalf("Dependent: %v", err)
+		}
+		forEachState(6, func(i, j, k int) {
+			got, want := v6(i, j, k), d6(i, j, k)
+			if inconsistent6[[3]int{i, j, k}] {
+				return // differs by the omitted p*a^3*(1-p')^2 term
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("params %+v: R6(%d,%d,%d): verbatim %.12g != dependent %.12g", pr, i, j, k, got, want)
+			}
+		})
+	}
+}
+
+func TestSixVersionInconsistentEntryDelta(t *testing.T) {
+	// The omitted term in R_{4,2,0} is exactly p*a^3*(1-p')^2.
+	pr := defaultParams
+	v6, err := SixVersion(pr)
+	if err != nil {
+		t.Fatalf("SixVersion: %v", err)
+	}
+	d6, err := Dependent(pr, Scheme{N: 6, F: 1, R: 1})
+	if err != nil {
+		t.Fatalf("Dependent: %v", err)
+	}
+	delta := v6(4, 2, 0) - d6(4, 2, 0)
+	want := pr.P * math.Pow(pr.Alpha, 3) * math.Pow(1-pr.PPrime, 2)
+	if math.Abs(delta-want) > 1e-12 {
+		t.Errorf("delta = %.12g, want %.12g", delta, want)
+	}
+}
+
+// forEachState enumerates all (i, j, k) with i+j+k = n.
+func forEachState(n int, f func(i, j, k int)) {
+	for i := 0; i <= n; i++ {
+		for j := 0; j+i <= n; j++ {
+			f(i, j, n-i-j)
+		}
+	}
+}
+
+func TestDependentPerfectModulesAreReliable(t *testing.T) {
+	r, err := Dependent(Params{P: 0, PPrime: 0, Alpha: 0.5}, Scheme{N: 6, F: 1, R: 1})
+	if err != nil {
+		t.Fatalf("Dependent: %v", err)
+	}
+	forEachState(6, func(i, j, k int) {
+		got := r(i, j, k)
+		want := 1.0
+		if i+j < 4 {
+			want = 0
+		}
+		if got != want {
+			t.Errorf("R(%d,%d,%d) = %g, want %g", i, j, k, got, want)
+		}
+	})
+}
+
+func TestIndependentMatchesBinomialHandCalc(t *testing.T) {
+	// n=4, f=1, all healthy, p=0.5: P(err) = P(Bin(4,0.5) >= 3) = 5/16.
+	r, err := Independent(Params{P: 0.5, PPrime: 0.5, Alpha: 0.9}, Scheme{N: 4, F: 1})
+	if err != nil {
+		t.Fatalf("Independent: %v", err)
+	}
+	if got, want := r(4, 0, 0), 1-5.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("R(4,0,0) = %g, want %g", got, want)
+	}
+	// All compromised: same binomial on p'.
+	if got, want := r(0, 4, 0), 1-5.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("R(0,4,0) = %g, want %g", got, want)
+	}
+}
+
+func TestIndependentIgnoresAlpha(t *testing.T) {
+	s := Scheme{N: 4, F: 1}
+	rLow, err := Independent(Params{P: 0.1, PPrime: 0.5, Alpha: 0}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHigh, err := Independent(Params{P: 0.1, PPrime: 0.5, Alpha: 1}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachState(4, func(i, j, k int) {
+		if rLow(i, j, k) != rHigh(i, j, k) {
+			t.Errorf("alpha changed independent model at (%d,%d,%d)", i, j, k)
+		}
+	})
+}
+
+// Property: every model yields reliabilities in [0, 1] across random
+// parameters and all states.
+func TestModelsInUnitIntervalProperty(t *testing.T) {
+	f := func(rp, rpp, ra uint8) bool {
+		pr := Params{
+			P:      float64(rp) / 255,
+			PPrime: float64(rpp) / 255,
+			Alpha:  float64(ra) / 255,
+		}
+		fns := make([]StateFn, 0, 4)
+		ns := make([]int, 0, 4)
+		if fn, err := FourVersion(pr); err == nil {
+			fns, ns = append(fns, fn), append(ns, 4)
+		} else {
+			return false
+		}
+		if fn, err := SixVersion(pr); err == nil {
+			fns, ns = append(fns, fn), append(ns, 6)
+		} else {
+			return false
+		}
+		if fn, err := Dependent(pr, Scheme{N: 6, F: 1, R: 1}); err == nil {
+			fns, ns = append(fns, fn), append(ns, 6)
+		} else {
+			return false
+		}
+		if fn, err := Independent(pr, Scheme{N: 4, F: 1}); err == nil {
+			fns, ns = append(fns, fn), append(ns, 4)
+		} else {
+			return false
+		}
+		ok := true
+		for idx, fn := range fns {
+			forEachState(ns[idx], func(i, j, k int) {
+				v := fn(i, j, k)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reliability of the dependent model is non-increasing in p'.
+func TestDependentMonotoneInPPrimeProperty(t *testing.T) {
+	f := func(rp, ra, r1, r2 uint8) bool {
+		p := float64(rp) / 300
+		a := float64(ra) / 255
+		pp1 := float64(r1) / 255
+		pp2 := float64(r2) / 255
+		if pp1 > pp2 {
+			pp1, pp2 = pp2, pp1
+		}
+		s := Scheme{N: 6, F: 1, R: 1}
+		lo, err := Dependent(Params{P: p, PPrime: pp1, Alpha: a}, s)
+		if err != nil {
+			return false
+		}
+		hi, err := Dependent(Params{P: p, PPrime: pp2, Alpha: a}, s)
+		if err != nil {
+			return false
+		}
+		ok := true
+		forEachState(6, func(i, j, k int) {
+			if hi(i, j, k) > lo(i, j, k)+1e-12 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerativeIsProperDistribution(t *testing.T) {
+	// The generative healthy-error law must sum to one for every i (the
+	// Ege-style Dependent law does not; that is its known approximation).
+	for i := 0; i <= 8; i++ {
+		var sum float64
+		for m := 0; m <= i; m++ {
+			switch {
+			case m == 0 && i == 0:
+				sum += 1
+			case m == 0:
+				sum += 1 - 0.08
+			default:
+				sum += 0.08 * float64(binomial(i-1, m-1)) * pow(0.5, m-1) * pow(0.5, i-m)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("i=%d: generative law sums to %g", i, sum)
+		}
+	}
+}
+
+func TestGenerativeKnownValues(t *testing.T) {
+	r, err := Generative(defaultParams, Scheme{N: 4, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All healthy (i=4, T=3): P(err) = p [C(3,2) a^2 (1-a) + a^3]
+	// = 0.08 (3*0.125 + 0.125) = 0.04.
+	if got, want := r(4, 0, 0), 1-0.04; math.Abs(got-want) > 1e-12 {
+		t.Errorf("R(4,0,0) = %.12f, want %.12f", got, want)
+	}
+	// All compromised: identical to the other models (binomial on p').
+	if got, want := r(0, 4, 0), 1-(4*0.125*0.5+0.0625); math.Abs(got-want) > 1e-12 {
+		t.Errorf("R(0,4,0) = %.12f, want %.12f", got, want)
+	}
+	// Skip states.
+	if r(1, 1, 2) != 0 {
+		t.Errorf("R(1,1,2) = %g, want 0", r(1, 1, 2))
+	}
+}
+
+func TestGenerativeValidation(t *testing.T) {
+	if _, err := Generative(Params{P: -1, PPrime: 0.5, Alpha: 0.5}, Scheme{N: 4, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Generative(defaultParams, Scheme{N: 2, F: 1}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBinomialHelpers(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {4, 0, 1}, {4, 2, 6}, {6, 3, 20}, {6, 4, 15}, {5, 5, 1},
+		{4, 5, 0}, {4, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+	if got := binomialPMF(4, 2, 0.5); math.Abs(got-0.375) > 1e-15 {
+		t.Errorf("binomialPMF(4,2,0.5) = %g, want 0.375", got)
+	}
+	var total float64
+	for k := 0; k <= 6; k++ {
+		total += binomialPMF(6, k, 0.3)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("binomial PMF sums to %g", total)
+	}
+}

@@ -1,0 +1,236 @@
+package voter
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		give Outcome
+		want string
+	}{
+		{Correct, "correct"},
+		{Erroneous, "erroneous"},
+		{Skipped, "skipped"},
+		{Outcome(9), "Outcome(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNewCountRule(t *testing.T) {
+	if _, err := NewCountRule(0); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("err = %v", err)
+	}
+	r, err := NewCountRule(3)
+	if err != nil || r.Threshold != 3 {
+		t.Errorf("NewCountRule = %+v, %v", r, err)
+	}
+}
+
+func TestCountRuleClassify(t *testing.T) {
+	rule := CountRule{Threshold: 3}
+	tests := []struct {
+		name string
+		give []bool
+		want Outcome
+	}{
+		{name: "all correct", give: []bool{true, true, true, true}, want: Correct},
+		{name: "exactly threshold correct", give: []bool{true, true, true, false}, want: Correct},
+		{name: "exactly threshold wrong", give: []bool{false, false, false, true}, want: Erroneous},
+		{name: "all wrong", give: []bool{false, false, false, false}, want: Erroneous},
+		{name: "split two-two", give: []bool{true, true, false, false}, want: Skipped},
+		{name: "too few votes", give: []bool{true, true}, want: Skipped},
+		{name: "no votes", give: nil, want: Skipped},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := rule.Classify(tt.give); got != tt.want {
+				t.Errorf("Classify(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestThresholdDecide(t *testing.T) {
+	th, err := NewThreshold(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		give []int
+		want Decision
+	}{
+		{name: "clear winner", give: []int{7, 7, 7, 7, 3, 2}, want: Decision{Label: 7, Decided: true}},
+		{name: "below threshold", give: []int{7, 7, 7, 3, 3, 2}, want: Decision{}},
+		{name: "empty", give: nil, want: Decision{}},
+		{name: "unanimous", give: []int{1, 1, 1, 1}, want: Decision{Label: 1, Decided: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := th.Decide(tt.give); got != tt.want {
+				t.Errorf("Decide(%v) = %+v, want %+v", tt.give, got, tt.want)
+			}
+		})
+	}
+	if _, err := NewThreshold(0); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("err = %v", err)
+	}
+	if th.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestThresholdTieSkips(t *testing.T) {
+	th := Threshold{K: 2}
+	if got := th.Decide([]int{1, 1, 2, 2}); got.Decided {
+		t.Errorf("tie decided: %+v", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	var m Majority
+	tests := []struct {
+		name string
+		give []int
+		want Decision
+	}{
+		{name: "majority of three", give: []int{5, 5, 9}, want: Decision{Label: 5, Decided: true}},
+		{name: "no majority", give: []int{5, 9, 7}, want: Decision{}},
+		{name: "even split", give: []int{5, 5, 9, 9}, want: Decision{}},
+		{name: "empty", give: nil, want: Decision{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Decide(tt.give); got != tt.want {
+				t.Errorf("Decide(%v) = %+v, want %+v", tt.give, got, tt.want)
+			}
+		})
+	}
+	if m.Name() != "majority" {
+		t.Error("name")
+	}
+}
+
+func TestUnanimity(t *testing.T) {
+	var u Unanimity
+	if got := u.Decide([]int{4, 4, 4}); !got.Decided || got.Label != 4 {
+		t.Errorf("Decide = %+v", got)
+	}
+	if got := u.Decide([]int{4, 4, 5}); got.Decided {
+		t.Errorf("Decide = %+v", got)
+	}
+	if got := u.Decide(nil); got.Decided {
+		t.Errorf("Decide(nil) = %+v", got)
+	}
+	if u.Name() != "unanimity" {
+		t.Error("name")
+	}
+}
+
+func TestPlurality(t *testing.T) {
+	var p Plurality
+	if got := p.Decide([]int{1, 2, 2}); !got.Decided || got.Label != 2 {
+		t.Errorf("Decide = %+v", got)
+	}
+	if got := p.Decide([]int{1, 2}); got.Decided {
+		t.Errorf("tie should skip: %+v", got)
+	}
+	if p.Name() != "plurality" {
+		t.Error("name")
+	}
+}
+
+func TestClassifyDecision(t *testing.T) {
+	tests := []struct {
+		name  string
+		give  Decision
+		truth int
+		want  Outcome
+	}{
+		{name: "correct", give: Decision{Label: 3, Decided: true}, truth: 3, want: Correct},
+		{name: "wrong", give: Decision{Label: 4, Decided: true}, truth: 3, want: Erroneous},
+		{name: "skip", give: Decision{}, truth: 3, want: Skipped},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClassifyDecision(tt.give, tt.truth); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTally(t *testing.T) {
+	var ta Tally
+	for _, o := range []Outcome{Correct, Correct, Correct, Erroneous, Skipped} {
+		ta.Record(o)
+	}
+	if ta.Total() != 5 {
+		t.Errorf("Total = %d", ta.Total())
+	}
+	if ta.Reliability() != 0.6 {
+		t.Errorf("Reliability = %g", ta.Reliability())
+	}
+	if ta.ErrorRate() != 0.2 {
+		t.Errorf("ErrorRate = %g", ta.ErrorRate())
+	}
+	if ta.Safety() != 0.8 {
+		t.Errorf("Safety = %g", ta.Safety())
+	}
+	var empty Tally
+	if empty.Reliability() != 0 || empty.ErrorRate() != 0 || empty.Safety() != 0 {
+		t.Error("empty tally rates should be zero")
+	}
+}
+
+// Property: with BFT thresholds (K > n/2), at most one label can reach the
+// threshold, so a decision is never ambiguous and equals the plurality
+// winner when decided.
+func TestThresholdAgreesWithPluralityProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		labels := make([]int, len(raw))
+		for i, r := range raw {
+			labels[i] = int(r % 4)
+		}
+		k := len(labels)/2 + 1
+		d := Threshold{K: k}.Decide(labels)
+		if !d.Decided {
+			return true
+		}
+		p := Plurality{}.Decide(labels)
+		return p.Decided && p.Label == d.Label
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the counting rule never reports both thresholds met (for
+// threshold > half the module count).
+func TestCountRuleConsistencyProperty(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) > 9 {
+			bits = bits[:9]
+		}
+		threshold := len(bits)/2 + 1
+		if threshold == 0 {
+			return true
+		}
+		rule := CountRule{Threshold: threshold}
+		o := rule.Classify(bits)
+		return o == Correct || o == Erroneous || o == Skipped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

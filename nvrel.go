@@ -1,0 +1,213 @@
+package nvrel
+
+import (
+	"io"
+
+	"nvrel/internal/des"
+	"nvrel/internal/experiments"
+	"nvrel/internal/nvp"
+	"nvrel/internal/percept"
+	"nvrel/internal/reliability"
+	"nvrel/internal/voter"
+)
+
+// Core model types, re-exported from the implementation packages.
+type (
+	// Params collects the model inputs of the paper's Table II.
+	Params = nvp.Params
+
+	// Model is a built perception-system DSPN ready to solve.
+	Model = nvp.Model
+
+	// ModuleState is a module-population state with its probability.
+	ModuleState = nvp.ModuleState
+
+	// ServerSemantics selects single-server (TimeNET default) or
+	// per-token firing semantics for the lifecycle transitions.
+	ServerSemantics = nvp.ServerSemantics
+
+	// ReliabilityParams are the error-probability inputs (p, p', alpha).
+	ReliabilityParams = reliability.Params
+
+	// Scheme is a BFT voting scheme (N, f, r).
+	Scheme = reliability.Scheme
+
+	// StateFn maps a module-population state to output reliability.
+	StateFn = reliability.StateFn
+
+	// SimConfig configures the event-level simulator.
+	SimConfig = percept.Config
+
+	// SimEstimate aggregates replicated simulation runs.
+	SimEstimate = percept.Estimate
+
+	// Series is one reproduced figure: a parameter sweep with both
+	// architectures' expected reliability.
+	Series = experiments.Series
+
+	// HeadlineResult carries the paper's §V-B comparison.
+	HeadlineResult = experiments.Headline
+)
+
+// ClockPolicy selects when the rejuvenation clock restarts after firing.
+type ClockPolicy = nvp.ClockPolicy
+
+// Firing semantics values.
+const (
+	SingleServer = nvp.SingleServer
+	PerToken     = nvp.PerToken
+)
+
+// Clock policy values.
+const (
+	ClockFreeRunning  = nvp.ClockFreeRunning
+	ClockWaitsForWave = nvp.ClockWaitsForWave
+)
+
+// DefaultFourVersion returns the Table II parameters for the four-version
+// system without rejuvenation (n = 4, f = 1).
+func DefaultFourVersion() Params { return nvp.DefaultFourVersion() }
+
+// DefaultSixVersion returns the Table II parameters for the six-version
+// system with rejuvenation (n = 6, f = 1, r = 1).
+func DefaultSixVersion() Params { return nvp.DefaultSixVersion() }
+
+// BuildFourVersion builds the Figure 2(a) DSPN (no rejuvenation) for the
+// given parameters. Any N >= 3f+1 is accepted, not only four.
+func BuildFourVersion(p Params) (*Model, error) { return nvp.BuildNoRejuvenation(p) }
+
+// BuildSixVersion builds the Figure 2(b)+(c) DSPN (with the rejuvenation
+// clock) for the given parameters. Any N >= 3f+2r+1 is accepted.
+func BuildSixVersion(p Params) (*Model, error) { return nvp.BuildWithRejuvenation(p) }
+
+// FourVersionReliability returns the paper's verbatim R_f4 function.
+func FourVersionReliability(pr ReliabilityParams) (StateFn, error) {
+	return reliability.FourVersion(pr)
+}
+
+// SixVersionReliability returns the paper's verbatim R_f6 function.
+func SixVersionReliability(pr ReliabilityParams) (StateFn, error) {
+	return reliability.SixVersion(pr)
+}
+
+// DependentReliability returns the generalized dependent-error model for
+// an arbitrary scheme.
+func DependentReliability(pr ReliabilityParams, s Scheme) (StateFn, error) {
+	return reliability.Dependent(pr, s)
+}
+
+// IndependentReliability returns the independence baseline (alpha
+// ignored).
+func IndependentReliability(pr ReliabilityParams, s Scheme) (StateFn, error) {
+	return reliability.Independent(pr, s)
+}
+
+// Simulate runs n replications of the event-level simulator.
+func Simulate(cfg SimConfig, n int, seed uint64) (*SimEstimate, error) {
+	return percept.Replicate(cfg, n, seed)
+}
+
+// Headline computes the paper's §V-B headline comparison.
+func Headline() (HeadlineResult, error) { return experiments.RunHeadline() }
+
+// RunExperiment executes a named experiment (see ExperimentNames) and
+// writes its report to w.
+func RunExperiment(name string, w io.Writer) error { return experiments.Run(name, w) }
+
+// ExperimentNames lists the runnable experiments.
+func ExperimentNames() []string { return experiments.Names() }
+
+// Fig3 sweeps the rejuvenation interval (paper Figure 3). A nil grid uses
+// the paper's range.
+func Fig3(grid []float64) (Series, error) { return experiments.RunFig3(grid) }
+
+// Fig4a sweeps the mean time to compromise (paper Figure 4a).
+func Fig4a(grid []float64) (Series, error) { return experiments.RunFig4a(grid) }
+
+// Fig4b sweeps the error dependency alpha (paper Figure 4b).
+func Fig4b(grid []float64) (Series, error) { return experiments.RunFig4b(grid) }
+
+// Fig4c sweeps the healthy inaccuracy p (paper Figure 4c).
+func Fig4c(grid []float64) (Series, error) { return experiments.RunFig4c(grid) }
+
+// Fig4d sweeps the compromised inaccuracy p' (paper Figure 4d).
+func Fig4d(grid []float64) (Series, error) { return experiments.RunFig4d(grid) }
+
+// TransientPoint is one sample of the reliability-over-time curves.
+type TransientPoint = experiments.TransientPoint
+
+// Transient computes E[R(t)] for both architectures from an all-healthy
+// start (extension E10). A nil grid uses the default sampling.
+func Transient(grid []float64) ([]TransientPoint, error) { return experiments.RunTransient(grid) }
+
+// AblationRow is one modeling-choice comparison.
+type AblationRow = experiments.AblationRow
+
+// Ablations evaluates the modeling choices behind the reproduction
+// (extension E11): reliability-model family, firing semantics, and clock
+// policy.
+func Ablations() ([]AblationRow, error) { return experiments.RunAblations() }
+
+// ArchitectureRow is one candidate N-version design.
+type ArchitectureRow = experiments.ArchitectureRow
+
+// Architectures evaluates every feasible (N, f, r) design up to maxN at
+// the Table II defaults (extension E12).
+func Architectures(maxN int) ([]ArchitectureRow, error) { return experiments.RunArchitectures(maxN) }
+
+// SurvivalRow is one mission-survival sample.
+type SurvivalRow = experiments.SurvivalRow
+
+// Survival computes P(zero erroneous outputs during each window) for both
+// architectures under Poisson perception requests (extension E17).
+func Survival(requestInterval float64, windows []float64) ([]SurvivalRow, error) {
+	return experiments.RunSurvival(requestInterval, windows)
+}
+
+// AttackerParams models a bursty Markov-modulated adversary.
+type AttackerParams = nvp.AttackerParams
+
+// BurstyAttacker builds attacker parameters at the given duty cycle whose
+// long-run compromise rate equals averageRate.
+func BurstyAttacker(averageRate, dutyCycle, cycleLength float64) (AttackerParams, error) {
+	return nvp.BurstyAttacker(averageRate, dutyCycle, cycleLength)
+}
+
+// BuildFourVersionAttacked builds the architecture without rejuvenation
+// under a Markov-modulated attacker.
+func BuildFourVersionAttacked(p Params, a AttackerParams) (*Model, error) {
+	return nvp.BuildNoRejuvenationAttacked(p, a)
+}
+
+// BuildSixVersionAttacked builds the rejuvenation architecture under a
+// Markov-modulated attacker.
+func BuildSixVersionAttacked(p Params, a AttackerParams) (*Model, error) {
+	return nvp.BuildWithRejuvenationAttacked(p, a)
+}
+
+// GenerativeReliability returns the exact reliability function of the
+// common-cause error model the simulator samples from.
+func GenerativeReliability(pr ReliabilityParams, s Scheme) (StateFn, error) {
+	return reliability.Generative(pr, s)
+}
+
+// HeterogeneousParams carries per-version healthy error rates.
+type HeterogeneousParams = reliability.HeterogeneousParams
+
+// HeterogeneousReliability returns a reliability function for versions
+// with individually measured accuracies (independent errors,
+// Poisson-binomial wrong-output law, subset-averaged over which versions
+// are healthy).
+func HeterogeneousReliability(hp HeterogeneousParams, s Scheme) (StateFn, error) {
+	return reliability.Heterogeneous(hp, s)
+}
+
+// HeteroSimConfig configures the identity-tracking simulator with
+// per-version error rates.
+type HeteroSimConfig = percept.HeteroConfig
+
+// SimulateHeterogeneous runs one identity-tracking simulation and returns
+// its request tally.
+func SimulateHeterogeneous(cfg HeteroSimConfig, seed uint64) (voter.Tally, error) {
+	return percept.RunHeterogeneous(cfg, des.NewRNG(seed))
+}

@@ -1,0 +1,128 @@
+package nvrel_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nvrel"
+)
+
+func TestFacadeHeadline(t *testing.T) {
+	h, err := nvrel.Headline()
+	if err != nil {
+		t.Fatalf("Headline: %v", err)
+	}
+	if h.FourVersion <= 0.8 || h.FourVersion >= 0.85 {
+		t.Errorf("E[R_4v] = %g out of expected band", h.FourVersion)
+	}
+	if h.SixVersion <= 0.93 || h.SixVersion >= 0.95 {
+		t.Errorf("E[R_6v] = %g out of expected band", h.SixVersion)
+	}
+}
+
+func TestFacadeBuildAndSolve(t *testing.T) {
+	m4, err := nvrel.BuildFourVersion(nvrel.DefaultFourVersion())
+	if err != nil {
+		t.Fatalf("BuildFourVersion: %v", err)
+	}
+	e4, err := m4.ExpectedPaperReliability()
+	if err != nil {
+		t.Fatalf("ExpectedPaperReliability: %v", err)
+	}
+	m6, err := nvrel.BuildSixVersion(nvrel.DefaultSixVersion())
+	if err != nil {
+		t.Fatalf("BuildSixVersion: %v", err)
+	}
+	e6, err := m6.ExpectedPaperReliability()
+	if err != nil {
+		t.Fatalf("ExpectedPaperReliability: %v", err)
+	}
+	if e6 <= e4 {
+		t.Errorf("rejuvenation should improve reliability: %g vs %g", e6, e4)
+	}
+}
+
+func TestFacadeReliabilityConstructors(t *testing.T) {
+	pr := nvrel.ReliabilityParams{P: 0.08, PPrime: 0.5, Alpha: 0.5}
+	r4, err := nvrel.FourVersionReliability(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := nvrel.SixVersionReliability(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := nvrel.DependentReliability(pr, nvrel.Scheme{N: 6, F: 1, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := nvrel.IndependentReliability(pr, nvrel.Scheme{N: 4, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{r4(4, 0, 0), r6(6, 0, 0), dep(6, 0, 0), ind(4, 0, 0)} {
+		if v <= 0 || v > 1 {
+			t.Errorf("reliability %g outside (0,1]", v)
+		}
+	}
+}
+
+func TestFacadeCustomScheme(t *testing.T) {
+	// A seven-version system tolerating f=2 without rejuvenation.
+	p := nvrel.DefaultFourVersion()
+	p.N, p.F = 7, 2
+	m, err := nvrel.BuildFourVersion(p)
+	if err != nil {
+		t.Fatalf("BuildFourVersion(7,2): %v", err)
+	}
+	e, err := m.ExpectedPaperReliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 || e >= 1 {
+		t.Errorf("E[R_7v] = %g", e)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	cfg := nvrel.SimConfig{
+		Params:  nvrel.DefaultFourVersion(),
+		Horizon: 3e5,
+		WarmUp:  1e4,
+	}
+	est, err := nvrel.Simulate(cfg, 4, 7)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if est.AnalyticReward.Mean < 0.7 || est.AnalyticReward.Mean > 0.95 {
+		t.Errorf("simulated reward %v out of band", est.AnalyticReward)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	names := nvrel.ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	var sb strings.Builder
+	if err := nvrel.RunExperiment("headline", &sb); err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(sb.String(), "improvement") {
+		t.Errorf("headline report: %q", sb.String())
+	}
+}
+
+func TestFacadeSweeps(t *testing.T) {
+	s, err := nvrel.Fig4d([]float64{0.2, 0.5})
+	if err != nil {
+		t.Fatalf("Fig4d: %v", err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if math.IsNaN(s.Points[0].FourVersion) {
+		t.Error("fig4d should carry a four-version curve")
+	}
+}
