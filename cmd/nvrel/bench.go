@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"nvrel"
+)
+
+// BenchResult is one (experiment, worker count) timing.
+type BenchResult struct {
+	Experiment  string  `json:"experiment"`
+	Workers     int     `json:"workers"`
+	Reps        int     `json:"reps"`
+	MinSeconds  float64 `json:"min_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	// SpeedupVs1 is min_seconds at one worker divided by min_seconds at
+	// this worker count (1.0 for the one-worker row).
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// BenchReport is the JSON document `nvrel bench` writes.
+type BenchReport struct {
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Timestamp string        `json:"timestamp"`
+	Results   []BenchResult `json:"results"`
+}
+
+// cmdBench times the sweep experiments end-to-end at 1, 2, and NumCPU
+// workers and writes the timings as JSON. Each experiment gets one untimed
+// warm-up run first so the reachability-graph cache is warm for every
+// timed configuration alike; timings then reflect solve work, not
+// exploration.
+func cmdBench(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	reps := fs.Int("reps", 3, "timed repetitions per experiment and worker count")
+	output := fs.String("o", "BENCH_sweeps.json", "output path for the JSON report (empty for stdout only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("bench: reps = %d must be at least 1", *reps)
+	}
+
+	benchmarks := []struct {
+		name string
+		run  func() error
+	}{
+		{"headline", func() error { _, err := nvrel.Headline(); return err }},
+		{"fig3", func() error { _, err := nvrel.Fig3(nil); return err }},
+		{"fig4a", func() error { _, err := nvrel.Fig4a(nil); return err }},
+		{"fig4b", func() error { _, err := nvrel.Fig4b(nil); return err }},
+		{"fig4c", func() error { _, err := nvrel.Fig4c(nil); return err }},
+		{"fig4d", func() error { _, err := nvrel.Fig4d(nil); return err }},
+	}
+
+	workerSet := map[int]bool{1: true, 2: true, runtime.NumCPU(): true}
+	var workerCounts []int
+	for w := range workerSet {
+		workerCounts = append(workerCounts, w)
+	}
+	sort.Ints(workerCounts)
+
+	prev := nvrel.SetWorkers(0)
+	defer nvrel.SetWorkers(prev)
+
+	report := BenchReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Fprintf(out, "bench: %d experiments x workers %v x %d reps on %d CPU(s)\n",
+		len(benchmarks), workerCounts, *reps, runtime.NumCPU())
+	fmt.Fprintf(out, "  %-10s %-8s %-12s %-12s %s\n", "experiment", "workers", "min (s)", "mean (s)", "speedup")
+
+	for _, b := range benchmarks {
+		if err := b.run(); err != nil { // warm-up: graph cache + workspace pools
+			return fmt.Errorf("bench: %s warm-up: %w", b.name, err)
+		}
+		var base float64
+		for _, w := range workerCounts {
+			nvrel.SetWorkers(w)
+			var min, sum float64
+			for rep := 0; rep < *reps; rep++ {
+				start := time.Now()
+				if err := b.run(); err != nil {
+					return fmt.Errorf("bench: %s at %d workers: %w", b.name, w, err)
+				}
+				elapsed := time.Since(start).Seconds()
+				sum += elapsed
+				if rep == 0 || elapsed < min {
+					min = elapsed
+				}
+			}
+			if w == workerCounts[0] {
+				base = min
+			}
+			r := BenchResult{
+				Experiment:  b.name,
+				Workers:     w,
+				Reps:        *reps,
+				MinSeconds:  min,
+				MeanSeconds: sum / float64(*reps),
+				SpeedupVs1:  base / min,
+			}
+			report.Results = append(report.Results, r)
+			fmt.Fprintf(out, "  %-10s %-8d %-12.6f %-12.6f %.2fx\n",
+				r.Experiment, r.Workers, r.MinSeconds, r.MeanSeconds, r.SpeedupVs1)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *output == "" {
+		_, err := out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*output, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing report: %w", err)
+	}
+	fmt.Fprintf(out, "wrote %s\n", *output)
+	return nil
+}

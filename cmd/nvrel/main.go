@@ -15,6 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+
+	"nvrel/internal/parallel"
 )
 
 func main() {
@@ -25,6 +29,10 @@ func main() {
 }
 
 func run(args []string, out *os.File) error {
+	args, err := applyGlobalFlags(args)
+	if err != nil {
+		return err
+	}
 	if len(args) == 0 {
 		usage(out)
 		return nil
@@ -44,6 +52,8 @@ func run(args []string, out *os.File) error {
 		return cmdAnalyze(args[1:], out)
 	case "sweep":
 		return cmdSweep(args[1:], out)
+	case "bench":
+		return cmdBench(args[1:], out)
 	case "trace":
 		return cmdTrace(args[1:], out)
 	case "help", "-h", "--help":
@@ -66,8 +76,40 @@ commands:
   export                     emit a model as Graphviz DOT (-arch 4v|6v)
   analyze                    solve a custom DSPN from a text definition (-net file)
   sweep                      sweep any parameter over a grid (-param -from -to -steps)
+  bench                      time the sweep experiments end-to-end per worker count
   trace                      print one simulated event timeline (-arch -horizon -seed)
-  help                       show this message`)
+  help                       show this message
+
+global flags (before the command):
+  -workers n                 worker goroutines for sweeps and replications
+                             (default: NVREL_WORKERS or the CPU count)`)
+}
+
+// applyGlobalFlags consumes flags that precede the command name. Only
+// -workers is global: it pins the worker count of the parallel engines.
+func applyGlobalFlags(args []string) ([]string, error) {
+	for len(args) > 0 {
+		arg := args[0]
+		var value string
+		switch {
+		case arg == "-workers" || arg == "--workers":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("%s: missing value", arg)
+			}
+			value, args = args[1], args[2:]
+		case strings.HasPrefix(arg, "-workers=") || strings.HasPrefix(arg, "--workers="):
+			value = arg[strings.Index(arg, "=")+1:]
+			args = args[1:]
+		default:
+			return args, nil
+		}
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-workers: want a non-negative integer, got %q", value)
+		}
+		parallel.SetWorkers(n)
+	}
+	return args, nil
 }
 
 func cmdList(out *os.File) error {

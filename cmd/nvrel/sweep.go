@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"nvrel"
+	"nvrel/internal/parallel"
 )
 
 // sweepSetters maps sweepable parameter names to setters.
@@ -57,50 +58,65 @@ func cmdSweep(args []string, out *os.File) error {
 	}
 	rejuvenationOnly := *param == "interval" || *param == "mtrj"
 
-	if *csv {
-		fmt.Fprintf(out, "%s,four_version,six_version\n", *param)
-	} else {
-		fmt.Fprintf(out, "sweep of %s over [%g, %g] (%d points)\n", *param, *from, *to, *steps)
-		fmt.Fprintf(out, "  %-12s %-12s %-12s\n", *param, "E[R_4v]", "E[R_6v]")
+	// Solve every grid point in parallel, reusing the explored reachability
+	// graph across points, then print in grid order. Every per-point solve
+	// error carries the parameter value and aborts with a non-zero exit.
+	type sweepPoint struct {
+		v, e4, e6 float64
 	}
-	for i := 0; i < *steps; i++ {
+	cache := nvrel.NewModelCache()
+	points := make([]sweepPoint, *steps)
+	err := parallel.ForEach(*steps, func(i int) error {
 		v := *from + (*to-*from)*float64(i)/float64(*steps-1)
 
 		e4 := math.NaN()
 		if !rejuvenationOnly {
 			p4 := nvrel.DefaultFourVersion()
 			set(&p4, v)
-			m4, err := nvrel.BuildFourVersion(p4)
+			m4, err := cache.BuildNoRejuvenation(p4)
 			if err != nil {
-				return fmt.Errorf("sweep: four-version at %g: %w", v, err)
+				return fmt.Errorf("sweep: four-version at %s=%g: %w", *param, v, err)
 			}
 			if e4, err = m4.ExpectedPaperReliability(); err != nil {
-				return err
+				return fmt.Errorf("sweep: four-version at %s=%g: %w", *param, v, err)
 			}
 		}
 
 		p6 := nvrel.DefaultSixVersion()
 		set(&p6, v)
-		m6, err := nvrel.BuildSixVersion(p6)
+		m6, err := cache.BuildWithRejuvenation(p6)
 		if err != nil {
-			return fmt.Errorf("sweep: six-version at %g: %w", v, err)
+			return fmt.Errorf("sweep: six-version at %s=%g: %w", *param, v, err)
 		}
 		e6, err := m6.ExpectedPaperReliability()
 		if err != nil {
-			return err
+			return fmt.Errorf("sweep: six-version at %s=%g: %w", *param, v, err)
 		}
+		points[i] = sweepPoint{v: v, e4: e4, e6: e6}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 
+	if *csv {
+		fmt.Fprintf(out, "%s,four_version,six_version\n", *param)
+	} else {
+		fmt.Fprintf(out, "sweep of %s over [%g, %g] (%d points)\n", *param, *from, *to, *steps)
+		fmt.Fprintf(out, "  %-12s %-12s %-12s\n", *param, "E[R_4v]", "E[R_6v]")
+	}
+	for _, pt := range points {
 		f4 := ""
-		if !math.IsNaN(e4) {
-			f4 = fmt.Sprintf("%.7f", e4)
+		if !math.IsNaN(pt.e4) {
+			f4 = fmt.Sprintf("%.7f", pt.e4)
 		}
 		if *csv {
-			fmt.Fprintf(out, "%.6g,%s,%.7f\n", v, f4, e6)
+			fmt.Fprintf(out, "%.6g,%s,%.7f\n", pt.v, f4, pt.e6)
 		} else {
 			if f4 == "" {
 				f4 = "-"
 			}
-			fmt.Fprintf(out, "  %-12.6g %-12s %-12.7f\n", v, f4, e6)
+			fmt.Fprintf(out, "  %-12.6g %-12s %-12.7f\n", pt.v, f4, pt.e6)
 		}
 	}
 	return nil

@@ -26,16 +26,19 @@ func run() error {
 		return fmt.Errorf("fig3 sweep: %w", err)
 	}
 	if err := fig3.WriteTable(os.Stdout); err != nil {
-		return err
+		return fmt.Errorf("fig3 table: %w", err)
 	}
 
 	best, err := fig3.Best()
 	if err != nil {
+		return fmt.Errorf("fig3: %w", err)
+	}
+	if _, err := fmt.Printf("\nbest interval on the grid: %.0f s (E[R_6v] = %.8f)\n"+
+		"(the paper reports an interior optimum at 400-450 s; under the\n"+
+		" verbatim reward functions the response is monotone — see EXPERIMENTS.md)\n",
+		best.X, best.SixVersion); err != nil {
 		return err
 	}
-	fmt.Printf("\nbest interval on the grid: %.0f s (E[R_6v] = %.8f)\n", best.X, best.SixVersion)
-	fmt.Println("(the paper reports an interior optimum at 400-450 s; under the")
-	fmt.Println(" verbatim reward functions the response is monotone — see EXPERIMENTS.md)")
 
 	// Figure 4d: rejuvenation pays off only when compromised modules are
 	// inaccurate enough. Locate the break-even p'.
@@ -47,6 +50,8 @@ func run() error {
 	if len(xs) == 0 {
 		return fmt.Errorf("fig4d: no crossover found")
 	}
-	fmt.Printf("\nrejuvenation (6v) beats the 4v baseline when p' > %.2f (paper: ~0.3)\n", xs[0])
+	if _, err := fmt.Printf("\nrejuvenation (6v) beats the 4v baseline when p' > %.2f (paper: ~0.3)\n", xs[0]); err != nil {
+		return err
+	}
 	return nil
 }

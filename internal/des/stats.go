@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"nvrel/internal/parallel"
 )
 
 // Accumulator computes running mean and variance (Welford's algorithm).
@@ -74,19 +76,34 @@ func (a *Accumulator) Summarize() Summary {
 	}
 }
 
-// Replicate runs f for n independent replications and summarizes the
-// results. Each replication receives its index and a forked RNG stream.
+// Replicate runs f for n independent replications in parallel and
+// summarizes the results. Each replication receives its index and a forked
+// RNG stream. All substreams are forked from the master serially before
+// any replication starts and the samples are accumulated in replication
+// order, so the summary is bit-identical at every worker count.
 func Replicate(n int, seed uint64, f func(rep int, rng *RNG) (float64, error)) (Summary, error) {
 	if n <= 0 {
 		return Summary{}, errors.New("des: replication count must be positive")
 	}
 	master := NewRNG(seed)
-	var acc Accumulator
-	for rep := 0; rep < n; rep++ {
-		v, err := f(rep, master.Fork())
+	rngs := make([]*RNG, n)
+	for rep := range rngs {
+		rngs[rep] = master.Fork()
+	}
+	values := make([]float64, n)
+	err := parallel.ForEach(n, func(rep int) error {
+		v, err := f(rep, rngs[rep])
 		if err != nil {
-			return Summary{}, fmt.Errorf("replication %d: %w", rep, err)
+			return fmt.Errorf("replication %d: %w", rep, err)
 		}
+		values[rep] = v
+		return nil
+	})
+	if err != nil {
+		return Summary{}, err
+	}
+	var acc Accumulator
+	for _, v := range values {
 		acc.Add(v)
 	}
 	return acc.Summarize(), nil

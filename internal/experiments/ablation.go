@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 	"nvrel/internal/reliability"
 )
 
@@ -52,7 +53,7 @@ func RunAblations() ([]AblationRow, error) {
 		{name: "dependent (consistent)", make: dependent, note: "differs in R_{2,2,0}, R_{0,4,0}, R_{4,2,0}"},
 		{name: "independent baseline", make: independent, note: "alpha ignored"},
 	} {
-		m4, err := nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
+		m4, err := solveCache.BuildNoRejuvenation(nvp.DefaultFourVersion())
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +65,7 @@ func RunAblations() ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		m6, err := nvp.BuildWithRejuvenation(nvp.DefaultSixVersion())
+		m6, err := solveCache.BuildWithRejuvenation(nvp.DefaultSixVersion())
 		if err != nil {
 			return nil, err
 		}
@@ -130,21 +131,9 @@ func RunAblations() ([]AblationRow, error) {
 	return rows, nil
 }
 
-func solveFour(p nvp.Params) (float64, error) {
-	m, err := nvp.BuildNoRejuvenation(p)
-	if err != nil {
-		return 0, err
-	}
-	return m.ExpectedPaperReliability()
-}
+func solveFour(p nvp.Params) (float64, error) { return evalFour(p) }
 
-func solveSix(p nvp.Params) (float64, error) {
-	m, err := nvp.BuildWithRejuvenation(p)
-	if err != nil {
-		return 0, err
-	}
-	return m.ExpectedPaperReliability()
-}
+func solveSix(p nvp.Params) (float64, error) { return evalSix(p) }
 
 // ReportAblations writes the E11 report.
 func ReportAblations(w io.Writer) error {
@@ -175,33 +164,45 @@ func RunArchitectures(maxN int) ([]ArchitectureRow, error) {
 	if maxN <= 0 {
 		maxN = 9
 	}
-	var rows []ArchitectureRow
+	// Enumerate the feasible designs first, then solve them in parallel;
+	// rows land in enumeration order.
+	type combo struct{ n, f, r int }
+	var combos []combo
 	for n := 1; n <= maxN; n++ {
 		for f := 0; 3*f+1 <= n; f++ {
-			// Without rejuvenation (r = 0).
-			p := nvp.DefaultFourVersion()
-			p.N, p.F, p.R = n, f, 0
-			e, err := solveFour(p)
-			if err != nil {
-				return nil, fmt.Errorf("n=%d f=%d: %w", n, f, err)
-			}
-			rows = append(rows, ArchitectureRow{
-				N: n, F: f, Threshold: 2*f + 1, Reliability: e,
-			})
-			// With rejuvenation for each feasible r.
+			combos = append(combos, combo{n, f, 0})
 			for r := 1; 3*f+2*r+1 <= n; r++ {
-				p := nvp.DefaultSixVersion()
-				p.N, p.F, p.R = n, f, r
-				e, err := solveSix(p)
-				if err != nil {
-					return nil, fmt.Errorf("n=%d f=%d r=%d: %w", n, f, r, err)
-				}
-				rows = append(rows, ArchitectureRow{
-					N: n, F: f, R: r, Rejuvenate: true,
-					Threshold: 2*f + r + 1, Reliability: e,
-				})
+				combos = append(combos, combo{n, f, r})
 			}
 		}
+	}
+	rows := make([]ArchitectureRow, len(combos))
+	err := parallel.ForEach(len(combos), func(i int) error {
+		c := combos[i]
+		if c.r == 0 {
+			p := nvp.DefaultFourVersion()
+			p.N, p.F, p.R = c.n, c.f, 0
+			e, err := solveFour(p)
+			if err != nil {
+				return fmt.Errorf("n=%d f=%d: %w", c.n, c.f, err)
+			}
+			rows[i] = ArchitectureRow{N: c.n, F: c.f, Threshold: 2*c.f + 1, Reliability: e}
+			return nil
+		}
+		p := nvp.DefaultSixVersion()
+		p.N, p.F, p.R = c.n, c.f, c.r
+		e, err := solveSix(p)
+		if err != nil {
+			return fmt.Errorf("n=%d f=%d r=%d: %w", c.n, c.f, c.r, err)
+		}
+		rows[i] = ArchitectureRow{
+			N: c.n, F: c.f, R: c.r, Rejuvenate: true,
+			Threshold: 2*c.f + c.r + 1, Reliability: e,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

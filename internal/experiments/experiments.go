@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 )
 
 // Paper-reported reference values, used in reports and regression tests.
@@ -39,22 +40,28 @@ type Series struct {
 	Points     []Point
 }
 
-// evalFour solves the four-version system for params.
+// evalFour solves the four-version system for params, reusing the cached
+// reachability graph and a pooled solver workspace.
 func evalFour(p nvp.Params) (float64, error) {
-	m, err := nvp.BuildNoRejuvenation(p)
+	m, err := solveCache.BuildNoRejuvenation(p)
 	if err != nil {
 		return 0, err
 	}
-	return m.ExpectedPaperReliability()
+	ws := getWS()
+	defer putWS(ws)
+	return m.ExpectedPaperReliabilityWS(ws)
 }
 
-// evalSix solves the six-version system for params.
+// evalSix solves the six-version system for params, reusing the cached
+// reachability graph and a pooled solver workspace.
 func evalSix(p nvp.Params) (float64, error) {
-	m, err := nvp.BuildWithRejuvenation(p)
+	m, err := solveCache.BuildWithRejuvenation(p)
 	if err != nil {
 		return 0, err
 	}
-	return m.ExpectedPaperReliability()
+	ws := getWS()
+	defer putWS(ws)
+	return m.ExpectedPaperReliabilityWS(ws)
 }
 
 // Headline reproduces the §V-B default-parameter comparison (E1).
@@ -64,15 +71,25 @@ type Headline struct {
 	Improvement float64 // relative gain, paper: "superior to 13%"
 }
 
-// RunHeadline computes the headline numbers at the Table II defaults.
+// RunHeadline computes the headline numbers at the Table II defaults. The
+// two architectures solve concurrently.
 func RunHeadline() (Headline, error) {
-	e4, err := evalFour(nvp.DefaultFourVersion())
+	var e4, e6 float64
+	err := parallel.ForEach(2, func(i int) error {
+		var err error
+		if i == 0 {
+			if e4, err = evalFour(nvp.DefaultFourVersion()); err != nil {
+				return fmt.Errorf("four-version: %w", err)
+			}
+			return nil
+		}
+		if e6, err = evalSix(nvp.DefaultSixVersion()); err != nil {
+			return fmt.Errorf("six-version: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
-		return Headline{}, fmt.Errorf("four-version: %w", err)
-	}
-	e6, err := evalSix(nvp.DefaultSixVersion())
-	if err != nil {
-		return Headline{}, fmt.Errorf("six-version: %w", err)
+		return Headline{}, err
 	}
 	return Headline{
 		FourVersion: e4,
@@ -102,15 +119,22 @@ func RunFig3(grid []float64) (Series, error) {
 		PaperClaim: "reliability declines as the interval grows beyond the optimum; " +
 			"paper reports the maximum at 400-450 s",
 	}
-	for _, tau := range grid {
+	points := make([]Point, len(grid))
+	err := parallel.ForEach(len(grid), func(i int) error {
+		tau := grid[i]
 		p := nvp.DefaultSixVersion()
 		p.RejuvenationInterval = tau
 		e6, err := evalSix(p)
 		if err != nil {
-			return Series{}, fmt.Errorf("tau=%g: %w", tau, err)
+			return fmt.Errorf("tau=%g: %w", tau, err)
 		}
-		s.Points = append(s.Points, Point{X: tau, FourVersion: math.NaN(), SixVersion: e6})
+		points[i] = Point{X: tau, FourVersion: math.NaN(), SixVersion: e6}
+		return nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
+	s.Points = points
 	return s, nil
 }
 
@@ -198,10 +222,14 @@ func RunFig4d(grid []float64) (Series, error) {
 	return s, err
 }
 
-// sweepBoth evaluates both architectures over the grid, applying set to
-// each architecture's default parameters.
+// sweepBoth evaluates both architectures over the grid in parallel,
+// applying set to each architecture's default parameters. Points land in
+// grid order and the returned error is the one a serial sweep would hit
+// first (lowest grid index).
 func sweepBoth(s *Series, grid []float64, set func(*nvp.Params, float64)) error {
-	for _, v := range grid {
+	points := make([]Point, len(grid))
+	err := parallel.ForEach(len(grid), func(i int) error {
+		v := grid[i]
 		p4 := nvp.DefaultFourVersion()
 		set(&p4, v)
 		e4, err := evalFour(p4)
@@ -214,8 +242,13 @@ func sweepBoth(s *Series, grid []float64, set func(*nvp.Params, float64)) error 
 		if err != nil {
 			return fmt.Errorf("%s: six-version at %g: %w", s.ID, v, err)
 		}
-		s.Points = append(s.Points, Point{X: v, FourVersion: e4, SixVersion: e6})
+		points[i] = Point{X: v, FourVersion: e4, SixVersion: e6}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	s.Points = points
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 	"nvrel/internal/percept"
 )
 
@@ -38,14 +39,20 @@ func RunOptimize(lo, hi, tol float64) (OptimalInterval, error) {
 	a, b := lo, hi
 	x1 := b - phi*(b-a)
 	x2 := a + phi*(b-a)
-	f1, err := eval(x1)
+	// The two initial probes are independent; later iterations reuse one
+	// of them and are inherently sequential.
+	var f1, f2 float64
+	probes := [2]float64{x1, x2}
+	results := [2]float64{}
+	err := parallel.ForEach(2, func(i int) error {
+		v, err := eval(probes[i])
+		results[i] = v
+		return err
+	})
 	if err != nil {
 		return OptimalInterval{}, err
 	}
-	f2, err := eval(x2)
-	if err != nil {
-		return OptimalInterval{}, err
-	}
+	f1, f2 = results[0], results[1]
 	for b-a > tol {
 		if f1 < f2 {
 			a, x1, f1 = x1, x2, f2
@@ -62,18 +69,22 @@ func RunOptimize(lo, hi, tol float64) (OptimalInterval, error) {
 		}
 	}
 	best := OptimalInterval{Interval: (a + b) / 2}
-	if best.Reliability, err = eval(best.Interval); err != nil {
+	// Golden-section assumes unimodality; when the response is monotone
+	// over the range the true optimum is an endpoint. Evaluate the interior
+	// candidate and both endpoints concurrently, then compare in order.
+	finals := [3]float64{best.Interval, lo, hi}
+	vals := [3]float64{}
+	if err := parallel.ForEach(3, func(i int) error {
+		v, err := eval(finals[i])
+		vals[i] = v
+		return err
+	}); err != nil {
 		return OptimalInterval{}, err
 	}
-	// Golden-section assumes unimodality; when the response is monotone
-	// over the range the true optimum is an endpoint. Check both.
-	for _, edge := range []float64{lo, hi} {
-		v, err := eval(edge)
-		if err != nil {
-			return OptimalInterval{}, err
-		}
-		if v > best.Reliability {
-			best = OptimalInterval{Interval: edge, Reliability: v, Boundary: true}
+	best.Reliability = vals[0]
+	for i, edge := range []float64{lo, hi} {
+		if vals[i+1] > best.Reliability {
+			best = OptimalInterval{Interval: edge, Reliability: vals[i+1], Boundary: true}
 		}
 	}
 	return best, nil
@@ -101,11 +112,7 @@ func RunSimulationCheck(replications int, horizon float64, seed uint64) ([]Simul
 	}
 	var out []SimulationCheck
 
-	m4, err := nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
-	if err != nil {
-		return nil, err
-	}
-	a4, err := m4.ExpectedPaperReliability()
+	a4, err := evalFour(nvp.DefaultFourVersion())
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +131,7 @@ func RunSimulationCheck(replications int, horizon float64, seed uint64) ([]Simul
 		Covered:      est4.AnalyticReward.Contains(a4),
 	})
 
-	m6, err := nvp.BuildWithRejuvenation(nvp.DefaultSixVersion())
-	if err != nil {
-		return nil, err
-	}
-	a6, err := m6.ExpectedPaperReliability()
+	a6, err := evalSix(nvp.DefaultSixVersion())
 	if err != nil {
 		return nil, err
 	}

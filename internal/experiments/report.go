@@ -81,10 +81,26 @@ func ReportTableII(w io.Writer) error {
 	return nil
 }
 
+// errWriter accumulates the first write error so report loops stay
+// readable while still propagating I/O failures (a full disk or closed
+// pipe must surface as a non-zero exit, not a truncated report).
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
 // WriteTable renders a sweep series as an aligned text table.
 func (s Series) WriteTable(w io.Writer) error {
-	fmt.Fprintf(w, "%s: %s\n", strings.ToUpper(s.ID), s.Title)
-	fmt.Fprintf(w, "  paper: %s\n", s.PaperClaim)
+	ew := &errWriter{w: w}
+	ew.printf("%s: %s\n", strings.ToUpper(s.ID), s.Title)
+	ew.printf("  paper: %s\n", s.PaperClaim)
 	has4 := false
 	for _, p := range s.Points {
 		if !math.IsNaN(p.FourVersion) {
@@ -93,34 +109,36 @@ func (s Series) WriteTable(w io.Writer) error {
 		}
 	}
 	if has4 {
-		fmt.Fprintf(w, "  %-12s %-12s %-12s %s\n", s.XLabel, "E[R_4v]", "E[R_6v]", "winner")
+		ew.printf("  %-12s %-12s %-12s %s\n", s.XLabel, "E[R_4v]", "E[R_6v]", "winner")
 		for _, p := range s.Points {
 			winner := "6v"
 			if p.FourVersion > p.SixVersion {
 				winner = "4v"
 			}
-			fmt.Fprintf(w, "  %-12g %-12.6f %-12.6f %s\n", p.X, p.FourVersion, p.SixVersion, winner)
+			ew.printf("  %-12g %-12.6f %-12.6f %s\n", p.X, p.FourVersion, p.SixVersion, winner)
 		}
 		if xs := s.Crossovers(); len(xs) > 0 {
-			fmt.Fprintf(w, "  crossovers at %s = ", s.XLabel)
+			ew.printf("  crossovers at %s = ", s.XLabel)
 			for i, x := range xs {
 				if i > 0 {
-					fmt.Fprint(w, ", ")
+					ew.printf(", ")
 				}
-				fmt.Fprintf(w, "%.0f", x)
+				ew.printf("%.0f", x)
 			}
-			fmt.Fprintln(w)
+			ew.printf("\n")
 		}
-		return nil
+		return ew.err
 	}
-	fmt.Fprintf(w, "  %-12s %-12s\n", s.XLabel, "E[R_6v]")
+	ew.printf("  %-12s %-12s\n", s.XLabel, "E[R_6v]")
 	for _, p := range s.Points {
-		fmt.Fprintf(w, "  %-12g %-12.8f\n", p.X, p.SixVersion)
+		ew.printf("  %-12g %-12.8f\n", p.X, p.SixVersion)
 	}
-	if best, err := s.Best(); err == nil {
-		fmt.Fprintf(w, "  maximum at %s = %g (E[R_6v] = %.8f)\n", s.XLabel, best.X, best.SixVersion)
+	best, err := s.Best()
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.ID, err)
 	}
-	return nil
+	ew.printf("  maximum at %s = %g (E[R_6v] = %.8f)\n", s.XLabel, best.X, best.SixVersion)
+	return ew.err
 }
 
 // WriteCSV renders a sweep series as CSV for plotting.

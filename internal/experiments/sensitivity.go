@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 )
 
 // Elasticity quantifies one parameter's leverage on E[R_sys]: the
@@ -62,22 +63,27 @@ func RunSensitivity() ([]Elasticity, error) {
 		return (eHi - eLo) / (2 * h) / eMid, nil
 	}
 
-	out := make([]Elasticity, 0, len(params))
-	for _, pm := range params {
+	out := make([]Elasticity, len(params))
+	err := parallel.ForEach(len(params), func(i int) error {
+		pm := params[i]
 		e := Elasticity{Parameter: pm.name, FourVersion: math.NaN()}
 		if !pm.only6v {
 			v, err := elasticity(nvp.DefaultFourVersion(), pm, solveFour)
 			if err != nil {
-				return nil, fmt.Errorf("4v elasticity of %s: %w", pm.name, err)
+				return fmt.Errorf("4v elasticity of %s: %w", pm.name, err)
 			}
 			e.FourVersion = v
 		}
 		v, err := elasticity(nvp.DefaultSixVersion(), pm, solveSix)
 		if err != nil {
-			return nil, fmt.Errorf("6v elasticity of %s: %w", pm.name, err)
+			return fmt.Errorf("6v elasticity of %s: %w", pm.name, err)
 		}
 		e.SixVersion = v
-		out = append(out, e)
+		out[i] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return math.Abs(out[i].SixVersion) > math.Abs(out[j].SixVersion)

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"sync"
+
+	"nvrel/internal/linalg"
+	"nvrel/internal/nvp"
+)
+
+// solveCache shares reachability-graph topology across every sweep point
+// evaluated by this package: each structurally distinct net is explored
+// once and re-stamped with the point's rates afterwards, which is
+// bit-identical to exploring from scratch (see nvp.ModelCache).
+var solveCache = nvp.NewModelCache()
+
+// wsPool hands each worker goroutine its own linalg workspace so repeated
+// solves reuse scratch matrices and Poisson weight vectors. Workspaces are
+// not concurrency-safe; the pool guarantees exclusive use.
+var wsPool = sync.Pool{New: func() any { return linalg.NewWorkspace() }}
+
+func getWS() *linalg.Workspace   { return wsPool.Get().(*linalg.Workspace) }
+func putWS(ws *linalg.Workspace) { wsPool.Put(ws) }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 )
 
 // TransientPoint is one sample of the reliability-over-time curves.
@@ -35,29 +36,39 @@ func RunTransient(grid []float64) ([]TransientPoint, error) {
 	if len(grid) == 0 {
 		grid = TransientGrid()
 	}
-	m4, err := nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
+	// The two architectures' curves are independent; compute them
+	// concurrently.
+	var r4, r6 []float64
+	err := parallel.ForEach(2, func(i int) error {
+		if i == 0 {
+			m4, err := solveCache.BuildNoRejuvenation(nvp.DefaultFourVersion())
+			if err != nil {
+				return err
+			}
+			rf4, err := m4.PaperReliability()
+			if err != nil {
+				return err
+			}
+			if r4, err = m4.TransientReliability(rf4, grid); err != nil {
+				return fmt.Errorf("four-version transient: %w", err)
+			}
+			return nil
+		}
+		m6, err := solveCache.BuildWithRejuvenation(nvp.DefaultSixVersion())
+		if err != nil {
+			return err
+		}
+		rf6, err := m6.PaperReliability()
+		if err != nil {
+			return err
+		}
+		if r6, err = m6.TransientReliability(rf6, grid); err != nil {
+			return fmt.Errorf("six-version transient: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	rf4, err := m4.PaperReliability()
-	if err != nil {
-		return nil, err
-	}
-	r4, err := m4.TransientReliability(rf4, grid)
-	if err != nil {
-		return nil, fmt.Errorf("four-version transient: %w", err)
-	}
-	m6, err := nvp.BuildWithRejuvenation(nvp.DefaultSixVersion())
-	if err != nil {
-		return nil, err
-	}
-	rf6, err := m6.PaperReliability()
-	if err != nil {
-		return nil, err
-	}
-	r6, err := m6.TransientReliability(rf6, grid)
-	if err != nil {
-		return nil, fmt.Errorf("six-version transient: %w", err)
 	}
 	out := make([]TransientPoint, len(grid))
 	for i, t := range grid {
@@ -80,7 +91,7 @@ func RunMissions(windows []float64) ([]MissionRow, error) {
 	if len(windows) == 0 {
 		windows = []float64{600, 3600, 4 * 3600, 24 * 3600, 7 * 24 * 3600}
 	}
-	m4, err := nvp.BuildNoRejuvenation(nvp.DefaultFourVersion())
+	m4, err := solveCache.BuildNoRejuvenation(nvp.DefaultFourVersion())
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +99,7 @@ func RunMissions(windows []float64) ([]MissionRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	m6, err := nvp.BuildWithRejuvenation(nvp.DefaultSixVersion())
+	m6, err := solveCache.BuildWithRejuvenation(nvp.DefaultSixVersion())
 	if err != nil {
 		return nil, err
 	}

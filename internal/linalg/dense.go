@@ -85,6 +85,18 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
+// Zero sets every element to zero.
+func (m *Dense) Zero() { clear(m.data) }
+
+// CopyFrom overwrites m with the contents of src.
+func (m *Dense) CopyFrom(src *Dense) error {
+	if m.rows != src.rows || m.cols != src.cols {
+		return ErrDimensionMismatch
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
 // Scale multiplies every element by s in place.
 func (m *Dense) Scale(s float64) {
 	for i := range m.data {
@@ -105,24 +117,38 @@ func (m *Dense) AddMat(other *Dense) error {
 
 // Mul returns the matrix product m * other.
 func (m *Dense) Mul(other *Dense) (*Dense, error) {
-	if m.cols != other.rows {
-		return nil, ErrDimensionMismatch
-	}
 	out := NewDense(m.rows, other.cols)
-	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
+	if err := out.MulInto(m, other); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulInto computes out = a * b into the receiver, which must be sized
+// a.rows x b.cols and must not alias a or b. Existing contents are
+// overwritten.
+func (out *Dense) MulInto(a, b *Dense) error {
+	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
+		return ErrDimensionMismatch
+	}
+	if out == a || out == b {
+		return ErrDimensionMismatch
+	}
+	out.Zero()
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			v := a.data[i*a.cols+k]
+			if v == 0 {
 				continue
 			}
-			rowK := other.data[k*other.cols : (k+1)*other.cols]
+			rowK := b.data[k*b.cols : (k+1)*b.cols]
 			outRow := out.data[i*out.cols : (i+1)*out.cols]
-			for j, b := range rowK {
-				outRow[j] += a * b
+			for j, w := range rowK {
+				outRow[j] += v * w
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // MulVec returns the matrix-vector product m * x.
@@ -144,20 +170,30 @@ func (m *Dense) MulVec(x []float64) ([]float64, error) {
 
 // VecMul returns the vector-matrix product x * m (x treated as a row vector).
 func (m *Dense) VecMul(x []float64) ([]float64, error) {
-	if m.rows != len(x) {
-		return nil, ErrDimensionMismatch
-	}
 	out := make([]float64, m.cols)
+	if err := m.VecMulInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VecMulInto computes dst = x * m (x treated as a row vector). dst must be
+// length m.cols and must not alias x; existing contents are overwritten.
+func (m *Dense) VecMulInto(dst, x []float64) error {
+	if m.rows != len(x) || m.cols != len(dst) {
+		return ErrDimensionMismatch
+	}
+	clear(dst)
 	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, a := range row {
-			out[j] += xi * a
+			dst[j] += xi * a
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Transpose returns the transpose of m.

@@ -16,17 +16,32 @@ var ErrNotStochastic = errors.New("linalg: matrix is not stochastic")
 // for stiff chains (the repair rate here is ~three orders of magnitude
 // faster than the fault rates).
 func SteadyStateGTH(q *Dense) ([]float64, error) {
+	return (*Workspace)(nil).SteadyStateGTH(q, nil)
+}
+
+// SteadyStateGTH is the workspace-backed form of the package-level function:
+// the elimination copy comes from the workspace and the result is written
+// into dst when it is non-nil (it must then have length n).
+func (ws *Workspace) SteadyStateGTH(q *Dense, dst []float64) ([]float64, error) {
 	rows, cols := q.Dims()
 	if rows != cols {
 		return nil, ErrDimensionMismatch
 	}
 	n := rows
+	if dst == nil {
+		dst = make([]float64, n)
+	} else if len(dst) != n {
+		return nil, ErrDimensionMismatch
+	}
 	if n == 1 {
-		return []float64{1}, nil
+		dst[0] = 1
+		return dst, nil
 	}
 	// Work on a copy; the algorithm operates on transition *rates*, and is
 	// identical for a CTMC generator with the diagonal ignored.
-	a := q.Clone()
+	a := ws.Mat(n, n)
+	defer ws.PutMat(a)
+	a.CopyFrom(q)
 	// Censoring sweep: eliminate states n-1, n-2, ..., 1.
 	for k := n - 1; k >= 1; k-- {
 		var s float64
@@ -51,7 +66,8 @@ func SteadyStateGTH(q *Dense) ([]float64, error) {
 		}
 	}
 	// Back substitution.
-	pi := make([]float64, n)
+	pi := dst
+	clear(pi)
 	pi[0] = 1
 	for k := 1; k < n; k++ {
 		var s float64
@@ -72,6 +88,12 @@ func SteadyStateGTH(q *Dense) ([]float64, error) {
 // discrete-time Markov chain with transition matrix P (rows sum to one)
 // using GTH elimination on P - I restated in rate form.
 func SteadyStateDTMC(p *Dense) ([]float64, error) {
+	return (*Workspace)(nil).SteadyStateDTMC(p, nil)
+}
+
+// SteadyStateDTMC is the workspace-backed form of the package-level
+// function; see Workspace.SteadyStateGTH for the dst contract.
+func (ws *Workspace) SteadyStateDTMC(p *Dense, dst []float64) ([]float64, error) {
 	rows, cols := p.Dims()
 	if rows != cols {
 		return nil, ErrDimensionMismatch
@@ -91,12 +113,14 @@ func SteadyStateDTMC(p *Dense) ([]float64, error) {
 	}
 	// GTH works on the off-diagonal structure, which for a DTMC is the same
 	// as for the generator P - I.
-	q := p.Clone()
+	q := ws.Mat(rows, cols)
+	defer ws.PutMat(q)
+	q.CopyFrom(p)
 	for i := 0; i < rows; i++ {
 		q.Add(i, i, -1)
 		q.Set(i, i, 0) // diagonal is ignored by GTH; zero it for clarity
 	}
-	return SteadyStateGTH(q)
+	return ws.SteadyStateGTH(q, dst)
 }
 
 // SteadyStateLU computes the stationary distribution of a CTMC generator by

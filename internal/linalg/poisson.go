@@ -58,8 +58,23 @@ func poissonRightTail(lambda float64, right int) float64 {
 // uniformization. rate must be >= max_i |Q[i,i]|; pass 0 to have it derived
 // from Q. epsilon bounds the truncation error.
 func UniformizedPower(q *Dense, pi []float64, t, rate, epsilon float64) ([]float64, error) {
+	return (*Workspace)(nil).UniformizedPower(q, pi, t, rate, epsilon, nil)
+}
+
+// UniformizedPower is the workspace-backed form of the package-level
+// function: scratch vectors, the uniformized DTMC matrix, and the Poisson
+// weights come from the workspace, and the result is written into dst when
+// it is non-nil (it must then have length n). After the first call at a
+// given size the steady state allocates nothing. The result is
+// float-for-float identical to the allocating path.
+func (ws *Workspace) UniformizedPower(q *Dense, pi []float64, t, rate, epsilon float64, dst []float64) ([]float64, error) {
 	n, cols := q.Dims()
 	if n != cols || len(pi) != n {
+		return nil, ErrDimensionMismatch
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	} else if len(dst) != n {
 		return nil, ErrDimensionMismatch
 	}
 	if t < 0 {
@@ -69,31 +84,33 @@ func UniformizedPower(q *Dense, pi []float64, t, rate, epsilon float64) ([]float
 		rate = uniformizationRate(q)
 	}
 	if rate == 0 || t == 0 {
-		out := make([]float64, n)
-		copy(out, pi)
-		return out, nil
+		copy(dst, pi)
+		return dst, nil
 	}
-	p := uniformizedDTMC(q, rate)
-	weights, right := PoissonWeights(rate*t, epsilon)
+	p := ws.uniformizedDTMC(q, rate)
+	defer ws.PutMat(p)
+	weights, right := ws.Poisson(rate*t, epsilon)
 
-	cur := make([]float64, n)
+	cur := ws.Vec(n)
+	next := ws.Vec(n)
 	copy(cur, pi)
-	out := make([]float64, n)
+	clear(dst)
 	for k := 0; k <= right; k++ {
 		w := weights[k]
-		for i := range out {
-			out[i] += w * cur[i]
+		for i := range dst {
+			dst[i] += w * cur[i]
 		}
 		if k == right {
 			break
 		}
-		next, err := p.VecMul(cur)
-		if err != nil {
+		if err := p.VecMulInto(next, cur); err != nil {
 			return nil, err
 		}
-		cur = next
+		cur, next = next, cur
 	}
-	return out, nil
+	ws.PutVec(cur)
+	ws.PutVec(next)
+	return dst, nil
 }
 
 // UniformizedIntegral computes pi * Integral_0^t e^{Q s} ds using
@@ -106,31 +123,43 @@ func UniformizedPower(q *Dense, pi []float64, t, rate, epsilon float64) ([]float
 //
 // where tailP(k) = P[K > k] for K ~ Poisson(rate*t).
 func UniformizedIntegral(q *Dense, pi []float64, t, rate, epsilon float64) ([]float64, error) {
+	return (*Workspace)(nil).UniformizedIntegral(q, pi, t, rate, epsilon, nil)
+}
+
+// UniformizedIntegral is the workspace-backed form of the package-level
+// function; see Workspace.UniformizedPower for the dst and reuse contract.
+func (ws *Workspace) UniformizedIntegral(q *Dense, pi []float64, t, rate, epsilon float64, dst []float64) ([]float64, error) {
 	n, cols := q.Dims()
 	if n != cols || len(pi) != n {
+		return nil, ErrDimensionMismatch
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	} else if len(dst) != n {
 		return nil, ErrDimensionMismatch
 	}
 	if t < 0 {
 		return nil, ErrDimensionMismatch
 	}
-	out := make([]float64, n)
+	clear(dst)
 	if t == 0 {
-		return out, nil
+		return dst, nil
 	}
 	if rate <= 0 {
 		rate = uniformizationRate(q)
 	}
 	if rate == 0 {
 		// Q == 0: the chain never moves; integral is t * pi.
-		for i := range out {
-			out[i] = t * pi[i]
+		for i := range dst {
+			dst[i] = t * pi[i]
 		}
-		return out, nil
+		return dst, nil
 	}
-	p := uniformizedDTMC(q, rate)
-	weights, right := PoissonWeights(rate*t, epsilon)
+	p := ws.uniformizedDTMC(q, rate)
+	defer ws.PutMat(p)
+	weights, right := ws.Poisson(rate*t, epsilon)
 	// tail[k] = P[K > k] = 1 - sum_{j<=k} w[j]
-	tail := make([]float64, right+1)
+	tail := ws.Vec(right + 1)
 	acc := 0.0
 	for k := 0; k <= right; k++ {
 		acc += weights[k]
@@ -139,27 +168,30 @@ func UniformizedIntegral(q *Dense, pi []float64, t, rate, epsilon float64) ([]fl
 			tail[k] = 0
 		}
 	}
-	cur := make([]float64, n)
+	cur := ws.Vec(n)
+	next := ws.Vec(n)
 	copy(cur, pi)
 	for k := 0; k <= right; k++ {
 		w := tail[k] / rate
-		for i := range out {
-			out[i] += w * cur[i]
+		for i := range dst {
+			dst[i] += w * cur[i]
 		}
 		if k == right {
 			break
 		}
-		next, err := p.VecMul(cur)
-		if err != nil {
+		if err := p.VecMulInto(next, cur); err != nil {
 			return nil, err
 		}
-		cur = next
+		cur, next = next, cur
 	}
+	ws.PutVec(cur)
+	ws.PutVec(next)
+	ws.PutVec(tail)
 	// The truncated series omits sum_{k>right} tail(k)/rate ~= 0 by choice
 	// of right; additionally t - sum_k tail(k)/rate == 0 analytically, so
 	// rescale the total mass to t for exactness.
 	var total float64
-	for _, v := range out {
+	for _, v := range dst {
 		total += v
 	}
 	if total > 0 {
@@ -167,12 +199,12 @@ func UniformizedIntegral(q *Dense, pi []float64, t, rate, epsilon float64) ([]fl
 		// Only rescale when the truncation error is small; otherwise the
 		// scale factor would hide a real problem.
 		if math.Abs(scale-1) < 1e-6 {
-			for i := range out {
-				out[i] *= scale
+			for i := range dst {
+				dst[i] *= scale
 			}
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // uniformizationRate returns max_i |Q[i,i]| times a small safety margin.
@@ -187,10 +219,11 @@ func uniformizationRate(q *Dense) float64 {
 	return max * 1.02
 }
 
-// uniformizedDTMC returns P = I + Q/rate.
-func uniformizedDTMC(q *Dense, rate float64) *Dense {
+// uniformizedDTMC returns P = I + Q/rate in a workspace matrix.
+func (ws *Workspace) uniformizedDTMC(q *Dense, rate float64) *Dense {
 	n, _ := q.Dims()
-	p := q.Clone()
+	p := ws.Mat(n, n)
+	p.CopyFrom(q)
 	p.Scale(1 / rate)
 	for i := 0; i < n; i++ {
 		p.Add(i, i, 1)

@@ -1,0 +1,107 @@
+package linalg
+
+// Workspace recycles the scratch storage of the iterative kernels —
+// uniformization vectors and matrices, GTH elimination copies — and
+// memoizes Poisson weight vectors keyed on (lambda, epsilon). Solving the
+// same-sized model repeatedly (every sweep in the evaluation is exactly
+// that) then runs allocation-free after the first solve.
+//
+// A Workspace is NOT safe for concurrent use; give each worker goroutine
+// its own (e.g. via sync.Pool). All workspace-aware kernels accept a nil
+// receiver and then behave like their allocate-per-call counterparts.
+type Workspace struct {
+	vecs    map[int][][]float64
+	mats    map[matDim][]*Dense
+	poisson map[poissonKey]poissonMemo
+}
+
+type matDim struct{ rows, cols int }
+
+type poissonKey struct{ lambda, epsilon float64 }
+
+type poissonMemo struct {
+	weights []float64
+	right   int
+}
+
+// poissonMemoLimit bounds the memo so pathological sweeps over thousands
+// of distinct (lambda, epsilon) pairs cannot grow it without bound.
+const poissonMemoLimit = 512
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		vecs:    make(map[int][][]float64),
+		mats:    make(map[matDim][]*Dense),
+		poisson: make(map[poissonKey]poissonMemo),
+	}
+}
+
+// Vec returns a zeroed length-n scratch vector, reusing a released one
+// when available. With a nil workspace it simply allocates.
+func (ws *Workspace) Vec(n int) []float64 {
+	if ws == nil {
+		return make([]float64, n)
+	}
+	free := ws.vecs[n]
+	if len(free) == 0 {
+		return make([]float64, n)
+	}
+	v := free[len(free)-1]
+	ws.vecs[n] = free[:len(free)-1]
+	clear(v)
+	return v
+}
+
+// PutVec releases a vector obtained from Vec back to the workspace.
+func (ws *Workspace) PutVec(v []float64) {
+	if ws == nil || v == nil {
+		return
+	}
+	ws.vecs[len(v)] = append(ws.vecs[len(v)], v)
+}
+
+// Mat returns a zeroed rows x cols scratch matrix, reusing a released one
+// when available. With a nil workspace it simply allocates.
+func (ws *Workspace) Mat(rows, cols int) *Dense {
+	if ws == nil {
+		return NewDense(rows, cols)
+	}
+	d := matDim{rows, cols}
+	free := ws.mats[d]
+	if len(free) == 0 {
+		return NewDense(rows, cols)
+	}
+	m := free[len(free)-1]
+	ws.mats[d] = free[:len(free)-1]
+	m.Zero()
+	return m
+}
+
+// PutMat releases a matrix obtained from Mat back to the workspace.
+func (ws *Workspace) PutMat(m *Dense) {
+	if ws == nil || m == nil {
+		return
+	}
+	d := matDim{m.rows, m.cols}
+	ws.mats[d] = append(ws.mats[d], m)
+}
+
+// Poisson returns the truncated Poisson weight vector for the given mean
+// and tail bound, memoized per (lambda, epsilon). The returned slice is
+// shared across calls and must be treated as read-only.
+func (ws *Workspace) Poisson(lambda, epsilon float64) (weights []float64, right int) {
+	if ws == nil {
+		return PoissonWeights(lambda, epsilon)
+	}
+	key := poissonKey{lambda, epsilon}
+	if memo, ok := ws.poisson[key]; ok {
+		return memo.weights, memo.right
+	}
+	w, r := PoissonWeights(lambda, epsilon)
+	if len(ws.poisson) >= poissonMemoLimit {
+		clear(ws.poisson)
+	}
+	ws.poisson[key] = poissonMemo{weights: w, right: r}
+	return w, r
+}

@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"testing"
+)
+
+// testGenerator returns a small irreducible CTMC generator.
+func testGenerator() *Dense {
+	q := NewDense(4, 4)
+	rows := [][]float64{
+		{-3, 1, 1, 1},
+		{0.5, -2, 1, 0.5},
+		{2, 1, -4, 1},
+		{0.25, 0.25, 0.5, -1},
+	}
+	for i, r := range rows {
+		for j, v := range r {
+			q.Set(i, j, v)
+		}
+	}
+	return q
+}
+
+// TestWorkspaceUniformizedPowerMatchesPlain: the pooled kernel must be
+// float-for-float identical to the allocating one, including on reuse.
+func TestWorkspaceUniformizedPowerMatchesPlain(t *testing.T) {
+	q := testGenerator()
+	pi := []float64{1, 0, 0, 0}
+	ws := NewWorkspace()
+	for rep := 0; rep < 3; rep++ {
+		for _, tt := range []float64{0, 0.3, 1.7, 12} {
+			want, err := UniformizedPower(q, pi, tt, 0, 1e-12)
+			if err != nil {
+				t.Fatalf("plain t=%g: %v", tt, err)
+			}
+			got, err := ws.UniformizedPower(q, pi, tt, 0, 1e-12, nil)
+			if err != nil {
+				t.Fatalf("ws t=%g: %v", tt, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("rep %d t=%g: got[%d] = %v, want %v", rep, tt, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceUniformizedIntegralMatchesPlain: same contract for the
+// accumulated-occupancy kernel.
+func TestWorkspaceUniformizedIntegralMatchesPlain(t *testing.T) {
+	q := testGenerator()
+	pi := []float64{0.25, 0.25, 0.25, 0.25}
+	ws := NewWorkspace()
+	for rep := 0; rep < 3; rep++ {
+		for _, tt := range []float64{0, 0.5, 4} {
+			want, err := UniformizedIntegral(q, pi, tt, 0, 1e-12)
+			if err != nil {
+				t.Fatalf("plain t=%g: %v", tt, err)
+			}
+			got, err := ws.UniformizedIntegral(q, pi, tt, 0, 1e-12, nil)
+			if err != nil {
+				t.Fatalf("ws t=%g: %v", tt, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("rep %d t=%g: got[%d] = %v, want %v", rep, tt, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceGTHMatchesPlain: pooled GTH elimination equals the
+// allocating path and must not clobber its input.
+func TestWorkspaceGTHMatchesPlain(t *testing.T) {
+	q := testGenerator()
+	snapshot := NewDense(4, 4)
+	snapshot.CopyFrom(q)
+	want, err := SteadyStateGTH(q)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	ws := NewWorkspace()
+	for rep := 0; rep < 3; rep++ {
+		got, err := ws.SteadyStateGTH(q, nil)
+		if err != nil {
+			t.Fatalf("ws rep %d: %v", rep, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rep %d: got[%d] = %v, want %v", rep, i, got[i], want[i])
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if q.At(i, j) != snapshot.At(i, j) {
+				t.Fatalf("input generator was modified at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestWorkspacePoissonMemo: memoized weights are identical to the direct
+// computation, and the memo returns the same backing slice on a hit.
+func TestWorkspacePoissonMemo(t *testing.T) {
+	ws := NewWorkspace()
+	want, wantRight := PoissonWeights(37.5, 1e-12)
+	got, right := ws.Poisson(37.5, 1e-12)
+	if right != wantRight {
+		t.Fatalf("right = %d, want %d", right, wantRight)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("weights[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+	again, _ := ws.Poisson(37.5, 1e-12)
+	if &again[0] != &got[0] {
+		t.Error("memo miss on identical (lambda, epsilon)")
+	}
+}
+
+// TestUniformizedPowerNoAlloc: after warm-up, the workspace kernel with a
+// caller-provided destination must run allocation-free — the point of the
+// whole workspace layer.
+func TestUniformizedPowerNoAlloc(t *testing.T) {
+	q := testGenerator()
+	pi := []float64{1, 0, 0, 0}
+	dst := make([]float64, 4)
+	ws := NewWorkspace()
+	if _, err := ws.UniformizedPower(q, pi, 1.7, 0, 1e-12, dst); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ws.UniformizedPower(q, pi, 1.7, 0, 1e-12, dst); err != nil {
+			t.Fatalf("UniformizedPower: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state allocations = %v, want 0", allocs)
+	}
+}
+
+// BenchmarkUniformizedPowerNoAlloc guards the allocation-free property in
+// benchmark form; -benchmem must report 0 allocs/op after warm-up.
+func BenchmarkUniformizedPowerNoAlloc(b *testing.B) {
+	q := testGenerator()
+	pi := []float64{1, 0, 0, 0}
+	dst := make([]float64, 4)
+	ws := NewWorkspace()
+	if _, err := ws.UniformizedPower(q, pi, 1.7, 0, 1e-12, dst); err != nil {
+		b.Fatalf("warm-up: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.UniformizedPower(q, pi, 1.7, 0, 1e-12, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -82,7 +82,7 @@ func BenchmarkTransientPair(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := transientPair(q, 600); err != nil {
+		if _, _, err := transientPair(nil, q, 600); err != nil {
 			b.Fatal(err)
 		}
 	}

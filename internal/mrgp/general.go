@@ -35,6 +35,12 @@ var ErrNoTimedTransitions = errors.New("mrgp: absorbing tangible marking (no tim
 // remains available because its regeneration period (the full clock
 // period) is longer and therefore cheaper and better conditioned.
 func SolveGeneral(g *petri.Graph) (*Solution, error) {
+	return SolveGeneralWS(nil, g)
+}
+
+// SolveGeneralWS is the workspace-backed form of SolveGeneral; see SolveWS
+// for the reuse contract.
+func SolveGeneralWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	n := g.NumStates()
 	if n == 0 {
 		return nil, petri.ErrNoStates
@@ -43,10 +49,11 @@ func SolveGeneral(g *petri.Graph) (*Solution, error) {
 		return nil, ErrNoDeterministic
 	}
 
-	q, err := g.Generator()
+	q, err := g.GeneratorWS(ws)
 	if err != nil {
 		return nil, err
 	}
+	defer ws.PutMat(q)
 
 	// Group deterministic-enabled states by (transition, delay).
 	type groupKey struct {
@@ -68,8 +75,10 @@ func SolveGeneral(g *petri.Graph) (*Solution, error) {
 
 	// kernel[s][s'] = embedded-chain transition probability;
 	// occupancy[s][u] = expected time in u during s's regeneration period.
-	kernel := linalg.NewDense(n, n)
-	occupancy := linalg.NewDense(n, n)
+	kernel := ws.Mat(n, n)
+	defer ws.PutMat(kernel)
+	occupancy := ws.Mat(n, n)
+	defer ws.PutMat(occupancy)
 
 	// Exponential-only states: one CTMC sojourn.
 	for s := 0; s < n; s++ {
@@ -99,7 +108,8 @@ func SolveGeneral(g *petri.Graph) (*Solution, error) {
 			inGroup[s] = true
 		}
 		// Absorbing generator: rows outside the group are zeroed.
-		qa := q.Clone()
+		qa := ws.Mat(n, n)
+		qa.CopyFrom(q)
 		for s := 0; s < n; s++ {
 			if !inGroup[s] {
 				for j := 0; j < n; j++ {
@@ -107,7 +117,8 @@ func SolveGeneral(g *petri.Graph) (*Solution, error) {
 				}
 			}
 		}
-		tm, um, err := transientPair(qa, key.delay)
+		tm, um, err := transientPair(ws, qa, key.delay)
+		ws.PutMat(qa)
 		if err != nil {
 			return nil, fmt.Errorf("group %q/%g: %w", g.Net.TransitionName(key.tr), key.delay, err)
 		}
@@ -137,6 +148,8 @@ func SolveGeneral(g *petri.Graph) (*Solution, error) {
 				}
 			}
 		}
+		ws.PutMat(tm)
+		ws.PutMat(um)
 	}
 
 	// The deterministic firing (or absorption) can return to the same
@@ -144,12 +157,12 @@ func SolveGeneral(g *petri.Graph) (*Solution, error) {
 	// regeneration epoch is an epoch regardless of whether the state
 	// changed, and the Markov-regenerative ratio formula uses the
 	// self-loop-inclusive stationary vector.
-	sigma, err := embeddedStationary(kernel)
+	sigma, err := embeddedStationary(ws, kernel)
 	if err != nil {
 		return nil, fmt.Errorf("embedded chain: %w", err)
 	}
-	pi, err := occupancy.VecMul(sigma)
-	if err != nil {
+	pi := make([]float64, n)
+	if err := occupancy.VecMulInto(pi, sigma); err != nil {
 		return nil, err
 	}
 	for i, v := range pi {

@@ -61,6 +61,15 @@ const truncationEpsilon = 1e-12
 // graph g, which must enable one deterministic transition (with one common
 // delay) in every tangible state.
 func Solve(g *petri.Graph) (*Solution, error) {
+	return SolveWS(nil, g)
+}
+
+// SolveWS is the workspace-backed form of Solve: all scratch matrices and
+// Poisson weight vectors come from ws, so sweeping a parameter over the
+// same model solves allocation-free after the first point. The returned
+// Solution owns its vectors either way, and the result is float-for-float
+// identical to Solve.
+func SolveWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	n := g.NumStates()
 	if n == 0 {
 		return nil, petri.ErrNoStates
@@ -73,13 +82,15 @@ func Solve(g *petri.Graph) (*Solution, error) {
 		return nil, err
 	}
 
-	q, err := g.Generator()
+	q, err := g.GeneratorWS(ws)
 	if err != nil {
 		return nil, err
 	}
+	defer ws.PutMat(q)
 
 	// D: branching matrix applied at clock firings.
-	d := linalg.NewDense(n, n)
+	d := ws.Mat(n, n)
+	defer ws.PutMat(d)
 	for i, sched := range g.Det {
 		for _, pe := range sched.Successors {
 			d.Add(i, pe.To, pe.Prob)
@@ -88,22 +99,25 @@ func Solve(g *petri.Graph) (*Solution, error) {
 
 	// T = e^{Q tau} and U = Integral_0^tau e^{Qt} dt via uniformization
 	// with scaling and doubling (see transient.go).
-	tMat, uMat, err := transientPair(q, delay)
+	tMat, uMat, err := transientPair(ws, q, delay)
 	if err != nil {
 		return nil, fmt.Errorf("transient pair: %w", err)
 	}
+	defer ws.PutMat(tMat)
+	defer ws.PutMat(uMat)
 
-	p, err := tMat.Mul(d)
-	if err != nil {
+	p := ws.Mat(n, n)
+	defer ws.PutMat(p)
+	if err := p.MulInto(tMat, d); err != nil {
 		return nil, err
 	}
-	sigma, err := embeddedStationary(p)
+	sigma, err := embeddedStationary(ws, p)
 	if err != nil {
 		return nil, fmt.Errorf("embedded chain: %w", err)
 	}
 
-	occupancy, err := uMat.VecMul(sigma)
-	if err != nil {
+	occupancy := make([]float64, n)
+	if err := uMat.VecMulInto(occupancy, sigma); err != nil {
 		return nil, err
 	}
 	linalg.Normalize(occupancy)
@@ -127,7 +141,7 @@ func ExpectedReward(g *petri.Graph, f petri.RewardFn) (float64, error) {
 // wave in flight are never observed immediately after a clock tick). The
 // stationary vector is therefore computed on the unique closed recurrent
 // class and is zero elsewhere.
-func embeddedStationary(p *linalg.Dense) ([]float64, error) {
+func embeddedStationary(ws *linalg.Workspace, p *linalg.Dense) ([]float64, error) {
 	n, _ := p.Dims()
 	members, err := recurrentClass(p)
 	if err != nil {
@@ -138,7 +152,8 @@ func embeddedStationary(p *linalg.Dense) ([]float64, error) {
 		sigma[members[0]] = 1
 		return sigma, nil
 	}
-	sub := linalg.NewDense(len(members), len(members))
+	sub := ws.Mat(len(members), len(members))
+	defer ws.PutMat(sub)
 	for a, i := range members {
 		// Renormalize rows over the class: mass leaking to transient
 		// states is truncation noise, and a recurrent class keeps its mass
@@ -154,8 +169,9 @@ func embeddedStationary(p *linalg.Dense) ([]float64, error) {
 			sub.Set(a, b, p.At(i, j)/rowSum)
 		}
 	}
-	subPi, err := linalg.SteadyStateDTMC(sub)
-	if err != nil {
+	subPi := ws.Vec(len(members))
+	defer ws.PutVec(subPi)
+	if _, err := ws.SteadyStateDTMC(sub, subPi); err != nil {
 		return nil, err
 	}
 	for a, i := range members {

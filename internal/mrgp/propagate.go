@@ -46,7 +46,9 @@ func NewPropagator(g *petri.Graph) (*Propagator, error) {
 			d.Add(i, pe.To, pe.Prob)
 		}
 	}
-	tTau, uTau, err := transientPair(q, delay)
+	// nil workspace: the propagator retains tTau/uTau, so they must not be
+	// pooled scratch.
+	tTau, uTau, err := transientPair(nil, q, delay)
 	if err != nil {
 		return nil, err
 	}

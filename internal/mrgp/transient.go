@@ -9,7 +9,7 @@ import (
 const transientTarget = 32
 
 // transientPair computes T = e^{Q t} and U = Integral_0^t e^{Q s} ds as
-// matrices.
+// matrices. Both come from ws (nil allocates); release them with ws.PutMat.
 //
 // Direct uniformization needs O(rate*t) series terms; with the paper's
 // rejuvenation intervals (hundreds to thousands of seconds against a 1/3 Hz
@@ -21,14 +21,17 @@ const transientTarget = 32
 //	U(2s) = U(s) + T(s) U(s)
 //
 // k times, reducing the work by roughly rate*t/(transientTarget + 3k).
-func transientPair(q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error) {
+func transientPair(ws *linalg.Workspace, q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error) {
 	n, _ := q.Dims()
 	rate := maxExitRate(q)
 	if rate == 0 || t == 0 {
 		// Frozen chain: T = I, U = t*I.
-		tm = linalg.Identity(n)
-		um = linalg.Identity(n)
-		um.Scale(t)
+		tm = ws.Mat(n, n)
+		um = ws.Mat(n, n)
+		for i := 0; i < n; i++ {
+			tm.Set(i, i, 1)
+			um.Set(i, i, t)
+		}
 		return tm, um, nil
 	}
 
@@ -39,35 +42,44 @@ func transientPair(q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error)
 		doublings++
 	}
 
-	tm, um, err = uniformizedPair(q, rate, base)
+	tm, um, err = uniformizedPair(ws, q, rate, base)
 	if err != nil {
 		return nil, nil, err
 	}
-	for i := 0; i < doublings; i++ {
-		tu, err := tm.Mul(um)
-		if err != nil {
-			return nil, nil, err
+	if doublings > 0 {
+		tu := ws.Mat(n, n)
+		tmp := ws.Mat(n, n)
+		for i := 0; i < doublings; i++ {
+			if err := tu.MulInto(tm, um); err != nil {
+				return nil, nil, err
+			}
+			if err := um.AddMat(tu); err != nil {
+				return nil, nil, err
+			}
+			if err := tmp.MulInto(tm, tm); err != nil {
+				return nil, nil, err
+			}
+			tm, tmp = tmp, tm
 		}
-		if err := um.AddMat(tu); err != nil {
-			return nil, nil, err
-		}
-		if tm, err = tm.Mul(tm); err != nil {
-			return nil, nil, err
-		}
+		ws.PutMat(tu)
+		ws.PutMat(tmp)
 	}
 	return tm, um, nil
 }
 
-// uniformizedPair evaluates both series at horizon t directly.
-func uniformizedPair(q *linalg.Dense, rate, t float64) (tm, um *linalg.Dense, err error) {
+// uniformizedPair evaluates both series at horizon t directly. tm and um
+// come from ws; release them with ws.PutMat.
+func uniformizedPair(ws *linalg.Workspace, q *linalg.Dense, rate, t float64) (tm, um *linalg.Dense, err error) {
 	n, _ := q.Dims()
-	p := q.Clone()
+	p := ws.Mat(n, n)
+	defer ws.PutMat(p)
+	p.CopyFrom(q)
 	p.Scale(1 / rate)
 	for i := 0; i < n; i++ {
 		p.Add(i, i, 1)
 	}
-	weights, right := linalg.PoissonWeights(rate*t, truncationEpsilon)
-	tail := make([]float64, right+1)
+	weights, right := ws.Poisson(rate*t, truncationEpsilon)
+	tail := ws.Vec(right + 1)
 	acc := 0.0
 	for k := 0; k <= right; k++ {
 		acc += weights[k]
@@ -77,19 +89,27 @@ func uniformizedPair(q *linalg.Dense, rate, t float64) (tm, um *linalg.Dense, er
 		}
 	}
 
-	tm = linalg.NewDense(n, n)
-	um = linalg.NewDense(n, n)
-	power := linalg.Identity(n) // P^k
+	tm = ws.Mat(n, n)
+	um = ws.Mat(n, n)
+	power := ws.Mat(n, n) // P^k
+	next := ws.Mat(n, n)
+	for i := 0; i < n; i++ {
+		power.Set(i, i, 1)
+	}
 	for k := 0; k <= right; k++ {
 		addScaled(tm, power, weights[k])
 		addScaled(um, power, tail[k]/rate)
 		if k == right {
 			break
 		}
-		if power, err = power.Mul(p); err != nil {
+		if err := next.MulInto(power, p); err != nil {
 			return nil, nil, err
 		}
+		power, next = next, power
 	}
+	ws.PutMat(power)
+	ws.PutMat(next)
+	ws.PutVec(tail)
 	return tm, um, nil
 }
 

@@ -38,7 +38,7 @@ func randomGenerator(n int, seed uint64) *linalg.Dense {
 func TestTransientPairMatchesRowUniformization(t *testing.T) {
 	for _, horizon := range []float64{0.5, 3, 40, 300} {
 		q := randomGenerator(5, 7)
-		tm, um, err := transientPair(q, horizon)
+		tm, um, err := transientPair(nil, q, horizon)
 		if err != nil {
 			t.Fatalf("transientPair(%g): %v", horizon, err)
 		}
@@ -67,7 +67,7 @@ func TestTransientPairMatchesRowUniformization(t *testing.T) {
 
 func TestTransientPairZeroTime(t *testing.T) {
 	q := randomGenerator(3, 1)
-	tm, um, err := transientPair(q, 0)
+	tm, um, err := transientPair(nil, q, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestTransientPairZeroTime(t *testing.T) {
 
 func TestTransientPairFrozenChain(t *testing.T) {
 	q := linalg.NewDense(2, 2) // zero generator
-	tm, um, err := transientPair(q, 5)
+	tm, um, err := transientPair(nil, q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestTransientPairFrozenChain(t *testing.T) {
 func TestTransientPairRowsStochastic(t *testing.T) {
 	q := randomGenerator(6, 11)
 	const horizon = 120.0
-	tm, um, err := transientPair(q, horizon)
+	tm, um, err := transientPair(nil, q, horizon)
 	if err != nil {
 		t.Fatal(err)
 	}

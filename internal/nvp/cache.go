@@ -1,0 +1,118 @@
+package nvp
+
+import (
+	"sync"
+
+	"nvrel/internal/petri"
+)
+
+// ModelCache memoizes reachability-graph exploration across builds that
+// share net structure. Sweeping a rate or delay parameter (every figure in
+// the evaluation does exactly that) re-explores an identical topology per
+// point; the cache explores once per structural key and re-stamps the
+// marking-dependent rates for each subsequent point via petri.Restamp,
+// which is bit-identical to a fresh exploration.
+//
+// The structural key is (architecture, N, R, clock policy, firing
+// semantics): those are the parameters that shape the net — places, arc
+// weights, guards and enabled sets — while F and the reliability mix enter
+// only the reliability function and the mean times and clock interval enter
+// only the stamped rates and delays. Attacker-modified builds (tcOverride)
+// change the transition set and deliberately bypass the cache.
+//
+// A ModelCache is safe for concurrent use. A nil *ModelCache is valid and
+// simply builds from scratch every time.
+type ModelCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	arch  Architecture
+	n, r  int
+	clock ClockPolicy
+	sem   ServerSemantics
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	graph *petri.Graph
+	err   error
+}
+
+// NewModelCache returns an empty cache.
+func NewModelCache() *ModelCache {
+	return &ModelCache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// BuildNoRejuvenation is the caching equivalent of the package-level
+// BuildNoRejuvenation.
+func (c *ModelCache) BuildNoRejuvenation(p Params) (*Model, error) {
+	if c == nil {
+		return BuildNoRejuvenation(p)
+	}
+	if err := p.Validate(false); err != nil {
+		return nil, err
+	}
+	net, refs, err := assemblePlainNet(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{arch: NoRejuvenation, n: p.N, r: p.R, clock: p.Clock, sem: p.semantics()}
+	g, err := c.graphFor(key, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Arch: NoRejuvenation, Params: p, Net: net, Graph: g,
+		pmh: refs.pmh, pmc: refs.pmc, pmf: refs.pmf, pmr: -1,
+	}, nil
+}
+
+// BuildWithRejuvenation is the caching equivalent of the package-level
+// BuildWithRejuvenation.
+func (c *ModelCache) BuildWithRejuvenation(p Params) (*Model, error) {
+	if c == nil {
+		return BuildWithRejuvenation(p)
+	}
+	if err := p.Validate(true); err != nil {
+		return nil, err
+	}
+	net, refs, err := assembleRejuvenationNet(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{arch: WithRejuvenation, n: p.N, r: p.R, clock: p.Clock, sem: p.semantics()}
+	g, err := c.graphFor(key, net)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Arch: WithRejuvenation, Params: p, Net: net, Graph: g,
+		pmh: refs.pmh, pmc: refs.pmc, pmf: refs.pmf, pmr: refs.pmr,
+	}, nil
+}
+
+// graphFor returns a reachability graph for net, exploring on the first
+// request per key and re-stamping the cached topology afterwards. The
+// first caller's graph is returned as explored, so the cached path never
+// differs from the direct one.
+func (c *ModelCache) graphFor(key cacheKey, net *petri.Net) (*petri.Graph, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.graph, e.err = petri.Explore(net, petri.ExploreOptions{})
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.graph.Net == net {
+		return e.graph, nil
+	}
+	return e.graph.Restamp(net)
+}

@@ -1,0 +1,163 @@
+package nvp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheMatchesDirectBuild: sweeping the timing parameters through a
+// shared cache must reproduce the direct (uncached) builds bit-for-bit —
+// the whole correctness claim of the reachability-graph reuse.
+func TestCacheMatchesDirectBuild(t *testing.T) {
+	cache := NewModelCache()
+	taus := []float64{100, 450, 600, 1500, 3000}
+	mttcs := []float64{800, 1523, 2500}
+
+	for _, clock := range []ClockPolicy{ClockFreeRunning, ClockWaitsForWave} {
+		for _, tau := range taus {
+			for _, mttc := range mttcs {
+				p6 := DefaultSixVersion()
+				p6.RejuvenationInterval = tau
+				p6.MeanTimeToCompromise = mttc
+				p6.Clock = clock
+
+				direct, err := BuildWithRejuvenation(p6)
+				if err != nil {
+					t.Fatalf("direct 6v(%v, tau=%g, mttc=%g): %v", clock, tau, mttc, err)
+				}
+				cached, err := cache.BuildWithRejuvenation(p6)
+				if err != nil {
+					t.Fatalf("cached 6v(%v, tau=%g, mttc=%g): %v", clock, tau, mttc, err)
+				}
+				want, err := direct.ExpectedPaperReliability()
+				if err != nil {
+					t.Fatalf("direct solve: %v", err)
+				}
+				got, err := cached.ExpectedPaperReliability()
+				if err != nil {
+					t.Fatalf("cached solve: %v", err)
+				}
+				if got != want {
+					t.Errorf("6v(%v, tau=%g, mttc=%g): cached = %v, direct = %v", clock, tau, mttc, got, want)
+				}
+			}
+		}
+	}
+
+	for _, mttc := range mttcs {
+		p4 := DefaultFourVersion()
+		p4.MeanTimeToCompromise = mttc
+
+		direct, err := BuildNoRejuvenation(p4)
+		if err != nil {
+			t.Fatalf("direct 4v(mttc=%g): %v", mttc, err)
+		}
+		cached, err := cache.BuildNoRejuvenation(p4)
+		if err != nil {
+			t.Fatalf("cached 4v(mttc=%g): %v", mttc, err)
+		}
+		want, err := direct.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatalf("direct solve: %v", err)
+		}
+		got, err := cached.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatalf("cached solve: %v", err)
+		}
+		if got != want {
+			t.Errorf("4v(mttc=%g): cached = %v, direct = %v", mttc, got, want)
+		}
+	}
+}
+
+// TestCacheSharesExploration: two builds with the same structural key must
+// share one exploration (same marking backing array); a different N must
+// not.
+func TestCacheSharesExploration(t *testing.T) {
+	cache := NewModelCache()
+	pA := DefaultSixVersion()
+	pB := DefaultSixVersion()
+	pB.RejuvenationInterval = 900
+
+	mA, err := cache.BuildWithRejuvenation(pA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := cache.BuildWithRejuvenation(pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &mA.Graph.Markings[0] != &mB.Graph.Markings[0] {
+		t.Error("same structural key: explorations not shared")
+	}
+
+	pC := DefaultSixVersion()
+	pC.N = 7
+	mC, err := cache.BuildWithRejuvenation(pC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &mC.Graph.Markings[0] == &mA.Graph.Markings[0] {
+		t.Error("different N: explorations wrongly shared")
+	}
+}
+
+// TestCacheNilReceiver: a nil cache must degrade to direct builds.
+func TestCacheNilReceiver(t *testing.T) {
+	var cache *ModelCache
+	m, err := cache.BuildNoRejuvenation(DefaultFourVersion())
+	if err != nil {
+		t.Fatalf("nil cache build: %v", err)
+	}
+	if _, err := m.ExpectedPaperReliability(); err != nil {
+		t.Fatalf("nil cache solve: %v", err)
+	}
+}
+
+// TestCacheConcurrent: many goroutines sweeping through one cache (the
+// sweep engines do exactly this) must race-free produce the same values as
+// direct builds. Run with -race to make this meaningful.
+func TestCacheConcurrent(t *testing.T) {
+	cache := NewModelCache()
+	taus := []float64{100, 300, 600, 900, 1200, 1500, 2000, 3000}
+
+	want := make([]float64, len(taus))
+	for i, tau := range taus {
+		p := DefaultSixVersion()
+		p.RejuvenationInterval = tau
+		m, err := BuildWithRejuvenation(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = m.ExpectedPaperReliability(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]float64, len(taus))
+	errs := make([]error, len(taus))
+	var wg sync.WaitGroup
+	for i, tau := range taus {
+		wg.Add(1)
+		go func(i int, tau float64) {
+			defer wg.Done()
+			p := DefaultSixVersion()
+			p.RejuvenationInterval = tau
+			m, err := cache.BuildWithRejuvenation(p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = m.ExpectedPaperReliability()
+		}(i, tau)
+	}
+	wg.Wait()
+	for i := range taus {
+		if errs[i] != nil {
+			t.Fatalf("tau=%g: %v", taus[i], errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("tau=%g: concurrent cached = %v, direct = %v", taus[i], got[i], want[i])
+		}
+	}
+}

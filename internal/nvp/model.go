@@ -3,6 +3,7 @@ package nvp
 import (
 	"fmt"
 
+	"nvrel/internal/linalg"
 	"nvrel/internal/mrgp"
 	"nvrel/internal/petri"
 	"nvrel/internal/reliability"
@@ -66,9 +67,15 @@ func BuildNoRejuvenation(p Params) (*Model, error) {
 	return buildPlainNet(p, nil)
 }
 
-// buildPlainNet assembles the architecture without rejuvenation,
-// optionally with a custom compromise process.
-func buildPlainNet(p Params, override tcOverride) (*Model, error) {
+// plainRefs carries the place references of the plain net; the builder
+// assigns them deterministically, so they are identical across assemblies.
+type plainRefs struct {
+	pmh, pmc, pmf petri.PlaceRef
+}
+
+// assemblePlainNet assembles the architecture without rejuvenation,
+// optionally with a custom compromise process, without exploring it.
+func assemblePlainNet(p Params, override tcOverride) (*petri.Net, plainRefs, error) {
 	b := petri.NewBuilder("perception-no-rejuvenation")
 	pmh := b.AddPlace("Pmh", p.N)
 	pmc := b.AddPlace("Pmc", 0)
@@ -83,6 +90,16 @@ func buildPlainNet(p Params, override tcOverride) (*Model, error) {
 
 	net, err := b.Build()
 	if err != nil {
+		return nil, plainRefs{}, err
+	}
+	return net, plainRefs{pmh: pmh, pmc: pmc, pmf: pmf}, nil
+}
+
+// buildPlainNet assembles and explores the architecture without
+// rejuvenation, optionally with a custom compromise process.
+func buildPlainNet(p Params, override tcOverride) (*Model, error) {
+	net, refs, err := assemblePlainNet(p, override)
+	if err != nil {
 		return nil, err
 	}
 	g, err := petri.Explore(net, petri.ExploreOptions{})
@@ -91,7 +108,7 @@ func buildPlainNet(p Params, override tcOverride) (*Model, error) {
 	}
 	return &Model{
 		Arch: NoRejuvenation, Params: p, Net: net, Graph: g,
-		pmh: pmh, pmc: pmc, pmf: pmf, pmr: -1,
+		pmh: refs.pmh, pmc: refs.pmc, pmf: refs.pmf, pmr: -1,
 	}, nil
 }
 
@@ -103,9 +120,14 @@ func BuildWithRejuvenation(p Params) (*Model, error) {
 	return buildRejuvenationNet(p, nil)
 }
 
-// buildRejuvenationNet assembles the clocked architecture, optionally with
-// a custom compromise process.
-func buildRejuvenationNet(p Params, override tcOverride) (*Model, error) {
+// rejRefs carries the place references of the rejuvenation net.
+type rejRefs struct {
+	pmh, pmc, pmf, pmr petri.PlaceRef
+}
+
+// assembleRejuvenationNet assembles the clocked architecture, optionally
+// with a custom compromise process, without exploring it.
+func assembleRejuvenationNet(p Params, override tcOverride) (*petri.Net, rejRefs, error) {
 	b := petri.NewBuilder("perception-rejuvenation")
 	pmh := b.AddPlace("Pmh", p.N)
 	pmc := b.AddPlace("Pmc", 0)
@@ -216,6 +238,16 @@ func buildRejuvenationNet(p Params, override tcOverride) (*Model, error) {
 
 	net, err := b.Build()
 	if err != nil {
+		return nil, rejRefs{}, err
+	}
+	return net, rejRefs{pmh: pmh, pmc: pmc, pmf: pmf, pmr: pmr}, nil
+}
+
+// buildRejuvenationNet assembles and explores the clocked architecture,
+// optionally with a custom compromise process.
+func buildRejuvenationNet(p Params, override tcOverride) (*Model, error) {
+	net, refs, err := assembleRejuvenationNet(p, override)
+	if err != nil {
 		return nil, err
 	}
 	g, err := petri.Explore(net, petri.ExploreOptions{})
@@ -224,7 +256,7 @@ func buildRejuvenationNet(p Params, override tcOverride) (*Model, error) {
 	}
 	return &Model{
 		Arch: WithRejuvenation, Params: p, Net: net, Graph: g,
-		pmh: pmh, pmc: pmc, pmf: pmf, pmr: pmr,
+		pmh: refs.pmh, pmc: refs.pmc, pmf: refs.pmf, pmr: refs.pmr,
 	}, nil
 }
 
@@ -283,17 +315,25 @@ func (m *Model) classify(mk petri.Marking) (healthy, compromised, down int) {
 // free-running clock, and the general Markov-regenerative solver when the
 // clock stops during rejuvenation waves.
 func (m *Model) Solve() ([]float64, error) {
+	return m.SolveWS(nil)
+}
+
+// SolveWS is the workspace-backed form of Solve: all solver scratch comes
+// from ws, making repeated solves over same-sized models allocation-light.
+// The result is float-for-float identical to Solve. A workspace must not be
+// shared between goroutines.
+func (m *Model) SolveWS(ws *linalg.Workspace) ([]float64, error) {
 	if m.Arch != WithRejuvenation {
-		return m.Graph.SteadyState()
+		return m.Graph.SteadyStateWS(ws)
 	}
 	var (
 		sol *mrgp.Solution
 		err error
 	)
 	if m.Params.Clock == ClockWaitsForWave {
-		sol, err = mrgp.SolveGeneral(m.Graph)
+		sol, err = mrgp.SolveGeneralWS(ws, m.Graph)
 	} else {
-		sol, err = mrgp.Solve(m.Graph)
+		sol, err = mrgp.SolveWS(ws, m.Graph)
 	}
 	if err != nil {
 		return nil, err
@@ -325,7 +365,12 @@ func (m *Model) StateDistribution() ([]ModuleState, error) {
 // ExpectedReliability computes E[R_sys] = sum pi(i,j,k) R(i,j,k) under the
 // given state reliability function.
 func (m *Model) ExpectedReliability(rf reliability.StateFn) (float64, error) {
-	pi, err := m.Solve()
+	return m.ExpectedReliabilityWS(nil, rf)
+}
+
+// ExpectedReliabilityWS is the workspace-backed form of ExpectedReliability.
+func (m *Model) ExpectedReliabilityWS(ws *linalg.Workspace, rf reliability.StateFn) (float64, error) {
+	pi, err := m.SolveWS(ws)
 	if err != nil {
 		return 0, err
 	}
@@ -358,11 +403,17 @@ func (m *Model) PaperReliability() (reliability.StateFn, error) {
 // ExpectedPaperReliability is the one-call headline metric: E[R_sys] under
 // the paper's reliability functions.
 func (m *Model) ExpectedPaperReliability() (float64, error) {
+	return m.ExpectedPaperReliabilityWS(nil)
+}
+
+// ExpectedPaperReliabilityWS is the workspace-backed form of
+// ExpectedPaperReliability.
+func (m *Model) ExpectedPaperReliabilityWS(ws *linalg.Workspace) (float64, error) {
 	rf, err := m.PaperReliability()
 	if err != nil {
 		return 0, err
 	}
-	return m.ExpectedReliability(rf)
+	return m.ExpectedReliabilityWS(ws, rf)
 }
 
 func sortStates(states []ModuleState) {

@@ -1,0 +1,137 @@
+// Package parallel provides the bounded worker pool used by the sweep and
+// replication engines. Work items are claimed in index order, results are
+// written by index (so output ordering never depends on scheduling), and the
+// first error — by index, not by wall-clock — cancels the remaining work.
+// Every construct degenerates to a plain loop when one worker is configured,
+// and the contract is that a parallel run is bit-identical to that loop.
+//
+// The default worker count is runtime.NumCPU; it can be overridden
+// process-wide with SetWorkers (the CLI's -workers flag) or the
+// NVREL_WORKERS environment variable.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	overrideMu sync.RWMutex
+	override   int // 0 means "no explicit override"
+)
+
+// SetWorkers fixes the process-wide default worker count and returns the
+// previous override (0 when none was set). Passing 0 restores automatic
+// selection (NVREL_WORKERS, then runtime.NumCPU).
+func SetWorkers(n int) (prev int) {
+	overrideMu.Lock()
+	defer overrideMu.Unlock()
+	prev = override
+	if n < 0 {
+		n = 0
+	}
+	override = n
+	return prev
+}
+
+// Workers returns the effective default worker count: an explicit
+// SetWorkers value, else a positive NVREL_WORKERS environment variable,
+// else runtime.NumCPU.
+func Workers() int {
+	overrideMu.RLock()
+	n := override
+	overrideMu.RUnlock()
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv("NVREL_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// ForEach runs fn(0..n-1) on Workers() goroutines. See ForEachN.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachN(Workers(), n, fn)
+}
+
+// ForEachN runs fn(0..n-1) on at most workers goroutines. Indices are
+// claimed in increasing order. When some call fails, the pool stops
+// claiming new indices, waits for in-flight calls, and returns the error
+// of the lowest failing index — the same error a serial loop would have
+// returned, because every index below the lowest failure completes.
+func ForEachN(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					stopped.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map evaluates fn over 0..n-1 on Workers() goroutines and returns the
+// results in index order. On error the slice is nil and the error is the
+// one of the lowest failing index.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN[T](Workers(), n, fn)
+}
+
+// MapN is Map with an explicit worker count.
+func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachN(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

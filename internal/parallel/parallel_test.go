@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachNVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 57
+		counts := make([]atomic.Int32, n)
+		if err := ForEachN(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachNZeroAndNegative(t *testing.T) {
+	called := false
+	if err := ForEachN(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachN(4, -3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestForEachNReturnsLowestIndexError(t *testing.T) {
+	// Indices 9 and 23 fail; the serial loop would report index 9. The
+	// pool must report the same error regardless of worker count.
+	for _, workers := range []int{1, 2, 4, 16} {
+		err := ForEachN(workers, 40, func(i int) error {
+			if i == 9 || i == 23 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 9" {
+			t.Fatalf("workers=%d: got %v, want boom at 9", workers, err)
+		}
+	}
+}
+
+func TestForEachNCancelsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	sentinel := errors.New("stop")
+	err := ForEachN(2, 100000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if got := ran.Load(); got == 100000 {
+		t.Error("no cancellation: every index ran despite an early error")
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 9} {
+		out, err := MapN(workers, 25, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorDropsResults(t *testing.T) {
+	out, err := MapN(3, 10, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("bad point")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatalf("expected nil results on error, got %v", out)
+	}
+}
+
+func TestWorkersOverridePrecedence(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+
+	t.Setenv("NVREL_WORKERS", "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("env override: got %d, want 3", got)
+	}
+	SetWorkers(5)
+	if got := Workers(); got != 5 {
+		t.Fatalf("explicit override beats env: got %d, want 5", got)
+	}
+	SetWorkers(0)
+	t.Setenv("NVREL_WORKERS", "not-a-number")
+	if got := Workers(); got <= 0 {
+		t.Fatalf("fallback must be positive, got %d", got)
+	}
+}

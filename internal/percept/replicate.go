@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"nvrel/internal/des"
+	"nvrel/internal/parallel"
 )
 
 // Estimate aggregates replicated simulation runs.
@@ -39,17 +40,32 @@ func Replicate(cfg Config, n int, seed uint64) (*Estimate, error) {
 	if n <= 0 {
 		return nil, errors.New("percept: replication count must be positive")
 	}
-	var rewards, reliab, errRate, safety, labelRel, labelSafe des.Accumulator
+	// Fork every replication's RNG substream from the master serially, run
+	// the replications in parallel, and accumulate in replication order:
+	// the estimate is bit-identical at every worker count.
 	master := des.NewRNG(seed)
-	for rep := 0; rep < n; rep++ {
-		sys, err := New(cfg, master.Fork())
+	rngs := make([]*des.RNG, n)
+	for rep := range rngs {
+		rngs[rep] = master.Fork()
+	}
+	results := make([]*Result, n)
+	err := parallel.ForEach(n, func(rep int) error {
+		sys, err := New(cfg, rngs[rep])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sys.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[rep] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rewards, reliab, errRate, safety, labelRel, labelSafe des.Accumulator
+	for _, res := range results {
 		rewards.Add(res.AnalyticReward)
 		if cfg.RequestInterval > 0 {
 			reliab.Add(res.Tally.Reliability())

@@ -26,9 +26,16 @@ var (
 
 // RateEdge is an aggregated exponential transition between tangible
 // markings: from state From, at rate Rate, the chain jumps to state To.
+// Via and Prob record the edge's provenance — the exponential transition
+// whose firing produced it and the branching probability of the vanishing
+// cascade it triggered — so Rate can be re-stamped for a structurally
+// identical net with different rate parameters (see Graph.Restamp).
 type RateEdge struct {
 	From, To int
 	Rate     float64
+
+	Via  TransitionRef
+	Prob float64
 }
 
 // ProbEdge is a probabilistic successor: with probability Prob the system
@@ -234,7 +241,10 @@ func (e *explorer) expand(id int) error {
 			if pe.To == id {
 				continue // rate mass returning to the same tangible state is a no-op
 			}
-			e.graph.Exp = append(e.graph.Exp, RateEdge{From: id, To: pe.To, Rate: rate * pe.Prob})
+			e.graph.Exp = append(e.graph.Exp, RateEdge{
+				From: id, To: pe.To, Rate: rate * pe.Prob,
+				Via: t, Prob: pe.Prob,
+			})
 		}
 	}
 

@@ -15,11 +15,17 @@ var ErrNoStates = errors.New("petri: graph has no tangible states")
 // should use package mrgp, which combines this generator with the
 // deterministic schedules.
 func (g *Graph) Generator() (*linalg.Dense, error) {
+	return g.GeneratorWS(nil)
+}
+
+// GeneratorWS is the workspace-backed form of Generator: the matrix comes
+// from ws (release it with ws.PutMat when done). A nil workspace allocates.
+func (g *Graph) GeneratorWS(ws *linalg.Workspace) (*linalg.Dense, error) {
 	n := g.NumStates()
 	if n == 0 {
 		return nil, ErrNoStates
 	}
-	q := linalg.NewDense(n, n)
+	q := ws.Mat(n, n)
 	for _, e := range g.Exp {
 		q.Add(e.From, e.To, e.Rate)
 		q.Add(e.From, e.From, -e.Rate)
@@ -53,14 +59,22 @@ func (g *Graph) RewardVector(f RewardFn) []float64 {
 // SteadyState computes the stationary distribution of a graph with no
 // deterministic transitions (a plain GSPN/CTMC).
 func (g *Graph) SteadyState() ([]float64, error) {
+	return g.SteadyStateWS(nil)
+}
+
+// SteadyStateWS is the workspace-backed form of SteadyState; the generator
+// matrix and the GTH elimination copy come from ws. The returned vector is
+// freshly allocated either way.
+func (g *Graph) SteadyStateWS(ws *linalg.Workspace) ([]float64, error) {
 	if g.HasDeterministic() {
 		return nil, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
 	}
-	q, err := g.Generator()
+	q, err := g.GeneratorWS(ws)
 	if err != nil {
 		return nil, err
 	}
-	return linalg.SteadyStateGTH(q)
+	defer ws.PutMat(q)
+	return ws.SteadyStateGTH(q, nil)
 }
 
 // ExpectedReward computes the steady-state expected reward of a graph with

@@ -1,0 +1,194 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildRestampNet is a parameterized queue with marking-dependent service
+// (rate mu times the queue length), a deterministic maintenance clock, and
+// a weighted immediate fork — every edge kind Restamp must recompute or
+// preserve.
+func buildRestampNet(t *testing.T, lam, mu, delay float64) *Net {
+	t.Helper()
+	b := NewBuilder("restamp")
+	queue := b.AddPlace("queue", 0)
+	free := b.AddPlace("free", 3)
+	tick := b.AddPlace("tick", 1)
+	tock := b.AddPlace("tock", 0)
+	b.AddTransition(Spec{
+		Name: "arrive", Kind: Exponential, Rate: lam,
+		Inputs:  []Arc{{Place: free}},
+		Outputs: []Arc{{Place: queue}},
+	})
+	b.AddTransition(Spec{
+		Name: "serve", Kind: Exponential,
+		RateFn:  func(m Marking) float64 { return mu * float64(m[queue]) },
+		Inputs:  []Arc{{Place: queue}},
+		Outputs: []Arc{{Place: free}},
+	})
+	b.AddTransition(Spec{
+		Name: "clock", Kind: Deterministic, Delay: delay,
+		Inputs:  []Arc{{Place: tick}},
+		Outputs: []Arc{{Place: tock}},
+	})
+	// The clock rearms through a weighted immediate fork so the restamped
+	// graph also carries non-trivial branching probabilities.
+	b.AddTransition(Spec{
+		Name: "rearmFast", Kind: Immediate, Rate: 1,
+		Inputs:  []Arc{{Place: tock}},
+		Outputs: []Arc{{Place: tick}},
+	})
+	b.AddTransition(Spec{
+		Name: "rearmSlow", Kind: Immediate, Rate: 3,
+		Inputs:  []Arc{{Place: tock}},
+		Outputs: []Arc{{Place: tick}},
+	})
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return n
+}
+
+// TestRestampMatchesFreshExplore: a graph explored at one parameter point
+// and restamped at another must be bit-identical to exploring the second
+// net from scratch — same states in the same order, same edges with the
+// exact same float rates, same deterministic schedules.
+func TestRestampMatchesFreshExplore(t *testing.T) {
+	base := buildRestampNet(t, 2, 3, 5)
+	g, err := Explore(base, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore(base): %v", err)
+	}
+
+	target := buildRestampNet(t, 0.7, 11, 2.5)
+	restamped, err := g.Restamp(target)
+	if err != nil {
+		t.Fatalf("Restamp: %v", err)
+	}
+	fresh, err := Explore(target, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore(target): %v", err)
+	}
+
+	if restamped.NumStates() != fresh.NumStates() {
+		t.Fatalf("NumStates = %d, fresh = %d", restamped.NumStates(), fresh.NumStates())
+	}
+	for s := range fresh.Markings {
+		if restamped.Markings[s].Key() != fresh.Markings[s].Key() {
+			t.Errorf("marking %d = %v, fresh %v", s, restamped.Markings[s], fresh.Markings[s])
+		}
+		if restamped.Initial[s] != fresh.Initial[s] {
+			t.Errorf("Initial[%d] = %g, fresh %g", s, restamped.Initial[s], fresh.Initial[s])
+		}
+	}
+	if len(restamped.Exp) != len(fresh.Exp) {
+		t.Fatalf("len(Exp) = %d, fresh = %d", len(restamped.Exp), len(fresh.Exp))
+	}
+	for i := range fresh.Exp {
+		if restamped.Exp[i] != fresh.Exp[i] {
+			t.Errorf("Exp[%d] = %+v, fresh %+v", i, restamped.Exp[i], fresh.Exp[i])
+		}
+	}
+	if len(restamped.Det) != len(fresh.Det) {
+		t.Fatalf("len(Det) = %d, fresh = %d", len(restamped.Det), len(fresh.Det))
+	}
+	for s := range fresh.Det {
+		rs, fs := restamped.Det[s], fresh.Det[s]
+		if (rs == nil) != (fs == nil) {
+			t.Fatalf("Det[%d] nil-ness differs", s)
+		}
+		if rs == nil {
+			continue
+		}
+		if rs.Transition != fs.Transition || rs.Delay != fs.Delay {
+			t.Errorf("Det[%d] = (%d, %g), fresh (%d, %g)", s, rs.Transition, rs.Delay, fs.Transition, fs.Delay)
+		}
+		if len(rs.Successors) != len(fs.Successors) {
+			t.Fatalf("Det[%d] successors = %d, fresh %d", s, len(rs.Successors), len(fs.Successors))
+		}
+		for j := range fs.Successors {
+			if rs.Successors[j] != fs.Successors[j] {
+				t.Errorf("Det[%d].Successors[%d] = %+v, fresh %+v", s, j, rs.Successors[j], fs.Successors[j])
+			}
+		}
+	}
+}
+
+// TestRestampSharesTopology: the restamped graph must share (not copy) the
+// markings, initial distribution, and state index with the explored one —
+// that sharing is the point of the cache.
+func TestRestampSharesTopology(t *testing.T) {
+	base := buildRestampNet(t, 2, 3, 5)
+	g, err := Explore(base, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	restamped, err := g.Restamp(buildRestampNet(t, 4, 6, 10))
+	if err != nil {
+		t.Fatalf("Restamp: %v", err)
+	}
+	if len(g.Markings) == 0 || &restamped.Markings[0] != &g.Markings[0] {
+		t.Error("Markings were copied, want shared backing array")
+	}
+	if &restamped.Initial[0] != &g.Initial[0] {
+		t.Error("Initial was copied, want shared backing array")
+	}
+}
+
+// TestRestampStructureMismatch: nets with a different shape must be
+// rejected, not silently mis-stamped.
+func TestRestampStructureMismatch(t *testing.T) {
+	base := buildRestampNet(t, 2, 3, 5)
+	g, err := Explore(base, ExploreOptions{})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+
+	// Different place count.
+	other := buildMM1K(t, 2, 1, 1)
+	if _, err := g.Restamp(other); !errors.Is(err, ErrStructureMismatch) {
+		t.Errorf("place-count mismatch: err = %v, want ErrStructureMismatch", err)
+	}
+
+	// Same shape, different transition name.
+	b := NewBuilder("renamed")
+	queue := b.AddPlace("queue", 0)
+	free := b.AddPlace("free", 3)
+	tick := b.AddPlace("tick", 1)
+	tock := b.AddPlace("tock", 0)
+	b.AddTransition(Spec{
+		Name: "arriveRenamed", Kind: Exponential, Rate: 2,
+		Inputs:  []Arc{{Place: free}},
+		Outputs: []Arc{{Place: queue}},
+	})
+	b.AddTransition(Spec{
+		Name: "serve", Kind: Exponential,
+		RateFn:  func(m Marking) float64 { return 3 * float64(m[queue]) },
+		Inputs:  []Arc{{Place: queue}},
+		Outputs: []Arc{{Place: free}},
+	})
+	b.AddTransition(Spec{
+		Name: "clock", Kind: Deterministic, Delay: 5,
+		Inputs:  []Arc{{Place: tick}},
+		Outputs: []Arc{{Place: tock}},
+	})
+	b.AddTransition(Spec{
+		Name: "rearmFast", Kind: Immediate, Rate: 1,
+		Inputs:  []Arc{{Place: tock}},
+		Outputs: []Arc{{Place: tick}},
+	})
+	b.AddTransition(Spec{
+		Name: "rearmSlow", Kind: Immediate, Rate: 3,
+		Inputs:  []Arc{{Place: tock}},
+		Outputs: []Arc{{Place: tick}},
+	})
+	renamed, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := g.Restamp(renamed); !errors.Is(err, ErrStructureMismatch) {
+		t.Errorf("renamed transition: err = %v, want ErrStructureMismatch", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"nvrel/internal/des"
 	"nvrel/internal/experiments"
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 	"nvrel/internal/percept"
 	"nvrel/internal/reliability"
 	"nvrel/internal/voter"
@@ -79,6 +80,24 @@ func BuildFourVersion(p Params) (*Model, error) { return nvp.BuildNoRejuvenation
 // BuildSixVersion builds the Figure 2(b)+(c) DSPN (with the rejuvenation
 // clock) for the given parameters. Any N >= 3f+2r+1 is accepted.
 func BuildSixVersion(p Params) (*Model, error) { return nvp.BuildWithRejuvenation(p) }
+
+// ModelCache memoizes reachability-graph exploration across builds that
+// share net structure; use one cache for a parameter sweep so each
+// topology is explored once and re-stamped per point. Safe for concurrent
+// use.
+type ModelCache = nvp.ModelCache
+
+// NewModelCache returns an empty model cache.
+func NewModelCache() *ModelCache { return nvp.NewModelCache() }
+
+// SetWorkers overrides the worker count used by the parallel sweep and
+// replication engines and returns the previous override (0 when none was
+// set). Passing 0 restores the automatic choice (NVREL_WORKERS or the CPU
+// count).
+func SetWorkers(n int) int { return parallel.SetWorkers(n) }
+
+// Workers reports the worker count the parallel engines will use.
+func Workers() int { return parallel.Workers() }
 
 // FourVersionReliability returns the paper's verbatim R_f4 function.
 func FourVersionReliability(pr ReliabilityParams) (StateFn, error) {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo health gate: vet, formatting, and the full test suite under the
+# race detector. Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all green"
