@@ -12,7 +12,8 @@ import (
 	"nvrel"
 )
 
-// BenchResult is one (experiment, worker count) timing.
+// BenchResult is one (experiment, worker count) timing. Workers is the
+// count actually used, after clamping to the machine's cores.
 type BenchResult struct {
 	Experiment  string  `json:"experiment"`
 	Workers     int     `json:"workers"`
@@ -42,12 +43,29 @@ func cmdBench(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	reps := fs.Int("reps", 3, "timed repetitions per experiment and worker count")
-	output := fs.String("o", "BENCH_sweeps.json", "output path for the JSON report (empty for stdout only)")
+	output := fs.String("o", "", "output path for the JSON report (default BENCH_sweeps.json, or BENCH_scale.json with -scale; empty for stdout only)")
+	scale := fs.Bool("scale", false, "sweep model size N and compare the dense and sparse solver paths")
+	budget := fs.Float64("budget", 60, "with -scale: skip the dense solver once a solve exceeds (or is projected to exceed) this many seconds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *reps < 1 {
 		return fmt.Errorf("bench: reps = %d must be at least 1", *reps)
+	}
+	outputSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outputSet = true
+		}
+	})
+	if *scale {
+		if !outputSet {
+			*output = "BENCH_scale.json"
+		}
+		return cmdBenchScale(*output, *budget, out)
+	}
+	if !outputSet {
+		*output = "BENCH_sweeps.json"
 	}
 
 	benchmarks := []struct {
@@ -62,10 +80,21 @@ func cmdBench(args []string, out *os.File) error {
 		{"fig4d", func() error { _, err := nvrel.Fig4d(nil); return err }},
 	}
 
-	workerSet := map[int]bool{1: true, 2: true, runtime.NumCPU(): true}
+	// The sweep requests 1, 2, and NumCPU workers, but what a request
+	// delivers is clamped to the core count (parallel.EffectiveWorkers), so
+	// rows are keyed and deduped by the count actually used: on a 1-CPU
+	// machine the whole sweep collapses to a single workers=1 row instead
+	// of three indistinguishable timings labeled differently.
+	workerSet := make(map[int]bool)
 	var workerCounts []int
-	for w := range workerSet {
-		workerCounts = append(workerCounts, w)
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		if cpus := runtime.NumCPU(); w > cpus {
+			w = cpus
+		}
+		if !workerSet[w] {
+			workerSet[w] = true
+			workerCounts = append(workerCounts, w)
+		}
 	}
 	sort.Ints(workerCounts)
 

@@ -12,10 +12,13 @@ package linalg
 type Workspace struct {
 	vecs    map[int][][]float64
 	mats    map[matDim][]*Dense
+	csrs    map[csrDim][]*CSR
 	poisson map[poissonKey]poissonMemo
 }
 
 type matDim struct{ rows, cols int }
+
+type csrDim struct{ rows, cols, nnz int }
 
 type poissonKey struct{ lambda, epsilon float64 }
 
@@ -33,6 +36,7 @@ func NewWorkspace() *Workspace {
 	return &Workspace{
 		vecs:    make(map[int][][]float64),
 		mats:    make(map[matDim][]*Dense),
+		csrs:    make(map[csrDim][]*CSR),
 		poisson: make(map[poissonKey]poissonMemo),
 	}
 }
@@ -85,6 +89,34 @@ func (ws *Workspace) PutMat(m *Dense) {
 	}
 	d := matDim{m.rows, m.cols}
 	ws.mats[d] = append(ws.mats[d], m)
+}
+
+// CSR returns a rows x cols CSR shell with exactly nnz entries and zeroed
+// Vals, reusing a released one when available. The caller (normally a
+// stamping plan) fills RowPtr/ColIdx/Vals. With a nil workspace it simply
+// allocates.
+func (ws *Workspace) CSR(rows, cols, nnz int) *CSR {
+	if ws == nil {
+		return NewCSR(rows, cols, nnz)
+	}
+	d := csrDim{rows, cols, nnz}
+	free := ws.csrs[d]
+	if len(free) == 0 {
+		return NewCSR(rows, cols, nnz)
+	}
+	c := free[len(free)-1]
+	ws.csrs[d] = free[:len(free)-1]
+	clear(c.Vals)
+	return c
+}
+
+// PutCSR releases a CSR obtained from CSR back to the workspace.
+func (ws *Workspace) PutCSR(c *CSR) {
+	if ws == nil || c == nil {
+		return
+	}
+	d := csrDim{c.rows, c.cols, len(c.ColIdx)}
+	ws.csrs[d] = append(ws.csrs[d], c)
 }
 
 // Poisson returns the truncated Poisson weight vector for the given mean

@@ -67,9 +67,28 @@ func Solve(g *petri.Graph) (*Solution, error) {
 // SolveWS is the workspace-backed form of Solve: all scratch matrices and
 // Poisson weight vectors come from ws, so sweeping a parameter over the
 // same model solves allocation-free after the first point. The returned
-// Solution owns its vectors either way, and the result is float-for-float
-// identical to Solve.
+// Solution owns its vectors either way.
+//
+// State spaces of linalg.SparseThreshold states or more route through the
+// matrix-free sparse solver (SolveSparseWS), falling back to the dense
+// path if its power iteration fails to converge; smaller ones solve dense
+// directly, float-for-float identical to Solve has always been.
 func SolveWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	if g.NumStates() >= linalg.SparseThreshold {
+		sol, err := SolveSparseWS(ws, g)
+		if err == nil || !errors.Is(err, linalg.ErrNotConverged) {
+			return sol, err
+		}
+	}
+	return SolveDenseWS(ws, g)
+}
+
+// SolveDenseWS computes the solution with the dense kernels (dense
+// generator, dense scaling-and-doubling transient pair, GTH on the
+// embedded chain), unconditionally. It is the reference path the sparse
+// solver is validated against and the backstop when the sparse power
+// iteration does not converge.
+func SolveDenseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	n := g.NumStates()
 	if n == 0 {
 		return nil, petri.ErrNoStates
@@ -99,7 +118,7 @@ func SolveWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 
 	// T = e^{Q tau} and U = Integral_0^tau e^{Qt} dt via uniformization
 	// with scaling and doubling (see transient.go).
-	tMat, uMat, err := transientPair(ws, q, delay)
+	tMat, uMat, err := transientPairDense(ws, q, delay)
 	if err != nil {
 		return nil, fmt.Errorf("transient pair: %w", err)
 	}

@@ -18,6 +18,7 @@ type Propagator struct {
 	n     int
 	delay float64
 	q     *linalg.Dense
+	qc    *linalg.CSR   // sparse generator for large state spaces, else nil
 	tTau  *linalg.Dense // e^{Q tau}
 	uTau  *linalg.Dense // Integral_0^tau e^{Q t} dt
 	d     *linalg.Dense // tick branching
@@ -52,7 +53,11 @@ func NewPropagator(g *petri.Graph) (*Propagator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Propagator{n: n, delay: delay, q: q, tTau: tTau, uTau: uTau, d: d}, nil
+	p := &Propagator{n: n, delay: delay, q: q, tTau: tTau, uTau: uTau, d: d}
+	if n >= linalg.SparseThreshold {
+		p.qc = linalg.CSRFromDense(q)
+	}
+	return p, nil
 }
 
 // Delay returns the clock period.
@@ -80,6 +85,10 @@ func (p *Propagator) Distribution(pi0 []float64, t float64) ([]float64, error) {
 	}
 	if t == 0 {
 		return cur, nil
+	}
+	if p.qc != nil {
+		var ws *linalg.Workspace
+		return ws.UniformizedPowerCSR(p.qc, cur, t, 0, truncationEpsilon, nil)
 	}
 	return linalg.UniformizedPower(p.q, cur, t, 0, truncationEpsilon)
 }
@@ -115,7 +124,14 @@ func (p *Propagator) AccumulatedReward(pi0, reward []float64, t float64) (float6
 		t -= p.delay
 	}
 	if t > 0 {
-		occ, err := linalg.UniformizedIntegral(p.q, cur, t, 0, truncationEpsilon)
+		var occ []float64
+		var err error
+		if p.qc != nil {
+			var ws *linalg.Workspace
+			occ, err = ws.UniformizedIntegralCSR(p.qc, cur, t, 0, truncationEpsilon, nil)
+		} else {
+			occ, err = linalg.UniformizedIntegral(p.q, cur, t, 0, truncationEpsilon)
+		}
 		if err != nil {
 			return 0, err
 		}

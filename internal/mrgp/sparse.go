@@ -1,0 +1,125 @@
+package mrgp
+
+import (
+	"fmt"
+	"math"
+
+	"nvrel/internal/linalg"
+	"nvrel/internal/petri"
+)
+
+// Power-iteration limits for the sparse embedded chain. The tolerance is on
+// the L1 change per cycle; the stall band accepts the float64 rounding
+// floor when improvement dies out, mirroring linalg.SteadyStateGS.
+const (
+	embTol       = 1e-15
+	embStallTol  = 1e-12
+	embMaxCycles = 50000
+)
+
+// SolveSparseWS computes the steady state of a clocked DSPN without ever
+// materializing a dense matrix. The embedded chain P = e^{Q tau} D is
+// never formed: its stationary vector is found by power iteration
+//
+//	v <- normalize((v * e^{Q tau}) * D)
+//
+// where v * e^{Q tau} is the matrix-free uniformization series (cur <-
+// cur + (cur*Q)/rate per Poisson term) and D is the CSR clock branching
+// matrix cached on the graph topology. e^{Q tau} is strictly positive on
+// an irreducible subordinated chain, so the iteration contracts onto the
+// stationary vector of the unique closed class of P — the same limit the
+// dense path extracts by classifying the recurrent class explicitly — and
+// the mass it places on epoch-transient states decays geometrically to
+// zero. Occupancy then follows from one matrix-free integral series.
+//
+// Memory is O(nnz + n) against the dense path's O(n^2), and a cycle costs
+// O(rate*tau) sparse matvecs, so the solver reaches state spaces the
+// dense path cannot hold. linalg.ErrNotConverged (wrapped) signals the
+// caller to fall back to SolveDenseWS.
+func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	n := g.NumStates()
+	if n == 0 {
+		return nil, petri.ErrNoStates
+	}
+	if !g.HasDeterministic() {
+		return nil, ErrNoDeterministic
+	}
+	delay, err := commonDelay(g)
+	if err != nil {
+		return nil, err
+	}
+
+	q, err := g.GeneratorCSR(ws)
+	if err != nil {
+		return nil, err
+	}
+	defer ws.PutCSR(q)
+	d := g.DetBranchCSR()
+	rate := q.MaxAbsDiag() * 1.02
+
+	v := ws.Vec(n)
+	moved := ws.Vec(n)
+	next := ws.Vec(n)
+	defer ws.PutVec(v)
+	defer ws.PutVec(moved)
+	defer ws.PutVec(next)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+
+	converged := false
+	prev := math.Inf(1)
+	stall := 0
+	for cycle := 0; cycle < embMaxCycles; cycle++ {
+		if _, err := ws.UniformizedPowerCSR(q, v, delay, rate, truncationEpsilon, moved); err != nil {
+			return nil, err
+		}
+		if err := d.VecMulInto(next, moved); err != nil {
+			return nil, err
+		}
+		var delta, norm float64
+		for i := range next {
+			norm += next[i]
+		}
+		if norm <= 0 {
+			return nil, fmt.Errorf("mrgp: embedded iterate vanished at cycle %d", cycle)
+		}
+		inv := 1 / norm
+		for i := range next {
+			next[i] *= inv
+			diff := next[i] - v[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			delta += diff
+		}
+		v, next = next, v
+		if delta <= embTol {
+			converged = true
+			break
+		}
+		if delta >= prev*0.98 {
+			if stall++; stall >= 10 && delta <= embStallTol {
+				converged = true
+				break
+			}
+		} else {
+			stall = 0
+		}
+		prev = delta
+	}
+	if !converged {
+		return nil, fmt.Errorf("%w: embedded power iteration after %d cycles", linalg.ErrNotConverged, embMaxCycles)
+	}
+
+	sigma := make([]float64, n)
+	copy(sigma, v)
+
+	occupancy := make([]float64, n)
+	if _, err := ws.UniformizedIntegralCSR(q, sigma, delay, rate, truncationEpsilon, occupancy); err != nil {
+		return nil, err
+	}
+	linalg.Normalize(occupancy)
+
+	return &Solution{Pi: occupancy, Embedded: sigma, Delay: delay}, nil
+}

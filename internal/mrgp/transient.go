@@ -10,6 +10,18 @@ const transientTarget = 32
 
 // transientPair computes T = e^{Q t} and U = Integral_0^t e^{Q s} ds as
 // matrices. Both come from ws (nil allocates); release them with ws.PutMat.
+// State spaces of linalg.SparseThreshold states or more subordinate the
+// series through the CSR kernels (O(n*nnz) per term with no dense-dense
+// products); smaller ones use the dense scaling-and-doubling path.
+func transientPair(ws *linalg.Workspace, q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error) {
+	if n, _ := q.Dims(); n >= linalg.SparseThreshold {
+		qc := linalg.CSRFromDense(q)
+		return transientPairCSR(ws, qc, t)
+	}
+	return transientPairDense(ws, q, t)
+}
+
+// transientPairDense computes the pair with dense scaling and doubling.
 //
 // Direct uniformization needs O(rate*t) series terms; with the paper's
 // rejuvenation intervals (hundreds to thousands of seconds against a 1/3 Hz
@@ -21,7 +33,7 @@ const transientTarget = 32
 //	U(2s) = U(s) + T(s) U(s)
 //
 // k times, reducing the work by roughly rate*t/(transientTarget + 3k).
-func transientPair(ws *linalg.Workspace, q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error) {
+func transientPairDense(ws *linalg.Workspace, q *linalg.Dense, t float64) (tm, um *linalg.Dense, err error) {
 	n, _ := q.Dims()
 	rate := maxExitRate(q)
 	if rate == 0 || t == 0 {
@@ -103,6 +115,74 @@ func uniformizedPair(ws *linalg.Workspace, q *linalg.Dense, rate, t float64) (tm
 			break
 		}
 		if err := next.MulInto(power, p); err != nil {
+			return nil, nil, err
+		}
+		power, next = next, power
+	}
+	ws.PutMat(power)
+	ws.PutMat(next)
+	ws.PutVec(tail)
+	return tm, um, nil
+}
+
+// transientPairCSR evaluates both series at the full horizon with the
+// matrix powers subordinated through the CSR kernel: each term costs
+// O(n*nnz) instead of the dense product's O(n^3), so skipping the doubling
+// shortcut (whose squarings are dense-dense) is a net win once the
+// generator is sparse. tm and um come from ws; release them with ws.PutMat.
+func transientPairCSR(ws *linalg.Workspace, q *linalg.CSR, t float64) (tm, um *linalg.Dense, err error) {
+	n, _ := q.Dims()
+	rate := q.MaxAbsDiag() * 1.02
+	if rate == 0 || t == 0 {
+		tm = ws.Mat(n, n)
+		um = ws.Mat(n, n)
+		for i := 0; i < n; i++ {
+			tm.Set(i, i, 1)
+			um.Set(i, i, t)
+		}
+		return tm, um, nil
+	}
+
+	// P = I + Q/rate, kept in CSR form (same pattern as Q).
+	p := ws.CSR(n, n, q.NNZ())
+	defer ws.PutCSR(p)
+	copy(p.RowPtr, q.RowPtr)
+	copy(p.ColIdx, q.ColIdx)
+	for i := 0; i < n; i++ {
+		for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+			v := q.Vals[k] / rate
+			if q.ColIdx[k] == i {
+				v++
+			}
+			p.Vals[k] = v
+		}
+	}
+
+	weights, right := ws.Poisson(rate*t, truncationEpsilon)
+	tail := ws.Vec(right + 1)
+	acc := 0.0
+	for k := 0; k <= right; k++ {
+		acc += weights[k]
+		tail[k] = 1 - acc
+		if tail[k] < 0 {
+			tail[k] = 0
+		}
+	}
+
+	tm = ws.Mat(n, n)
+	um = ws.Mat(n, n)
+	power := ws.Mat(n, n) // P^k
+	next := ws.Mat(n, n)
+	for i := 0; i < n; i++ {
+		power.Set(i, i, 1)
+	}
+	for k := 0; k <= right; k++ {
+		addScaled(tm, power, weights[k])
+		addScaled(um, power, tail[k]/rate)
+		if k == right {
+			break
+		}
+		if err := next.MulCSRInto(power, p); err != nil {
 			return nil, nil, err
 		}
 		power, next = next, power

@@ -27,7 +27,19 @@ func (m *Model) TransientReliability(rf reliability.StateFn, times []float64) ([
 	out := make([]float64, len(times))
 	switch {
 	case m.Arch != WithRejuvenation:
-		q, err := m.Graph.Generator()
+		// Large state spaces propagate through the matrix-free CSR series;
+		// small ones keep the dense kernel and its bit-exact seed behavior.
+		var (
+			q   *linalg.Dense
+			qc  *linalg.CSR
+			ws  *linalg.Workspace
+			err error
+		)
+		if m.Graph.NumStates() >= linalg.SparseThreshold {
+			qc, err = m.Graph.GeneratorCSR(nil)
+		} else {
+			q, err = m.Graph.Generator()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -35,7 +47,12 @@ func (m *Model) TransientReliability(rf reliability.StateFn, times []float64) ([
 			if t < 0 {
 				return nil, fmt.Errorf("nvp: negative time %g", t)
 			}
-			pi, err := linalg.UniformizedPower(q, init, t, 0, 1e-12)
+			var pi []float64
+			if qc != nil {
+				pi, err = ws.UniformizedPowerCSR(qc, init, t, 0, 1e-12, nil)
+			} else {
+				pi, err = linalg.UniformizedPower(q, init, t, 0, 1e-12)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -75,13 +92,24 @@ func (m *Model) MissionReliability(rf reliability.StateFn, t float64) (float64, 
 	init := m.Graph.Initial
 
 	if m.Arch != WithRejuvenation {
-		q, err := m.Graph.Generator()
-		if err != nil {
-			return 0, err
-		}
-		occ, err := linalg.UniformizedIntegral(q, init, t, 0, 1e-12)
-		if err != nil {
-			return 0, err
+		var occ []float64
+		if m.Graph.NumStates() >= linalg.SparseThreshold {
+			qc, err := m.Graph.GeneratorCSR(nil)
+			if err != nil {
+				return 0, err
+			}
+			var ws *linalg.Workspace
+			if occ, err = ws.UniformizedIntegralCSR(qc, init, t, 0, 1e-12, nil); err != nil {
+				return 0, err
+			}
+		} else {
+			q, err := m.Graph.Generator()
+			if err != nil {
+				return 0, err
+			}
+			if occ, err = linalg.UniformizedIntegral(q, init, t, 0, 1e-12); err != nil {
+				return 0, err
+			}
 		}
 		acc, err := linalg.Dot(occ, reward)
 		if err != nil {

@@ -55,9 +55,40 @@ func Workers() int {
 	return runtime.NumCPU()
 }
 
-// ForEach runs fn(0..n-1) on Workers() goroutines. See ForEachN.
+// MinItemsPerWorker is the work floor below which ForEach and Map shed
+// workers: spinning up a goroutine for fewer items than this costs more in
+// scheduling than the fan-out recovers on the solver workloads the pool
+// exists for.
+const MinItemsPerWorker = 4
+
+// EffectiveWorkers returns the worker count ForEach and Map will actually
+// use for n items: Workers() clamped to runtime.NumCPU — the solves are
+// pure CPU work, so goroutines beyond the core count only add scheduling
+// overhead — and shed further so every worker has at least
+// MinItemsPerWorker items. Small sweeps therefore run inline instead of
+// paying pool overhead, and a 2-worker request on a 1-CPU machine
+// degenerates to the serial loop it would have fought the scheduler to
+// imitate. ForEachN and MapN take the caller's count verbatim and are not
+// clamped.
+func EffectiveWorkers(n int) int {
+	w := Workers()
+	if cpus := runtime.NumCPU(); w > cpus {
+		w = cpus
+	}
+	if n > 0 {
+		if byWork := (n + MinItemsPerWorker - 1) / MinItemsPerWorker; w > byWork {
+			w = byWork
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(0..n-1) on EffectiveWorkers(n) goroutines. See ForEachN.
 func ForEach(n int, fn func(i int) error) error {
-	return ForEachN(Workers(), n, fn)
+	return ForEachN(EffectiveWorkers(n), n, fn)
 }
 
 // ForEachN runs fn(0..n-1) on at most workers goroutines. Indices are
@@ -112,11 +143,11 @@ func ForEachN(workers, n int, fn func(i int) error) error {
 	return firstErr
 }
 
-// Map evaluates fn over 0..n-1 on Workers() goroutines and returns the
-// results in index order. On error the slice is nil and the error is the
-// one of the lowest failing index.
+// Map evaluates fn over 0..n-1 on EffectiveWorkers(n) goroutines and
+// returns the results in index order. On error the slice is nil and the
+// error is the one of the lowest failing index.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapN[T](Workers(), n, fn)
+	return MapN[T](EffectiveWorkers(n), n, fn)
 }
 
 // MapN is Map with an explicit worker count.

@@ -3,6 +3,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -117,5 +118,61 @@ func TestWorkersOverridePrecedence(t *testing.T) {
 	t.Setenv("NVREL_WORKERS", "not-a-number")
 	if got := Workers(); got <= 0 {
 		t.Fatalf("fallback must be positive, got %d", got)
+	}
+}
+
+func TestEffectiveWorkersClampsToCPUAndWork(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+
+	cpus := runtime.NumCPU()
+
+	// A request beyond the core count is clamped: pure-CPU solves gain
+	// nothing from extra goroutines.
+	SetWorkers(cpus + 7)
+	if got := EffectiveWorkers(1000); got != cpus {
+		t.Errorf("oversubscribed request: got %d, want %d", got, cpus)
+	}
+
+	// Tiny sweeps shed workers down to the minimum-work floor.
+	SetWorkers(cpus)
+	if got := EffectiveWorkers(1); got != 1 {
+		t.Errorf("n=1: got %d, want 1", got)
+	}
+	if got := EffectiveWorkers(MinItemsPerWorker); got != 1 {
+		t.Errorf("n=%d: got %d, want 1", MinItemsPerWorker, got)
+	}
+	want := 2
+	if cpus < 2 {
+		want = 1
+	}
+	if got := EffectiveWorkers(2 * MinItemsPerWorker); got != want {
+		t.Errorf("n=%d: got %d, want %d", 2*MinItemsPerWorker, got, want)
+	}
+
+	// Zero items still yields a usable worker count.
+	if got := EffectiveWorkers(0); got < 1 {
+		t.Errorf("n=0: got %d, want >= 1", got)
+	}
+}
+
+func TestForEachMatchesSerialOnSmallSweeps(t *testing.T) {
+	// ForEach must visit every index exactly once regardless of how many
+	// workers EffectiveWorkers sheds.
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	for _, n := range []int{1, 3, 4, 5, 17} {
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
 	}
 }

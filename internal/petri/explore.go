@@ -69,6 +69,11 @@ type Graph struct {
 	Det []*DetSchedule
 
 	index map[string]int
+
+	// topo memoizes rate-independent derived structure (the CSR assembly
+	// plan, the clock branching matrix) and is shared by Restamp so every
+	// sibling of a sweep reuses it. Nil for hand-assembled graphs.
+	topo *topology
 }
 
 // ExploreOptions tunes reachability exploration.
@@ -85,7 +90,7 @@ func Explore(n *Net, opts ExploreOptions) (*Graph, error) {
 	if maxMarkings <= 0 {
 		maxMarkings = defaultMaxMarkings
 	}
-	g := &Graph{Net: n, index: make(map[string]int)}
+	g := &Graph{Net: n, index: make(map[string]int), topo: &topology{}}
 	e := &explorer{net: n, graph: g, max: maxMarkings, vanishing: make(map[string][]ProbEdge)}
 
 	// Resolving the initial marking interns its tangible support, seeding

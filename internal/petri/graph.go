@@ -62,19 +62,51 @@ func (g *Graph) SteadyState() ([]float64, error) {
 	return g.SteadyStateWS(nil)
 }
 
-// SteadyStateWS is the workspace-backed form of SteadyState; the generator
-// matrix and the GTH elimination copy come from ws. The returned vector is
-// freshly allocated either way.
+// SteadyStateWS is the workspace-backed form of SteadyState; scratch comes
+// from ws. The returned vector is freshly allocated either way. State
+// spaces of linalg.SparseThreshold states or more route through the sparse
+// Gauss-Seidel solver (with dense GTH as convergence backstop); smaller
+// ones go straight to dense GTH, whose constant factors win there.
 func (g *Graph) SteadyStateWS(ws *linalg.Workspace) ([]float64, error) {
 	if g.HasDeterministic() {
 		return nil, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
 	}
+	if g.NumStates() >= linalg.SparseThreshold {
+		return g.SteadyStateSparseWS(ws)
+	}
+	return g.SteadyStateDenseWS(ws)
+}
+
+// SteadyStateDenseWS computes the stationary distribution by dense GTH
+// elimination, unconditionally. It is the reference path the sparse solver
+// is validated against and the backstop when iteration fails to converge.
+func (g *Graph) SteadyStateDenseWS(ws *linalg.Workspace) ([]float64, error) {
 	q, err := g.GeneratorWS(ws)
 	if err != nil {
 		return nil, err
 	}
 	defer ws.PutMat(q)
 	return ws.SteadyStateGTH(q, nil)
+}
+
+// SteadyStateSparseWS computes the stationary distribution by Gauss-Seidel
+// sweeps over the transposed CSR generator, never materializing a dense
+// matrix. If the iteration does not converge it falls back to dense GTH.
+func (g *Graph) SteadyStateSparseWS(ws *linalg.Workspace) ([]float64, error) {
+	qt, err := g.GeneratorCSRTranspose(ws)
+	if err != nil {
+		return nil, err
+	}
+	pi := make([]float64, g.NumStates())
+	err = ws.SteadyStateGS(qt, pi)
+	ws.PutCSR(qt)
+	if errors.Is(err, linalg.ErrNotConverged) {
+		return g.SteadyStateDenseWS(ws)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pi, nil
 }
 
 // ExpectedReward computes the steady-state expected reward of a graph with

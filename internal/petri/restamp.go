@@ -60,6 +60,7 @@ func (g *Graph) Restamp(net *Net) (*Graph, error) {
 		Exp:      make([]RateEdge, len(g.Exp)),
 		Det:      make([]*DetSchedule, len(g.Det)),
 		index:    g.index,
+		topo:     g.topo,
 	}
 	for i, e := range g.Exp {
 		e.Rate = net.rateOf(e.Via, g.Markings[e.From]) * e.Prob

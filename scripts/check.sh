@@ -19,4 +19,12 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== no-alloc benchmark guards (-benchtime=1x)"
+bench_out=$(go test -run '^$' -bench 'NoAlloc' -benchmem -benchtime=1x ./...)
+echo "$bench_out"
+if ! echo "$bench_out" | awk '/allocs\/op/ { if ($(NF-1)+0 != 0) { print "nonzero allocs: " $0 > "/dev/stderr"; bad = 1 } } END { exit bad }'; then
+    echo "no-alloc guard: a NoAlloc benchmark allocated; see lines above" >&2
+    exit 1
+fi
+
 echo "check.sh: all green"
