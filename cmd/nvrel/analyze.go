@@ -4,6 +4,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nvrel/internal/mrgp"
@@ -14,7 +15,7 @@ import (
 // cmdAnalyze parses a DSPN from a netdef file, explores it, solves its
 // steady state with whichever solver its structure requires, and prints
 // the distribution plus structural invariants.
-func cmdAnalyze(args []string, out *os.File) error {
+func cmdAnalyze(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	fs.SetOutput(out)
 	netPath := fs.String("net", "", "path to a DSPN definition (see internal/netdef)")

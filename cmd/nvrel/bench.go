@@ -4,13 +4,24 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"nvrel"
+	"nvrel/internal/linalg"
+	"nvrel/internal/nvp"
+	"nvrel/internal/obs"
 )
+
+// benchCase is one named end-to-end benchmark.
+type benchCase struct {
+	name string
+	run  func() error
+}
 
 // BenchResult is one (experiment, worker count) timing. Workers is the
 // count actually used, after clamping to the machine's cores.
@@ -25,13 +36,21 @@ type BenchResult struct {
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
 }
 
-// BenchReport is the JSON document `nvrel bench` writes.
+// BenchReport is the JSON document `nvrel bench` writes. Manifest pins the
+// toolchain/machine the numbers came from and carries the wall clock per
+// experiment in its phase map; Metrics embeds the solver counters (GS
+// sweeps, restamps, plan memo hits, worker utilization, ...) accumulated
+// across the whole bench run, so a timing regression can be separated from
+// an algorithmic one (more sweeps vs slower sweeps) from the artifact
+// alone.
 type BenchReport struct {
 	GOOS      string        `json:"goos"`
 	GOARCH    string        `json:"goarch"`
 	NumCPU    int           `json:"num_cpu"`
 	Timestamp string        `json:"timestamp"`
 	Results   []BenchResult `json:"results"`
+	Manifest  obs.Manifest  `json:"manifest"`
+	Metrics   obs.Snapshot  `json:"metrics"`
 }
 
 // cmdBench times the sweep experiments end-to-end at 1, 2, and NumCPU
@@ -39,13 +58,14 @@ type BenchReport struct {
 // warm-up run first so the reachability-graph cache is warm for every
 // timed configuration alike; timings then reflect solve work, not
 // exploration.
-func cmdBench(args []string, out *os.File) error {
+func cmdBench(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	reps := fs.Int("reps", 3, "timed repetitions per experiment and worker count")
 	output := fs.String("o", "", "output path for the JSON report (default BENCH_sweeps.json, or BENCH_scale.json with -scale; empty for stdout only)")
 	scale := fs.Bool("scale", false, "sweep model size N and compare the dense and sparse solver paths")
 	budget := fs.Float64("budget", 60, "with -scale: skip the dense solver once a solve exceeds (or is projected to exceed) this many seconds")
+	only := fs.String("only", "", "comma-separated subset of experiments to bench (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,17 +88,64 @@ func cmdBench(args []string, out *os.File) error {
 		*output = "BENCH_sweeps.json"
 	}
 
-	benchmarks := []struct {
-		name string
-		run  func() error
-	}{
+	// gs-sparse is a synthetic probe: the paper-scale sweep experiments all
+	// stay below linalg.SparseThreshold states and never exercise the
+	// Gauss-Seidel path. A no-rejuvenation model widened to N=24 (325
+	// states) routes through the sparse solver, so the embedded metrics
+	// snapshot carries nonzero GS sweep counters and the timing rows get a
+	// sparse-path reference point. The cache makes re-runs restamp instead
+	// of re-explore, mirroring how the sweep experiments use the solver.
+	gsCache := nvp.NewModelCache()
+	gsWS := linalg.NewWorkspace()
+	gsProbe := func() error {
+		p := nvp.DefaultFourVersion()
+		p.N = 24
+		m, err := gsCache.BuildNoRejuvenation(p)
+		if err != nil {
+			return err
+		}
+		_, err = m.Graph.SteadyStateWS(gsWS)
+		return err
+	}
+
+	benchmarks := []benchCase{
 		{"headline", func() error { _, err := nvrel.Headline(); return err }},
 		{"fig3", func() error { _, err := nvrel.Fig3(nil); return err }},
 		{"fig4a", func() error { _, err := nvrel.Fig4a(nil); return err }},
 		{"fig4b", func() error { _, err := nvrel.Fig4b(nil); return err }},
 		{"fig4c", func() error { _, err := nvrel.Fig4c(nil); return err }},
 		{"fig4d", func() error { _, err := nvrel.Fig4d(nil); return err }},
+		{"gs-sparse", gsProbe},
 	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var kept []benchCase
+		for _, b := range benchmarks {
+			if keep[b.name] {
+				kept = append(kept, b)
+				delete(keep, b.name)
+			}
+		}
+		if len(keep) > 0 {
+			var unknown []string
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			return fmt.Errorf("bench: unknown experiment(s) in -only: %s", strings.Join(unknown, ", "))
+		}
+		benchmarks = kept
+	}
+
+	// The embedded metrics snapshot covers exactly this bench run.
+	prevObs := obs.Enable()
+	defer obs.SetEnabled(prevObs)
+	obs.Reset()
+	benchStart := time.Now()
+	phases := make(map[string]float64, len(benchmarks))
 
 	// The sweep requests 1, 2, and NumCPU workers, but what a request
 	// delivers is clamped to the core count (parallel.EffectiveWorkers), so
@@ -112,6 +179,7 @@ func cmdBench(args []string, out *os.File) error {
 	fmt.Fprintf(out, "  %-10s %-8s %-12s %-12s %s\n", "experiment", "workers", "min (s)", "mean (s)", "speedup")
 
 	for _, b := range benchmarks {
+		expStart := time.Now()
 		if err := b.run(); err != nil { // warm-up: graph cache + workspace pools
 			return fmt.Errorf("bench: %s warm-up: %w", b.name, err)
 		}
@@ -145,7 +213,12 @@ func cmdBench(args []string, out *os.File) error {
 			fmt.Fprintf(out, "  %-10s %-8d %-12.6f %-12.6f %.2fx\n",
 				r.Experiment, r.Workers, r.MinSeconds, r.MeanSeconds, r.SpeedupVs1)
 		}
+		phases[b.name] = time.Since(expStart).Seconds()
 	}
+
+	report.Manifest = runManifest(append([]string{"bench"}, args...), time.Since(benchStart).Seconds())
+	report.Manifest.Phases = phases
+	report.Metrics = obs.Capture()
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -150,7 +151,7 @@ func scaleFamilies() []scaleFamily {
 // solver against the sparse one at every point. The dense solver drops out
 // of a family once a solve exceeds the time budget — the remaining sizes
 // are exactly the ones the sparse engine opens up.
-func cmdBenchScale(output string, budget float64, out *os.File) error {
+func cmdBenchScale(output string, budget float64, out io.Writer) error {
 	report := ScaleReport{
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,

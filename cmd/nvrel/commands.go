@@ -3,7 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"nvrel"
 	"nvrel/internal/experiments"
@@ -13,7 +13,7 @@ func experimentNames() []string { return nvrel.ExperimentNames() }
 
 // runExperiment executes one experiment; the CSV flag applies to sweep
 // experiments and is ignored by scalar reports.
-func runExperiment(name string, csv bool, out *os.File) error {
+func runExperiment(name string, csv bool, out io.Writer) error {
 	if !csv {
 		return nvrel.RunExperiment(name, out)
 	}
@@ -57,7 +57,7 @@ func paramFlags(fs *flag.FlagSet, p *nvrel.Params) {
 	fs.Float64Var(&p.RejuvenationInterval, "interval", p.RejuvenationInterval, "rejuvenation interval 1/gamma (s)")
 }
 
-func cmdSolve(args []string, out *os.File) error {
+func cmdSolve(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	fs.SetOutput(out)
 	arch := fs.String("arch", "6v", `architecture: "4v" (no rejuvenation) or "6v" (with rejuvenation)`)
@@ -124,7 +124,7 @@ func flagSet(fs *flag.FlagSet, name string) bool {
 	return set
 }
 
-func cmdExport(args []string, out *os.File) error {
+func cmdExport(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	fs.SetOutput(out)
 	arch := fs.String("arch", "6v", `architecture: "4v" or "6v"`)
@@ -149,7 +149,7 @@ func cmdExport(args []string, out *os.File) error {
 	return model.Net.WriteDOT(out)
 }
 
-func cmdSimulate(args []string, out *os.File) error {
+func cmdSimulate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	fs.SetOutput(out)
 	reps := fs.Int("reps", 16, "independent replications")

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,11 +29,18 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
-	args, err := applyGlobalFlags(args)
+func run(args []string, out io.Writer) error {
+	args, opts, err := applyGlobalFlags(args)
 	if err != nil {
 		return err
 	}
+	if opts.instrumented() {
+		return withInstrumentation(opts, args, func() error { return dispatch(args, out) })
+	}
+	return dispatch(args, out)
+}
+
+func dispatch(args []string, out io.Writer) error {
 	if len(args) == 0 {
 		usage(out)
 		return nil
@@ -65,7 +73,7 @@ func run(args []string, out *os.File) error {
 	}
 }
 
-func usage(out *os.File) {
+func usage(out io.Writer) {
 	fmt.Fprintln(out, `nvrel — N-version perception-system reliability (DSN 2023 reproduction)
 
 commands:
@@ -82,37 +90,65 @@ commands:
 
 global flags (before the command):
   -workers n                 worker goroutines for sweeps and replications
-                             (default: NVREL_WORKERS or the CPU count)`)
+                             (default: NVREL_WORKERS or the CPU count)
+  -metrics file.json         write a solver-metrics snapshot + run manifest
+  -cpuprofile file           write a pprof CPU profile of the command
+  -memprofile file           write a pprof heap profile at command exit
+  -pprof addr                serve net/http/pprof on addr (e.g. localhost:6060)`)
 }
 
-// applyGlobalFlags consumes flags that precede the command name. Only
-// -workers is global: it pins the worker count of the parallel engines.
-func applyGlobalFlags(args []string) ([]string, error) {
+// applyGlobalFlags consumes flags that precede the command name: -workers
+// pins the worker count of the parallel engines, and the observability
+// flags (-metrics, -cpuprofile, -memprofile, -pprof) select the plumbing
+// withInstrumentation wraps around the command. Anything unrecognized is
+// left for the subcommand.
+func applyGlobalFlags(args []string) ([]string, globalOpts, error) {
+	var opts globalOpts
+	targets := map[string]*string{
+		"metrics":    &opts.metricsPath,
+		"cpuprofile": &opts.cpuProfile,
+		"memprofile": &opts.memProfile,
+		"pprof":      &opts.pprofAddr,
+	}
 	for len(args) > 0 {
 		arg := args[0]
-		var value string
-		switch {
-		case arg == "-workers" || arg == "--workers":
+		if len(arg) < 2 || arg[0] != '-' {
+			return args, opts, nil
+		}
+		name := strings.TrimLeft(arg, "-")
+		value, hasValue := "", false
+		if i := strings.Index(name, "="); i >= 0 {
+			name, value, hasValue = name[:i], name[i+1:], true
+		}
+		dst, known := targets[name]
+		if !known && name != "workers" {
+			return args, opts, nil
+		}
+		if hasValue {
+			args = args[1:]
+		} else {
 			if len(args) < 2 {
-				return nil, fmt.Errorf("%s: missing value", arg)
+				return nil, opts, fmt.Errorf("-%s: missing value", name)
 			}
 			value, args = args[1], args[2:]
-		case strings.HasPrefix(arg, "-workers=") || strings.HasPrefix(arg, "--workers="):
-			value = arg[strings.Index(arg, "=")+1:]
-			args = args[1:]
-		default:
-			return args, nil
 		}
-		n, err := strconv.Atoi(value)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("-workers: want a non-negative integer, got %q", value)
+		if name == "workers" {
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, opts, fmt.Errorf("-workers: want a non-negative integer, got %q", value)
+			}
+			parallel.SetWorkers(n)
+			continue
 		}
-		parallel.SetWorkers(n)
+		if value == "" {
+			return nil, opts, fmt.Errorf("-%s: missing value", name)
+		}
+		*dst = value
 	}
-	return args, nil
+	return args, opts, nil
 }
 
-func cmdList(out *os.File) error {
+func cmdList(out io.Writer) error {
 	fmt.Fprintln(out, "experiments (see DESIGN.md section 5 for the paper mapping):")
 	for _, n := range experimentNames() {
 		fmt.Fprintf(out, "  %s\n", n)
@@ -120,7 +156,7 @@ func cmdList(out *os.File) error {
 	return nil
 }
 
-func cmdRun(args []string, out *os.File) error {
+func cmdRun(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of a text table (sweep experiments only)")
 	fs.SetOutput(out)

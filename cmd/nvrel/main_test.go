@@ -1,27 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-// capture runs the CLI with a temp file as output and returns what was
-// written.
+// capture runs the CLI against an in-memory buffer and returns what was
+// written — the commands take any io.Writer, so tests never touch disk.
 func capture(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	f, err := os.CreateTemp(t.TempDir(), "out")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	runErr := run(args, f)
-	data, err := os.ReadFile(f.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data), runErr
+	var buf bytes.Buffer
+	runErr := run(args, &buf)
+	return buf.String(), runErr
 }
 
 func TestCmdNoArgsShowsUsage(t *testing.T) {
@@ -295,6 +289,64 @@ func TestCmdTraceAttacker(t *testing.T) {
 func TestCmdTraceValidation(t *testing.T) {
 	if _, err := capture(t, "trace", "-arch", "7v"); err == nil {
 		t.Error("unknown architecture accepted")
+	}
+}
+
+// traceTimestamps extracts the leading timestamps of the timeline lines
+// ("  <time>  <event>").
+func traceTimestamps(t *testing.T, out string) []float64 {
+	t.Helper()
+	var stamps []float64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "  ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		stamps = append(stamps, v)
+	}
+	return stamps
+}
+
+func TestCmdTraceTimelineOrdered(t *testing.T) {
+	out, err := capture(t, "trace", "-arch", "6v", "-horizon", "4000", "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := traceTimestamps(t, out)
+	if len(stamps) < 5 {
+		t.Fatalf("timeline too short (%d events):\n%s", len(stamps), out)
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("timeline out of order at event %d: %.1f after %.1f", i, stamps[i], stamps[i-1])
+		}
+	}
+}
+
+func TestCmdTraceAttackDutyHonored(t *testing.T) {
+	// With a positive duty cycle the bursty attacker emits campaign
+	// events; at the default duty of zero the constant-rate model runs and
+	// no campaign events may appear.
+	with, err := capture(t, "trace", "-arch", "4v", "-horizon", "20000", "-seed", "3", "-attack-duty", "0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with, "attack campaign") {
+		t.Errorf("duty 0.2 missing campaign events:\n%s", with)
+	}
+	without, err := capture(t, "trace", "-arch", "4v", "-horizon", "20000", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without, "attack campaign") {
+		t.Errorf("duty 0 produced campaign events:\n%s", without)
 	}
 }
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"nvrel/internal/obs"
+	"nvrel/internal/parallel"
+)
+
+// globalOpts holds the observability flags consumed before the subcommand
+// name (see applyGlobalFlags).
+type globalOpts struct {
+	metricsPath string // -metrics: write an obs snapshot + run manifest here
+	cpuProfile  string // -cpuprofile: write a pprof CPU profile here
+	memProfile  string // -memprofile: write a heap profile here at exit
+	pprofAddr   string // -pprof: serve net/http/pprof on this address
+}
+
+// instrumented reports whether any observability plumbing was requested.
+func (o globalOpts) instrumented() bool {
+	return o.metricsPath != "" || o.cpuProfile != "" || o.memProfile != "" || o.pprofAddr != ""
+}
+
+// withInstrumentation wraps one command dispatch with the requested metrics
+// and profiling plumbing: it enables the obs registry for the duration of
+// the command (restoring the previous state afterwards so tests sharing the
+// process stay unaffected), starts the profilers, runs the command, and
+// writes the requested artifacts. Artifact-write errors surface only when
+// the command itself succeeded.
+func withInstrumentation(opts globalOpts, args []string, dispatch func() error) error {
+	if opts.metricsPath != "" {
+		prev := obs.Enable()
+		defer obs.SetEnabled(prev)
+		obs.Reset()
+	}
+	if opts.pprofAddr != "" {
+		// Fire-and-forget: the listener dies with the process. Bind errors
+		// (port in use) surface on stderr without failing the run.
+		go func() {
+			if err := http.ListenAndServe(opts.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "nvrel: pprof listener:", err)
+			}
+		}()
+	}
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	start := time.Now()
+	cmdErr := dispatch()
+	wall := time.Since(start).Seconds()
+
+	if opts.memProfile != "" {
+		if err := writeHeapProfile(opts.memProfile); err != nil && cmdErr == nil {
+			cmdErr = err
+		}
+	}
+	if opts.metricsPath != "" {
+		if err := writeMetricsFile(opts.metricsPath, args, wall); err != nil && cmdErr == nil {
+			cmdErr = err
+		}
+	}
+	return cmdErr
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date heap statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	return nil
+}
+
+// metricsDoc is the JSON document -metrics writes: the run manifest first,
+// then the full registry snapshot.
+type metricsDoc struct {
+	Manifest obs.Manifest `json:"manifest"`
+	Metrics  obs.Snapshot `json:"metrics"`
+}
+
+func writeMetricsFile(path string, args []string, wall float64) error {
+	doc := metricsDoc{Manifest: runManifest(args, wall), Metrics: obs.Capture()}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	return nil
+}
+
+// runManifest pins the run the snapshot came from: toolchain and machine
+// shape from obs.NewManifest, plus the subcommand, the hash of the full
+// argument vector, the effective worker count, and the command wall clock.
+func runManifest(args []string, wall float64) obs.Manifest {
+	m := obs.NewManifest()
+	if len(args) > 0 {
+		m.Command = args[0]
+	}
+	m.ParamsHash = paramsHash(args)
+	m.Workers = parallel.Workers()
+	m.WallSeconds = wall
+	m.Phases = map[string]float64{"command": wall}
+	return m
+}
+
+// paramsHash is an FNV-64a hash over the NUL-joined argument vector (flags
+// included), so runs with different parameters never collide silently.
+func paramsHash(args []string) string {
+	h := fnv.New64a()
+	for _, a := range args {
+		io.WriteString(h, a)
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

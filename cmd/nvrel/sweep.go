@@ -3,8 +3,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
-	"os"
 	"sort"
 	"strings"
 
@@ -35,7 +35,7 @@ func sweepParamNames() string {
 
 // cmdSweep evaluates both architectures across a linear grid of one
 // parameter — the generic version of the Figure 3/4 sweeps.
-func cmdSweep(args []string, out *os.File) error {
+func cmdSweep(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(out)
 	param := fs.String("param", "", "parameter to sweep: "+sweepParamNames())

@@ -3,7 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
 	"nvrel"
 	"nvrel/internal/des"
@@ -12,7 +12,7 @@ import (
 
 // cmdTrace simulates one run and prints a timestamped event timeline —
 // useful for understanding the rejuvenation dynamics at a glance.
-func cmdTrace(args []string, out *os.File) error {
+func cmdTrace(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	fs.SetOutput(out)
 	arch := fs.String("arch", "6v", `architecture: "4v" or "6v"`)

@@ -1,0 +1,10 @@
+package des
+
+import "nvrel/internal/obs"
+
+// Metric handles for the event simulator. All updates are no-ops while obs
+// is disabled (the default).
+var (
+	// Events fired (canceled events popped off the heap do not count).
+	metEvents = obs.CounterFor("des.events")
+)

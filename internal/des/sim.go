@@ -77,6 +77,7 @@ func (s *Simulation) Step() bool {
 		}
 		s.now = h.time
 		s.fired++
+		metEvents.Inc()
 		h.action()
 		return true
 	}

@@ -39,6 +39,10 @@ func PoissonWeights(lambda, epsilon float64) (weights []float64, right int) {
 	for k := range weights {
 		weights[k] /= sum
 	}
+	// 1 - sum is the truncated tail mass (the weights themselves are
+	// renormalized above, so record the deficit before it vanishes).
+	metUnifK.Observe(float64(right))
+	metUnifTail.Set(1 - sum)
 	return weights, right
 }
 

@@ -43,21 +43,23 @@ const (
 // converges in tens to hundreds of sweeps where power iteration on the
 // uniformized chain would need rate-ratio many; each sweep costs O(nnz).
 //
-// The result is written into dst (length n). ErrNotConverged is returned
-// when the sweep budget runs out; callers should then fall back to dense
-// GTH.
-func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) error {
+// The result is written into dst (length n) and the number of sweeps run
+// is returned so callers can surface convergence behavior.
+// ErrNotConverged is returned when the sweep budget runs out; callers
+// should then fall back to dense GTH.
+func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err error) {
 	rows, cols := qt.Dims()
 	if rows != cols {
-		return ErrDimensionMismatch
+		return 0, ErrDimensionMismatch
 	}
 	n := rows
 	if len(dst) != n {
-		return ErrDimensionMismatch
+		return 0, ErrDimensionMismatch
 	}
+	metGSSolves.Inc()
 	if n == 1 {
 		dst[0] = 1
-		return nil
+		return 0, nil
 	}
 	for i := range dst {
 		dst[i] = 1 / float64(n)
@@ -77,7 +79,7 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) error {
 				s += qt.Vals[k] * dst[c]
 			}
 			if diag >= 0 {
-				return fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", j)
+				return sweep, fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", j)
 			}
 			v := s / -diag
 			d := v - dst[j]
@@ -88,26 +90,32 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) error {
 			dst[j] = v
 			norm += v
 		}
+		metGSSweeps.Inc()
 		if norm <= 0 {
-			return fmt.Errorf("linalg: Gauss-Seidel iterate vanished at sweep %d", sweep)
+			return sweep + 1, fmt.Errorf("linalg: Gauss-Seidel iterate vanished at sweep %d", sweep)
 		}
 		normalize(dst)
 		if delta <= gsTol*norm {
-			return nil
+			metGSConverged.Inc()
+			metGSResidual.Set(delta / norm)
+			return sweep + 1, nil
 		}
 		// Stalled at the rounding floor: the iterate stopped improving but
 		// sits below the acceptance band, which is as converged as float64
 		// will ever get for this chain.
 		if delta >= prev*0.98 {
 			if stall++; stall >= 10 && delta <= gsStallTol*norm {
-				return nil
+				metGSStalled.Inc()
+				metGSResidual.Set(delta / norm)
+				return sweep + 1, nil
 			}
 		} else {
 			stall = 0
 		}
 		prev = delta
 	}
-	return fmt.Errorf("%w: Gauss-Seidel after %d sweeps", ErrNotConverged, gsMaxSweeps)
+	metGSExhausted.Inc()
+	return gsMaxSweeps, fmt.Errorf("%w: Gauss-Seidel after %d sweeps", ErrNotConverged, gsMaxSweeps)
 }
 
 // UniformizedPowerCSR computes pi * e^{Q t} for a CSR generator Q without
@@ -143,6 +151,8 @@ func (ws *Workspace) UniformizedPowerCSR(q *CSR, pi []float64, t, rate, epsilon 
 	}
 	weights, right := ws.Poisson(rate*t, epsilon)
 	invRate := 1 / rate
+	metUnifSeries.Inc()
+	metUnifTerms.Add(int64(right) + 1)
 
 	cur := ws.Vec(n)
 	tmp := ws.Vec(n)
@@ -200,6 +210,8 @@ func (ws *Workspace) UniformizedIntegralCSR(q *CSR, pi []float64, t, rate, epsil
 	}
 	weights, right := ws.Poisson(rate*t, epsilon)
 	invRate := 1 / rate
+	metUnifSeries.Inc()
+	metUnifTerms.Add(int64(right) + 1)
 	tail := ws.Vec(right + 1)
 	acc := 0.0
 	for k := 0; k <= right; k++ {

@@ -49,8 +49,10 @@ func (ws *Workspace) Vec(n int) []float64 {
 	}
 	free := ws.vecs[n]
 	if len(free) == 0 {
+		metWSVecMiss.Inc()
 		return make([]float64, n)
 	}
+	metWSVecHit.Inc()
 	v := free[len(free)-1]
 	ws.vecs[n] = free[:len(free)-1]
 	clear(v)
@@ -74,8 +76,10 @@ func (ws *Workspace) Mat(rows, cols int) *Dense {
 	d := matDim{rows, cols}
 	free := ws.mats[d]
 	if len(free) == 0 {
+		metWSMatMiss.Inc()
 		return NewDense(rows, cols)
 	}
+	metWSMatHit.Inc()
 	m := free[len(free)-1]
 	ws.mats[d] = free[:len(free)-1]
 	m.Zero()
@@ -102,8 +106,10 @@ func (ws *Workspace) CSR(rows, cols, nnz int) *CSR {
 	d := csrDim{rows, cols, nnz}
 	free := ws.csrs[d]
 	if len(free) == 0 {
+		metWSCSRMiss.Inc()
 		return NewCSR(rows, cols, nnz)
 	}
+	metWSCSRHit.Inc()
 	c := free[len(free)-1]
 	ws.csrs[d] = free[:len(free)-1]
 	clear(c.Vals)
@@ -128,8 +134,10 @@ func (ws *Workspace) Poisson(lambda, epsilon float64) (weights []float64, right 
 	}
 	key := poissonKey{lambda, epsilon}
 	if memo, ok := ws.poisson[key]; ok {
+		metWSPoissonHit.Inc()
 		return memo.weights, memo.right
 	}
+	metWSPoissonMiss.Inc()
 	w, r := PoissonWeights(lambda, epsilon)
 	if len(ws.poisson) >= poissonMemoLimit {
 		clear(ws.poisson)

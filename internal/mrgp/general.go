@@ -48,6 +48,7 @@ func SolveGeneralWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	if !g.HasDeterministic() {
 		return nil, ErrNoDeterministic
 	}
+	metSolveGeneral.Inc()
 
 	q, err := g.GeneratorWS(ws)
 	if err != nil {

@@ -1,0 +1,20 @@
+package mrgp
+
+import "nvrel/internal/obs"
+
+// Metric handles for the Markov-regenerative solvers. All updates are
+// no-ops while obs is disabled (the default).
+var (
+	// Solve routing: dense embedded-chain solves, matrix-free sparse
+	// solves, general (state-dependent clock) solves, and sparse solves
+	// whose power iteration failed to converge and fell back to dense.
+	metSolveDense    = obs.CounterFor("mrgp.solve.dense")
+	metSolveSparse   = obs.CounterFor("mrgp.solve.sparse")
+	metSolveGeneral  = obs.CounterFor("mrgp.solve.general")
+	metSolveFallback = obs.CounterFor("mrgp.solve.fallback_dense")
+
+	// Sparse embedded-chain power iteration: cycles run across solves and
+	// the final L1 residual of the most recent solve.
+	metPowerCycles   = obs.CounterFor("mrgp.power.cycles")
+	metPowerResidual = obs.GaugeFor("mrgp.power.final_residual")
+)

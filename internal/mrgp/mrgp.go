@@ -79,6 +79,7 @@ func SolveWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 		if err == nil || !errors.Is(err, linalg.ErrNotConverged) {
 			return sol, err
 		}
+		metSolveFallback.Inc()
 	}
 	return SolveDenseWS(ws, g)
 }
@@ -100,6 +101,7 @@ func SolveDenseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	metSolveDense.Inc()
 
 	q, err := g.GeneratorWS(ws)
 	if err != nil {

@@ -48,6 +48,7 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	metSolveSparse.Inc()
 
 	q, err := g.GeneratorCSR(ws)
 	if err != nil {
@@ -70,6 +71,8 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	converged := false
 	prev := math.Inf(1)
 	stall := 0
+	cycles := 0
+	lastDelta := math.Inf(1)
 	for cycle := 0; cycle < embMaxCycles; cycle++ {
 		if _, err := ws.UniformizedPowerCSR(q, v, delay, rate, truncationEpsilon, moved); err != nil {
 			return nil, err
@@ -94,6 +97,8 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 			delta += diff
 		}
 		v, next = next, v
+		cycles = cycle + 1
+		lastDelta = delta
 		if delta <= embTol {
 			converged = true
 			break
@@ -108,6 +113,8 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 		}
 		prev = delta
 	}
+	metPowerCycles.Add(int64(cycles))
+	metPowerResidual.Set(lastDelta)
 	if !converged {
 		return nil, fmt.Errorf("%w: embedded power iteration after %d cycles", linalg.ErrNotConverged, embMaxCycles)
 	}

@@ -105,9 +105,16 @@ func (c *ModelCache) graphFor(key cacheKey, net *petri.Net) (*petri.Graph, error
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
+	explored := false
 	e.once.Do(func() {
+		explored = true
 		e.graph, e.err = petri.Explore(net, petri.ExploreOptions{})
 	})
+	if explored {
+		metCacheMisses.Inc()
+	} else {
+		metCacheHits.Inc()
+	}
 	if e.err != nil {
 		return nil, e.err
 	}

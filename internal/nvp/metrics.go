@@ -1,0 +1,13 @@
+package nvp
+
+import "nvrel/internal/obs"
+
+// Metric handles for the model layer. All updates are no-ops while obs is
+// disabled (the default).
+var (
+	// ModelCache exploration outcomes: a miss explores the reachability
+	// graph from scratch, a hit reuses the memoized topology (re-stamping
+	// rates when the net instance differs).
+	metCacheHits   = obs.CounterFor("nvp.cache.hit")
+	metCacheMisses = obs.CounterFor("nvp.cache.miss")
+)

@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+// Metric handles for the worker pool. All updates are no-ops while obs is
+// disabled (the default); ForEachN only takes the instrumented path — and
+// only then allocates the timing closure — when obs.Enabled() reports true,
+// so the hot path stays allocation-free.
+var (
+	metPoolRuns  = obs.CounterFor("parallel.pool.runs")
+	metPoolTasks = obs.CounterFor("parallel.pool.tasks")
+
+	// Busy is the summed wall-clock nanoseconds workers spent inside fn;
+	// wall is the pool's own elapsed nanoseconds; idle = wall*workers -
+	// busy approximates queue wait plus scheduling overhead (the pool has
+	// no explicit queue, so idle time is the closest observable proxy).
+	metPoolBusyNS = obs.CounterFor("parallel.pool.busy_ns")
+	metPoolWallNS = obs.CounterFor("parallel.pool.wall_ns")
+	metPoolIdleNS = obs.CounterFor("parallel.pool.idle_ns")
+
+	// Utilization of the most recent pool run: busy / (wall * workers),
+	// in [0, 1]. Workers is the count the most recent run launched.
+	metPoolUtilization = obs.GaugeFor("parallel.pool.utilization")
+	metPoolWorkers     = obs.GaugeFor("parallel.pool.workers")
+)
+
+// forEachNObserved wraps the core pool loop with busy/wall accounting.
+func forEachNObserved(workers, n int, fn func(i int) error) error {
+	metPoolRuns.Inc()
+	metPoolTasks.Add(int64(n))
+	metPoolWorkers.Set(float64(workers))
+	var busy atomic.Int64
+	start := time.Now()
+	err := forEachN(workers, n, func(i int) error {
+		t0 := time.Now()
+		e := fn(i)
+		busy.Add(int64(time.Since(t0)))
+		return e
+	})
+	wall := int64(time.Since(start))
+	if wall > 0 {
+		b := busy.Load()
+		metPoolWallNS.Add(wall)
+		metPoolBusyNS.Add(b)
+		if idle := wall*int64(workers) - b; idle > 0 {
+			metPoolIdleNS.Add(idle)
+		}
+		metPoolUtilization.Set(float64(b) / (float64(wall) * float64(workers)))
+	}
+	return err
+}

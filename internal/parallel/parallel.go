@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"nvrel/internal/obs"
 )
 
 var (
@@ -103,6 +105,18 @@ func ForEachN(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if obs.Enabled() {
+		return forEachNObserved(workers, n, fn)
+	}
+	return forEachN(workers, n, fn)
+}
+
+// forEachN is the uninstrumented pool core; workers is already clamped to
+// [1, n] and n is positive.
+func forEachN(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

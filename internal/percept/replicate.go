@@ -50,6 +50,7 @@ func Replicate(cfg Config, n int, seed uint64) (*Estimate, error) {
 	}
 	results := make([]*Result, n)
 	err := parallel.ForEach(n, func(rep int) error {
+		span := metReplicationTime.Start()
 		sys, err := New(cfg, rngs[rep])
 		if err != nil {
 			return err
@@ -59,6 +60,8 @@ func Replicate(cfg Config, n int, seed uint64) (*Estimate, error) {
 			return err
 		}
 		results[rep] = res
+		span.End()
+		metReplications.Inc()
 		return nil
 	})
 	if err != nil {

@@ -108,6 +108,9 @@ func Explore(n *Net, opts ExploreOptions) (*Graph, error) {
 	for _, pe := range init {
 		g.Initial[pe.To] += pe.Prob
 	}
+	metExploreRuns.Inc()
+	metExploreStates.Add(int64(g.NumStates()))
+	metExploreEdges.Add(int64(len(g.Exp)))
 	return g, nil
 }
 

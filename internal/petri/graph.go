@@ -68,13 +68,63 @@ func (g *Graph) SteadyState() ([]float64, error) {
 // Gauss-Seidel solver (with dense GTH as convergence backstop); smaller
 // ones go straight to dense GTH, whose constant factors win there.
 func (g *Graph) SteadyStateWS(ws *linalg.Workspace) ([]float64, error) {
+	pi, _, err := g.SteadyStateDiagWS(ws)
+	return pi, err
+}
+
+// SolvePath identifies which solver produced a steady-state result.
+type SolvePath int
+
+// Solver paths, in routing order.
+const (
+	// PathDense is the dense GTH direct solve.
+	PathDense SolvePath = iota
+	// PathSparse is the CSR Gauss-Seidel iteration.
+	PathSparse
+	// PathSparseFallbackDense means the Gauss-Seidel iteration did not
+	// converge and the dense GTH backstop produced the result.
+	PathSparseFallbackDense
+)
+
+func (p SolvePath) String() string {
+	switch p {
+	case PathDense:
+		return "dense"
+	case PathSparse:
+		return "sparse"
+	case PathSparseFallbackDense:
+		return "sparse-fallback-dense"
+	default:
+		return "unknown"
+	}
+}
+
+// SolveDiag reports how a steady-state solve went: the path taken, the
+// Gauss-Seidel sweep count (zero on the dense path), and the convergence
+// error that forced a fallback (nil otherwise). It exists so callers and
+// tests can assert the solver behavior that the result vector alone
+// cannot reveal — most importantly that a sparse solve did not silently
+// degrade to the dense backstop.
+type SolveDiag struct {
+	States   int
+	Path     SolvePath
+	GSSweeps int
+	Fallback error
+}
+
+// SteadyStateDiagWS computes the stationary distribution like
+// SteadyStateWS and additionally reports which solver path produced it.
+func (g *Graph) SteadyStateDiagWS(ws *linalg.Workspace) ([]float64, SolveDiag, error) {
 	if g.HasDeterministic() {
-		return nil, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
+		return nil, SolveDiag{}, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
 	}
 	if g.NumStates() >= linalg.SparseThreshold {
-		return g.SteadyStateSparseWS(ws)
+		return g.steadyStateSparseDiagWS(ws)
 	}
-	return g.SteadyStateDenseWS(ws)
+	metSolveDense.Inc()
+	diag := SolveDiag{States: g.NumStates(), Path: PathDense}
+	pi, err := g.SteadyStateDenseWS(ws)
+	return pi, diag, err
 }
 
 // SteadyStateDenseWS computes the stationary distribution by dense GTH
@@ -93,20 +143,31 @@ func (g *Graph) SteadyStateDenseWS(ws *linalg.Workspace) ([]float64, error) {
 // sweeps over the transposed CSR generator, never materializing a dense
 // matrix. If the iteration does not converge it falls back to dense GTH.
 func (g *Graph) SteadyStateSparseWS(ws *linalg.Workspace) ([]float64, error) {
+	pi, _, err := g.steadyStateSparseDiagWS(ws)
+	return pi, err
+}
+
+func (g *Graph) steadyStateSparseDiagWS(ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+	metSolveSparse.Inc()
+	diag := SolveDiag{States: g.NumStates(), Path: PathSparse}
 	qt, err := g.GeneratorCSRTranspose(ws)
 	if err != nil {
-		return nil, err
+		return nil, diag, err
 	}
 	pi := make([]float64, g.NumStates())
-	err = ws.SteadyStateGS(qt, pi)
+	diag.GSSweeps, err = ws.SteadyStateGS(qt, pi)
 	ws.PutCSR(qt)
 	if errors.Is(err, linalg.ErrNotConverged) {
-		return g.SteadyStateDenseWS(ws)
+		metSolveFallback.Inc()
+		diag.Path = PathSparseFallbackDense
+		diag.Fallback = err
+		pi, err := g.SteadyStateDenseWS(ws)
+		return pi, diag, err
 	}
 	if err != nil {
-		return nil, err
+		return nil, diag, err
 	}
-	return pi, nil
+	return pi, diag, nil
 }
 
 // ExpectedReward computes the steady-state expected reward of a graph with

@@ -1,0 +1,28 @@
+package petri
+
+import "nvrel/internal/obs"
+
+// Metric handles for state-space exploration, restamping, and the
+// steady-state solver routing. All updates are no-ops while obs is
+// disabled (the default).
+var (
+	metExploreRuns   = obs.CounterFor("petri.explore.runs")
+	metExploreStates = obs.CounterFor("petri.explore.states")
+	metExploreEdges  = obs.CounterFor("petri.explore.edges")
+
+	// metRestamps counts Graph.Restamp calls — sweeps that reused an
+	// explored topology instead of re-exploring.
+	metRestamps = obs.CounterFor("petri.restamp")
+
+	// Generator-plan memoization: builds derive the CSR pattern, memo
+	// hits reuse the one shared across Restamp siblings.
+	metPlanBuilds   = obs.CounterFor("petri.plan.build")
+	metPlanMemoHits = obs.CounterFor("petri.plan.memo_hit")
+
+	// Steady-state routing: dense direct solves, sparse Gauss-Seidel
+	// solves, and sparse solves that fell back to dense GTH after the
+	// iteration failed to converge.
+	metSolveDense    = obs.CounterFor("petri.solve.dense")
+	metSolveSparse   = obs.CounterFor("petri.solve.sparse")
+	metSolveFallback = obs.CounterFor("petri.solve.fallback_dense")
+)

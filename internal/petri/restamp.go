@@ -76,5 +76,6 @@ func (g *Graph) Restamp(net *Net) (*Graph, error) {
 			Successors: sched.Successors,
 		}
 	}
+	metRestamps.Inc()
 	return out, nil
 }

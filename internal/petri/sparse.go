@@ -159,9 +159,18 @@ func (p *GeneratorPlan) stamp(g *Graph, ws *linalg.Workspace, rowPtr, colIdx, of
 // call.
 func (g *Graph) SparsePlan() *GeneratorPlan {
 	if g.topo == nil {
+		metPlanBuilds.Inc()
 		return NewGeneratorPlan(g)
 	}
-	g.topo.planOnce.Do(func() { g.topo.plan = NewGeneratorPlan(g) })
+	built := false
+	g.topo.planOnce.Do(func() {
+		built = true
+		metPlanBuilds.Inc()
+		g.topo.plan = NewGeneratorPlan(g)
+	})
+	if !built {
+		metPlanMemoHits.Inc()
+	}
 	return g.topo.plan
 }
 

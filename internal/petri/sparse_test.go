@@ -228,7 +228,7 @@ func TestRestampedCSRSolveNoAlloc(t *testing.T) {
 		if err != nil {
 			t.Fatalf("GeneratorCSRTranspose: %v", err)
 		}
-		if err := ws.SteadyStateGS(qt, dst); err != nil {
+		if _, err := ws.SteadyStateGS(qt, dst); err != nil {
 			t.Fatalf("SteadyStateGS: %v", err)
 		}
 		ws.PutCSR(qt)
@@ -252,7 +252,7 @@ func BenchmarkRestampedCSRSolveNoAlloc(b *testing.B) {
 	if err != nil {
 		b.Fatalf("warm-up: %v", err)
 	}
-	if err := ws.SteadyStateGS(qt, dst); err != nil {
+	if _, err := ws.SteadyStateGS(qt, dst); err != nil {
 		b.Fatalf("warm-up: %v", err)
 	}
 	ws.PutCSR(qt)
@@ -263,7 +263,7 @@ func BenchmarkRestampedCSRSolveNoAlloc(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := ws.SteadyStateGS(qt, dst); err != nil {
+		if _, err := ws.SteadyStateGS(qt, dst); err != nil {
 			b.Fatal(err)
 		}
 		ws.PutCSR(qt)

@@ -27,4 +27,21 @@ if ! echo "$bench_out" | awk '/allocs\/op/ { if ($(NF-1)+0 != 0) { print "nonzer
     exit 1
 fi
 
+echo "== bench + solver-metrics artifacts (reps=1)"
+mkdir -p artifacts
+go run ./cmd/nvrel -metrics artifacts/metrics.json bench -reps 1 -o artifacts/BENCH_ci.json
+# The snapshot must carry live solver counters: GS sweeps (via the
+# gs-sparse probe), restamps and plan memo hits (model-cache sweeps), and
+# a worker-utilization reading from the parallel pool.
+for metric in linalg.gs.sweeps petri.restamp petri.plan.memo_hit parallel.pool.utilization; do
+    if ! grep -q "\"$metric\":" artifacts/metrics.json; then
+        echo "metrics artifact: $metric missing" >&2
+        exit 1
+    fi
+    if grep -Eq "\"$metric\": 0,?$" artifacts/metrics.json; then
+        echo "metrics artifact: $metric is zero" >&2
+        exit 1
+    fi
+done
+
 echo "check.sh: all green"
