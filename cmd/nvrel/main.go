@@ -64,6 +64,8 @@ func dispatch(args []string, out io.Writer) error {
 		return cmdBench(args[1:], out)
 	case "trace":
 		return cmdTrace(args[1:], out)
+	case "chaos":
+		return cmdChaos(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -86,6 +88,8 @@ commands:
   sweep                      sweep any parameter over a grid (-param -from -to -steps)
   bench                      time the sweep experiments end-to-end per worker count
   trace                      print one simulated event timeline (-arch -horizon -seed)
+  chaos                      run the sweeps under a fault-injection plan and
+                             assert every fault is recovered or surfaced typed
   help                       show this message
 
 global flags (before the command):

@@ -239,6 +239,27 @@ func TestCmdSweepCSV(t *testing.T) {
 	}
 }
 
+// TestCmdSweepKeepGoing: with -keep-going a sweep whose grid strays into
+// invalid territory reports each bad point on its own row, still prints
+// the good points, and exits non-zero — one bad point no longer hides the
+// rest of the grid.
+func TestCmdSweepKeepGoing(t *testing.T) {
+	out, err := capture(t, "sweep", "-param", "mttc", "-from", "-100", "-to", "100", "-steps", "3", "-keep-going")
+	if err == nil || !strings.Contains(err.Error(), "2 of 3 points failed") {
+		t.Fatalf("per-point failures not summarized: %v", err)
+	}
+	if strings.Count(out, "error:") != 2 {
+		t.Errorf("want two per-point error rows:\n%s", out)
+	}
+	if !strings.Contains(out, "0.7534184") {
+		t.Errorf("surviving point missing:\n%s", out)
+	}
+	// Without -keep-going the first invalid point aborts the whole sweep.
+	if _, err := capture(t, "sweep", "-param", "mttc", "-from", "-100", "-to", "100", "-steps", "3"); err == nil {
+		t.Error("invalid point accepted without -keep-going")
+	}
+}
+
 func TestCmdSweepValidation(t *testing.T) {
 	if _, err := capture(t, "sweep", "-param", "bogus", "-from", "1", "-to", "2"); err == nil {
 		t.Error("unknown parameter accepted")

@@ -37,6 +37,37 @@ func TestGlobalMetricsFlag(t *testing.T) {
 	}
 }
 
+// TestCmdSolveMetricsMrgpRouting pins the routing/recovery distinction of
+// the Markov-regenerative counters: the default six-version model sits
+// under linalg.SparseThreshold, so a clean solve routes dense *by size*
+// and the failure-recovery counters stay at zero. The chaos test asserts
+// the complementary case (routed_sparse plus recovered_dense after an
+// injected failure).
+func TestCmdSolveMetricsMrgpRouting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if _, err := capture(t, "-metrics", path, "solve", "-arch", "6v"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc metricsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	c := doc.Metrics.Counters
+	if c["mrgp.solve.routed_dense"] == 0 {
+		t.Errorf("clean small solve left mrgp.solve.routed_dense at zero: %v", c)
+	}
+	if c["mrgp.solve.routed_sparse"] != 0 {
+		t.Errorf("small model routed sparse: %v", c)
+	}
+	if c["mrgp.solve.recovered_dense"] != 0 || c["mrgp.solve.fallback_dense"] != 0 {
+		t.Errorf("clean solve reported a failure recovery: %v", c)
+	}
+}
+
 func TestGlobalFlagValidation(t *testing.T) {
 	if _, err := capture(t, "-metrics"); err == nil {
 		t.Error("-metrics without value accepted")

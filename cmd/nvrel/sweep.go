@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ func cmdSweep(args []string, out io.Writer) error {
 	to := fs.Float64("to", 0, "last value")
 	steps := fs.Int("steps", 10, "number of grid points (>= 2)")
 	csv := fs.Bool("csv", false, "emit CSV")
+	keepGoing := fs.Bool("keep-going", false, "report per-point errors instead of aborting on the first failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,15 +61,20 @@ func cmdSweep(args []string, out io.Writer) error {
 	rejuvenationOnly := *param == "interval" || *param == "mtrj"
 
 	// Solve every grid point in parallel, reusing the explored reachability
-	// graph across points, then print in grid order. Every per-point solve
-	// error carries the parameter value and aborts with a non-zero exit.
+	// graph across points, then print in grid order. By default the
+	// context-aware pool drains in-flight points on the first hard error and
+	// aborts with a non-zero exit; with -keep-going every point settles with
+	// its own outcome through the hardened pool and failures are reported
+	// per row.
 	type sweepPoint struct {
 		v, e4, e6 float64
+		err       error
 	}
 	cache := nvrel.NewModelCache()
 	points := make([]sweepPoint, *steps)
-	err := parallel.ForEach(*steps, func(i int) error {
+	solvePoint := func(ctx context.Context, i int) error {
 		v := *from + (*to-*from)*float64(i)/float64(*steps-1)
+		points[i].v = v
 
 		e4 := math.NaN()
 		if !rejuvenationOnly {
@@ -77,7 +84,7 @@ func cmdSweep(args []string, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("sweep: four-version at %s=%g: %w", *param, v, err)
 			}
-			if e4, err = m4.ExpectedPaperReliability(); err != nil {
+			if e4, err = m4.ExpectedPaperReliabilityCtxWS(ctx, nil); err != nil {
 				return fmt.Errorf("sweep: four-version at %s=%g: %w", *param, v, err)
 			}
 		}
@@ -88,14 +95,23 @@ func cmdSweep(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("sweep: six-version at %s=%g: %w", *param, v, err)
 		}
-		e6, err := m6.ExpectedPaperReliability()
+		e6, err := m6.ExpectedPaperReliabilityCtxWS(ctx, nil)
 		if err != nil {
 			return fmt.Errorf("sweep: six-version at %s=%g: %w", *param, v, err)
 		}
-		points[i] = sweepPoint{v: v, e4: e4, e6: e6}
+		points[i].e4, points[i].e6 = e4, e6
 		return nil
-	})
-	if err != nil {
+	}
+	failed := 0
+	if *keepGoing {
+		errs := parallel.ForEachHardened(context.Background(), *steps, solvePoint, parallel.HardenedOptions{})
+		for i, err := range errs {
+			if err != nil {
+				points[i].err = err
+				failed++
+			}
+		}
+	} else if err := parallel.ForEachCtx(context.Background(), *steps, solvePoint); err != nil {
 		return err
 	}
 
@@ -106,6 +122,14 @@ func cmdSweep(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  %-12s %-12s %-12s\n", *param, "E[R_4v]", "E[R_6v]")
 	}
 	for _, pt := range points {
+		if pt.err != nil {
+			if *csv {
+				fmt.Fprintf(out, "%.6g,error,error\n", pt.v)
+			} else {
+				fmt.Fprintf(out, "  %-12.6g error: %v\n", pt.v, pt.err)
+			}
+			continue
+		}
 		f4 := ""
 		if !math.IsNaN(pt.e4) {
 			f4 = fmt.Sprintf("%.7f", pt.e4)
@@ -118,6 +142,9 @@ func cmdSweep(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "  %-12.6g %-12s %-12.7f\n", pt.v, f4, pt.e6)
 		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("sweep: %d of %d points failed", failed, *steps)
 	}
 	return nil
 }

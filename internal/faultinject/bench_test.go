@@ -1,0 +1,49 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// BenchmarkFaultInjectDisabledNoAlloc guards the package contract: with
+// injection disabled — the production default — every hook is one atomic
+// load and zero allocations, so instrumented solver kernels keep their
+// AllocsPerRun == 0 guarantees. Enforced by the check.sh no-alloc stage.
+func BenchmarkFaultInjectDisabledNoAlloc(b *testing.B) {
+	Reset()
+	Disable()
+	site := SiteFor("bench.disabled")
+	vals := make([]float64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if site.Fire() {
+			b.Fatal("disabled site fired")
+		}
+		site.Corrupt(vals)
+		site.Panic()
+		site.Stall(nil)
+	}
+}
+
+// BenchmarkFaultInjectArmedMissNoAlloc: an armed site outside its firing
+// window (the common case while a chaos run waits for its hit) also stays
+// allocation-free.
+func BenchmarkFaultInjectArmedMissNoAlloc(b *testing.B) {
+	Reset()
+	if err := Arm(Fault{Site: "bench.miss", After: 1 << 60}, 1); err != nil {
+		b.Fatal(err)
+	}
+	prev := Enable()
+	defer func() {
+		enabled.Store(prev)
+		Reset()
+	}()
+	site := SiteFor("bench.miss")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if site.Fire() {
+			b.Fatal("site fired outside its window")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package faultinject is the deterministic, seedable chaos harness the
+// solve stack is hardened against. Hot paths declare named fault sites
+// (package-level handles resolved once via SiteFor, mirroring the obs
+// metric registry) and call the site hooks at the points where a real
+// fault could strike: a corrupted CSR stamp value, a Gauss-Seidel sweep
+// that stops improving, a panic inside a kernel or a pool worker, a worker
+// that stalls past its deadline.
+//
+// The design contract is identical to internal/obs: zero overhead when
+// disabled. Injection is off by default, every hook short-circuits on one
+// atomic load, and neither path allocates, so the instrumented kernels
+// keep their AllocsPerRun == 0 guarantees (see
+// BenchmarkFaultInjectDisabledNoAlloc).
+//
+// Faults fire by hit count, which makes runs deterministic for a fixed
+// execution order: each armed site counts its hook invocations and fires
+// on hits [After, After+Count). Which value a corruption hook rewrites is
+// drawn from a per-site splitmix64 stream seeded from the plan seed and
+// the site name, so the same plan perturbs the same slots every run.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+// enabled gates every hook. It is process-global: the chaos driver flips
+// it around each fault run, and benchmarks flip it to measure both paths.
+var enabled atomic.Bool
+
+// Enable turns fault injection on and reports the previous state.
+func Enable() bool { return enabled.Swap(true) }
+
+// Disable turns fault injection off and reports the previous state.
+func Disable() bool { return enabled.Swap(false) }
+
+// Enabled reports whether fault injection is on.
+func Enabled() bool { return enabled.Load() }
+
+// Fault-fire accounting, so chaos runs can assert a plan was exercised.
+var metFired = obs.CounterFor("faultinject.fired")
+
+// Mode selects what an armed site does when it fires. Sites consume the
+// mode that matches their hook: Corrupt honors the value modes, Stall
+// honors the delay, Fire and Panic only need the hit window.
+type Mode uint8
+
+// Fault modes.
+const (
+	// ModeFire makes Fire report true in the hit window (forced stalls,
+	// early exits). It is the default and is valid at every hook.
+	ModeFire Mode = iota
+	// ModeNaN writes a NaN over the chosen slice slot.
+	ModeNaN
+	// ModeInf writes +Inf over the chosen slice slot.
+	ModeInf
+	// ModeNegate flips the sign of the chosen slice slot.
+	ModeNegate
+	// ModeScale multiplies the chosen slice slot by the fault value.
+	ModeScale
+)
+
+var modeNames = map[string]Mode{
+	"":       ModeFire,
+	"fire":   ModeFire,
+	"panic":  ModeFire,
+	"stall":  ModeFire,
+	"nan":    ModeNaN,
+	"inf":    ModeInf,
+	"negate": ModeNegate,
+	"scale":  ModeScale,
+}
+
+// Site is a named fault-injection point. The zero value is inert; sites
+// are interned by SiteFor and armed by Plan application. All hook methods
+// are safe for concurrent use.
+type Site struct {
+	name  string
+	armed atomic.Bool
+
+	// Plan configuration, written only while the site is disarmed.
+	mode  Mode
+	after int64         // 1-based hit index of the first firing hit
+	count int64         // number of firing hits
+	value float64       // ModeScale factor
+	delay time.Duration // Stall duration
+	seed  uint64        // splitmix64 stream for slot selection
+
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// registry interns sites by name so hot packages can resolve handles in
+// var blocks, exactly like obs metric handles.
+var reg = struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+}{sites: make(map[string]*Site)}
+
+// SiteFor returns the site registered under name, creating it on first
+// use. Resolve handles once in a package var block and call the hooks
+// from hot loops.
+func SiteFor(name string) *Site {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	s, ok := reg.sites[name]
+	if !ok {
+		s = &Site{name: name}
+		reg.sites[name] = s
+	}
+	return s
+}
+
+// Sites returns the sorted names of every registered site.
+func Sites() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	names := make([]string, 0, len(reg.sites))
+	for n := range reg.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Fired returns how many times the site has fired since the last Reset.
+func (s *Site) Fired() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.fired.Load()
+}
+
+// Hits returns how many times the site's hooks were reached while armed.
+func (s *Site) Hits() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.hits.Load()
+}
+
+// fire counts one hook hit on an armed site and reports whether this hit
+// falls in the plan's firing window.
+func (s *Site) fire() bool {
+	if s == nil || !s.armed.Load() {
+		return false
+	}
+	h := s.hits.Add(1)
+	if h < s.after || h >= s.after+s.count {
+		return false
+	}
+	s.fired.Add(1)
+	metFired.Inc()
+	return true
+}
+
+// Fire reports whether the site fires at this hit. The disabled path is
+// one atomic load and never allocates.
+func (s *Site) Fire() bool {
+	if !enabled.Load() {
+		return false
+	}
+	return s.fire()
+}
+
+// Corrupt rewrites one pseudo-randomly chosen slot of vals according to
+// the armed mode when the site fires. The slot is drawn from the site's
+// deterministic splitmix64 stream keyed on the hit index, so a plan
+// corrupts the same slot on every run with the same call order.
+func (s *Site) Corrupt(vals []float64) bool {
+	if !enabled.Load() {
+		return false
+	}
+	if !s.fire() || len(vals) == 0 {
+		return false
+	}
+	i := int(splitmix64(s.seed^uint64(s.hits.Load())) % uint64(len(vals)))
+	switch s.mode {
+	case ModeNaN:
+		vals[i] = math.NaN()
+	case ModeInf:
+		vals[i] = math.Inf(1)
+	case ModeNegate:
+		vals[i] = -vals[i]
+	case ModeScale:
+		vals[i] *= s.value
+	default:
+		vals[i] = math.NaN()
+	}
+	return true
+}
+
+// Injected is the panic payload of Site.Panic, so recovery layers can
+// distinguish injected chaos from genuine solver bugs in reports.
+type Injected struct{ Site string }
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at site %s", e.Site)
+}
+
+// Panic panics with an *Injected payload when the site fires.
+func (s *Site) Panic() {
+	if !enabled.Load() {
+		return
+	}
+	if s.fire() {
+		panic(&Injected{Site: s.name})
+	}
+}
+
+// Stall blocks for the armed delay — or until ctx is done, whichever
+// comes first — when the site fires. A nil ctx stalls unconditionally.
+func (s *Site) Stall(ctx context.Context) {
+	if !enabled.Load() {
+		return
+	}
+	if !s.fire() {
+		return
+	}
+	d := s.delay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Reset disarms every site and zeroes its hit and fire counters.
+func Reset() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, s := range reg.sites {
+		s.armed.Store(false)
+		s.hits.Store(0)
+		s.fired.Store(0)
+	}
+}
+
+// splitmix64 is the SplitMix64 output function: a tiny, allocation-free
+// mixer whose stream quality is ample for picking corruption slots.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

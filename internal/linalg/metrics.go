@@ -28,6 +28,19 @@ var (
 	metWSPoissonHit  = obs.CounterFor("linalg.workspace.poisson.hit")
 	metWSPoissonMiss = obs.CounterFor("linalg.workspace.poisson.miss")
 
+	// Uniformized power iteration — the last rung of the steady-state
+	// fallback chain. Rejected counts inputs/iterates the guards refused
+	// (shared with GS: metGSRejected below).
+	metPowerSolves    = obs.CounterFor("linalg.power.solves")
+	metPowerIters     = obs.CounterFor("linalg.power.iters")
+	metPowerConverged = obs.CounterFor("linalg.power.converged")
+	metPowerExhausted = obs.CounterFor("linalg.power.exhausted")
+	metPowerResidual  = obs.GaugeFor("linalg.power.final_residual")
+
+	// Guard rejections: generators or iterates refused by the validation
+	// layer before or during a GS solve (see validate.go).
+	metGSRejected = obs.CounterFor("linalg.gs.rejected")
+
 	// Uniformization: matrix-free series evaluated, series terms run, the
 	// distribution of truncation depths K, and the analytic tail mass left
 	// beyond the most recent truncation point.

@@ -1,0 +1,20 @@
+package linalg
+
+import "nvrel/internal/faultinject"
+
+// Fault-injection sites of the solver kernels, resolved once like the obs
+// metric handles. Every hook sits behind the package-global enabled gate
+// (one atomic load, no allocation when chaos is off), and the kernels
+// additionally pre-check faultinject.Enabled() so the disabled hot path
+// pays a single load per sweep.
+var (
+	// fiGSStall forces SteadyStateGS to give up mid-solve with a typed
+	// not-converged error, exercising the GS -> GTH fallback.
+	fiGSStall = faultinject.SiteFor("linalg.gs.stall")
+	// fiGSPoison writes a NaN into the Gauss-Seidel iterate, exercising
+	// the per-sweep non-finite detection.
+	fiGSPoison = faultinject.SiteFor("linalg.gs.poison")
+	// fiKernelPanic panics inside the iterative kernels, exercising the
+	// recover-and-wrap layer of the callers.
+	fiKernelPanic = faultinject.SiteFor("linalg.kernel.panic")
+)

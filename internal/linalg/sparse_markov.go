@@ -1,9 +1,12 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"nvrel/internal/faultinject"
 )
 
 // ErrNotConverged is returned by the iterative sparse solvers when the
@@ -44,10 +47,21 @@ const (
 // uniformized chain would need rate-ratio many; each sweep costs O(nnz).
 //
 // The result is written into dst (length n) and the number of sweeps run
-// is returned so callers can surface convergence behavior.
-// ErrNotConverged is returned when the sweep budget runs out; callers
-// should then fall back to dense GTH.
+// is returned so callers can surface convergence behavior. Every failure
+// is a typed *SolveError: the generator is validated before the first
+// sweep (sign pattern, finiteness, conservation — so a corrupted stamp is
+// rejected instead of iterated on), a non-finite iterate is detected the
+// sweep it appears, and an exhausted budget carries Kind FailNotConverged
+// (wrapping ErrNotConverged); callers then fall back along the chain.
 func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err error) {
+	return ws.SteadyStateGSCtx(nil, qt, dst)
+}
+
+// SteadyStateGSCtx is SteadyStateGS with a context: the sweep loop checks
+// for cancellation every 64 sweeps and returns a typed SolveError{Kind:
+// FailDeadline} when the context dies, so a stalled solve times out
+// instead of hanging its worker. A nil context never checks.
+func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float64) (sweeps int, err error) {
 	rows, cols := qt.Dims()
 	if rows != cols {
 		return 0, ErrDimensionMismatch
@@ -55,6 +69,10 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err erro
 	n := rows
 	if len(dst) != n {
 		return 0, ErrDimensionMismatch
+	}
+	if err := ValidateGeneratorCSR("linalg.gs", qt); err != nil {
+		metGSRejected.Inc()
+		return 0, err
 	}
 	metGSSolves.Inc()
 	if n == 1 {
@@ -67,6 +85,21 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err erro
 	prev := math.Inf(1)
 	stall := 0
 	for sweep := 0; sweep < gsMaxSweeps; sweep++ {
+		if sweep&63 == 0 {
+			if err := CtxError("linalg.gs", ctx); err != nil {
+				return sweep, err
+			}
+		}
+		if faultinject.Enabled() {
+			fiKernelPanic.Panic()
+			if fiGSStall.Fire() {
+				return sweep, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
+					Err: fmt.Errorf("%w: injected Gauss-Seidel stall at sweep %d", ErrNotConverged, sweep)}
+			}
+			if fiGSPoison.Fire() {
+				dst[0] = math.NaN()
+			}
+		}
 		var delta, norm float64
 		for j := 0; j < n; j++ {
 			var s, diag float64
@@ -79,7 +112,8 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err erro
 				s += qt.Vals[k] * dst[c]
 			}
 			if diag >= 0 {
-				return sweep, fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", j)
+				return sweep, &SolveError{Site: "linalg.gs", Kind: FailGenerator, Index: j, Value: diag,
+					Err: fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", j)}
 			}
 			v := s / -diag
 			d := v - dst[j]
@@ -91,8 +125,17 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err erro
 			norm += v
 		}
 		metGSSweeps.Inc()
+		// A NaN anywhere in the sweep poisons delta and norm, so this one
+		// check catches a non-finite iterate the sweep it appears instead
+		// of spinning to the budget with a poisoned vector.
+		if math.IsNaN(delta) || math.IsNaN(norm) || math.IsInf(norm, 0) {
+			metGSRejected.Inc()
+			return sweep + 1, &SolveError{Site: "linalg.gs", Kind: FailNaN, Index: -1,
+				Err: fmt.Errorf("linalg: Gauss-Seidel iterate went non-finite at sweep %d", sweep)}
+		}
 		if norm <= 0 {
-			return sweep + 1, fmt.Errorf("linalg: Gauss-Seidel iterate vanished at sweep %d", sweep)
+			return sweep + 1, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
+				Err: fmt.Errorf("linalg: Gauss-Seidel iterate vanished at sweep %d", sweep)}
 		}
 		normalize(dst)
 		if delta <= gsTol*norm {
@@ -115,7 +158,8 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err erro
 		prev = delta
 	}
 	metGSExhausted.Inc()
-	return gsMaxSweeps, fmt.Errorf("%w: Gauss-Seidel after %d sweeps", ErrNotConverged, gsMaxSweeps)
+	return gsMaxSweeps, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1, Residual: prev,
+		Err: fmt.Errorf("%w: Gauss-Seidel after %d sweeps", ErrNotConverged, gsMaxSweeps)}
 }
 
 // UniformizedPowerCSR computes pi * e^{Q t} for a CSR generator Q without

@@ -168,14 +168,19 @@ func SolveGeneralWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	}
 	for i, v := range pi {
 		if v < 0 {
-			if v < -1e-9 {
-				return nil, fmt.Errorf("mrgp: negative occupancy %g in state %d", v, i)
+			if v < -linalg.NegativeTol {
+				return nil, &linalg.SolveError{Site: "mrgp.general", Kind: linalg.FailNegative, Index: i, Value: v, Residual: -v,
+					Err: fmt.Errorf("mrgp: negative occupancy %g in state %d", v, i)}
 			}
 			pi[i] = 0
 		}
 	}
 	linalg.Normalize(pi)
-	return &Solution{Pi: pi, Embedded: sigma, Delay: maxDelay}, nil
+	sol := &Solution{Pi: pi, Embedded: sigma, Delay: maxDelay}
+	if err := validateSolution("mrgp.general", sol); err != nil {
+		return nil, err
+	}
+	return sol, nil
 }
 
 // ExpectedRewardGeneral computes the steady-state expected reward via the

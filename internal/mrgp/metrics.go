@@ -13,6 +13,16 @@ var (
 	metSolveGeneral  = obs.CounterFor("mrgp.solve.general")
 	metSolveFallback = obs.CounterFor("mrgp.solve.fallback_dense")
 
+	// Routing vs recovery: routed_* counts which kernel family the size
+	// routing picked; recovered_dense counts solves where the dense path
+	// succeeded AFTER the sparse path failed. fallback_dense above counts
+	// the fallback attempts themselves (recovered or not), so
+	// fallback_dense - recovered_dense is the number of chains that
+	// exhausted both paths.
+	metRoutedDense    = obs.CounterFor("mrgp.solve.routed_dense")
+	metRoutedSparse   = obs.CounterFor("mrgp.solve.routed_sparse")
+	metRecoveredDense = obs.CounterFor("mrgp.solve.recovered_dense")
+
 	// Sparse embedded-chain power iteration: cycles run across solves and
 	// the final L1 residual of the most recent solve.
 	metPowerCycles   = obs.CounterFor("mrgp.power.cycles")

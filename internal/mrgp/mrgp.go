@@ -19,6 +19,7 @@
 package mrgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -71,17 +72,106 @@ func Solve(g *petri.Graph) (*Solution, error) {
 //
 // State spaces of linalg.SparseThreshold states or more route through the
 // matrix-free sparse solver (SolveSparseWS), falling back to the dense
-// path if its power iteration fails to converge; smaller ones solve dense
-// directly, float-for-float identical to Solve has always been.
+// path when the sparse path fails for any recoverable reason; smaller
+// ones solve dense directly, float-for-float identical to Solve has
+// always been.
 func SolveWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	return SolveCtxWS(nil, ws, g)
+}
+
+// isStructuralErr reports model-class failures the dense path would hit
+// identically, so falling back cannot recover them.
+func isStructuralErr(err error) bool {
+	return errors.Is(err, petri.ErrNoStates) ||
+		errors.Is(err, ErrNoDeterministic) ||
+		errors.Is(err, ErrClockNotAlwaysEnabled) ||
+		errors.Is(err, ErrMixedClocks)
+}
+
+// isDeadline reports whether err is a typed deadline failure; the fallback
+// must not rerun a slower solver against an expired clock.
+func isDeadline(err error) bool {
+	se, ok := linalg.AsSolveError(err)
+	return ok && se.Kind == linalg.FailDeadline
+}
+
+// SolveCtxWS is the hardened MRGP entry point: size routing, panic
+// recovery around both kernels, a distribution guard on every candidate
+// result, and a sparse -> dense fallback driven by any recoverable typed
+// failure (not only convergence). The routed_dense/routed_sparse counters
+// record the routing decision; recovered_dense records dense successes
+// that followed a sparse failure, so observability can tell "small model,
+// dense by design" apart from "sparse path failed and was rescued".
+func SolveCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	if err := linalg.CtxError("mrgp.solve", ctx); err != nil {
+		return nil, err
+	}
 	if g.NumStates() >= linalg.SparseThreshold {
-		sol, err := SolveSparseWS(ws, g)
-		if err == nil || !errors.Is(err, linalg.ErrNotConverged) {
-			return sol, err
+		metRoutedSparse.Inc()
+		sol, err := solveSparseGuarded(ctx, ws, g)
+		if err == nil {
+			return sol, nil
+		}
+		if isStructuralErr(err) || isDeadline(err) {
+			return nil, err
 		}
 		metSolveFallback.Inc()
+		sol, derr := solveDenseGuarded(ctx, ws, g)
+		if derr == nil {
+			metRecoveredDense.Inc()
+			return sol, nil
+		}
+		return nil, derr
 	}
-	return SolveDenseWS(ws, g)
+	metRoutedDense.Inc()
+	return solveDenseGuarded(ctx, ws, g)
+}
+
+// solveSparseGuarded runs one sparse attempt with panic recovery and
+// result guards on both output distributions.
+func solveSparseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (sol *Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, linalg.NewPanicError("mrgp.solve.sparse", r)
+		}
+	}()
+	sol, err = SolveSparseCtxWS(ctx, ws, g)
+	if err == nil {
+		if verr := validateSolution("mrgp.solve.sparse", sol); verr != nil {
+			return nil, verr
+		}
+	}
+	return sol, err
+}
+
+// solveDenseGuarded runs one dense attempt with panic recovery and result
+// guards.
+func solveDenseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (sol *Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, linalg.NewPanicError("mrgp.solve.dense", r)
+		}
+	}()
+	if err := linalg.CtxError("mrgp.solve.dense", ctx); err != nil {
+		return nil, err
+	}
+	sol, err = SolveDenseWS(ws, g)
+	if err == nil {
+		if verr := validateSolution("mrgp.solve.dense", sol); verr != nil {
+			return nil, verr
+		}
+	}
+	return sol, err
+}
+
+// validateSolution guards both output vectors of a Solution: the
+// time-stationary and the embedded distributions each must be a valid
+// point on the probability simplex.
+func validateSolution(site string, sol *Solution) error {
+	if err := linalg.ValidateDistribution(site, sol.Pi); err != nil {
+		return err
+	}
+	return linalg.ValidateDistribution(site, sol.Embedded)
 }
 
 // SolveDenseWS computes the solution with the dense kernels (dense

@@ -1,9 +1,11 @@
 package mrgp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"nvrel/internal/faultinject"
 	"nvrel/internal/linalg"
 	"nvrel/internal/petri"
 )
@@ -37,6 +39,15 @@ const (
 // dense path cannot hold. linalg.ErrNotConverged (wrapped) signals the
 // caller to fall back to SolveDenseWS.
 func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	return SolveSparseCtxWS(nil, ws, g)
+}
+
+// SolveSparseCtxWS is SolveSparseWS with a context: the cycle loop checks
+// for cancellation once per embedded-chain cycle (each cycle is a full
+// uniformization series, so the check granularity is coarse but the cost
+// per check is negligible) and returns a typed SolveError{Kind:
+// FailDeadline} when the context dies. A nil context never checks.
+func SolveSparseCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	n := g.NumStates()
 	if n == 0 {
 		return nil, petri.ErrNoStates
@@ -74,6 +85,16 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	cycles := 0
 	lastDelta := math.Inf(1)
 	for cycle := 0; cycle < embMaxCycles; cycle++ {
+		if err := linalg.CtxError("mrgp.power", ctx); err != nil {
+			return nil, err
+		}
+		if faultinject.Enabled() {
+			fiMrgpPanic.Panic()
+			if fiPowerStall.Fire() {
+				return nil, &linalg.SolveError{Site: "mrgp.power", Kind: linalg.FailNotConverged, Index: -1,
+					Err: fmt.Errorf("%w: injected embedded power stall at cycle %d", linalg.ErrNotConverged, cycle)}
+			}
+		}
 		if _, err := ws.UniformizedPowerCSR(q, v, delay, rate, truncationEpsilon, moved); err != nil {
 			return nil, err
 		}
@@ -84,8 +105,13 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 		for i := range next {
 			norm += next[i]
 		}
+		if math.IsNaN(norm) || math.IsInf(norm, 0) {
+			return nil, &linalg.SolveError{Site: "mrgp.power", Kind: linalg.FailNaN, Index: -1,
+				Err: fmt.Errorf("mrgp: embedded iterate went non-finite at cycle %d", cycle)}
+		}
 		if norm <= 0 {
-			return nil, fmt.Errorf("mrgp: embedded iterate vanished at cycle %d", cycle)
+			return nil, &linalg.SolveError{Site: "mrgp.power", Kind: linalg.FailNotConverged, Index: -1,
+				Err: fmt.Errorf("mrgp: embedded iterate vanished at cycle %d", cycle)}
 		}
 		inv := 1 / norm
 		for i := range next {
@@ -116,7 +142,8 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 	metPowerCycles.Add(int64(cycles))
 	metPowerResidual.Set(lastDelta)
 	if !converged {
-		return nil, fmt.Errorf("%w: embedded power iteration after %d cycles", linalg.ErrNotConverged, embMaxCycles)
+		return nil, &linalg.SolveError{Site: "mrgp.power", Kind: linalg.FailNotConverged, Index: -1, Residual: lastDelta,
+			Err: fmt.Errorf("%w: embedded power iteration after %d cycles", linalg.ErrNotConverged, embMaxCycles)}
 	}
 
 	sigma := make([]float64, n)

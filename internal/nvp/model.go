@@ -1,13 +1,21 @@
 package nvp
 
 import (
+	"context"
 	"fmt"
+	"math"
 
+	"nvrel/internal/faultinject"
 	"nvrel/internal/linalg"
 	"nvrel/internal/mrgp"
 	"nvrel/internal/petri"
 	"nvrel/internal/reliability"
 )
+
+// fiResultNaN corrupts the solved distribution after every solver guard
+// has passed — the harshest chaos site, proving the top-level result guard
+// is load-bearing on its own.
+var fiResultNaN = faultinject.SiteFor("nvp.result.nan")
 
 // Architecture distinguishes the two perception-system variants.
 type Architecture int
@@ -323,22 +331,43 @@ func (m *Model) Solve() ([]float64, error) {
 // The result is float-for-float identical to Solve. A workspace must not be
 // shared between goroutines.
 func (m *Model) SolveWS(ws *linalg.Workspace) ([]float64, error) {
-	if m.Arch != WithRejuvenation {
-		return m.Graph.SteadyStateWS(ws)
-	}
+	return m.SolveCtxWS(nil, ws)
+}
+
+// SolveCtxWS is SolveWS with a context deadline threaded through the
+// underlying solvers, plus a final distribution guard: whatever path
+// produced the vector, it is validated (finite, non-negative, simplex)
+// before any caller computes a reliability number from it.
+func (m *Model) SolveCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, error) {
 	var (
-		sol *mrgp.Solution
+		pi  []float64
 		err error
 	)
-	if m.Params.Clock == ClockWaitsForWave {
+	if m.Arch != WithRejuvenation {
+		pi, err = m.Graph.SteadyStateCtxWS(ctx, ws)
+	} else if m.Params.Clock == ClockWaitsForWave {
+		var sol *mrgp.Solution
 		sol, err = mrgp.SolveGeneralWS(ws, m.Graph)
+		if sol != nil {
+			pi = sol.Pi
+		}
 	} else {
-		sol, err = mrgp.SolveWS(ws, m.Graph)
+		var sol *mrgp.Solution
+		sol, err = mrgp.SolveCtxWS(ctx, ws, m.Graph)
+		if sol != nil {
+			pi = sol.Pi
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return sol.Pi, nil
+	if faultinject.Enabled() && fiResultNaN.Fire() && len(pi) > 0 {
+		pi[0] = math.NaN()
+	}
+	if err := linalg.ValidateDistribution("nvp.solve", pi); err != nil {
+		return nil, err
+	}
+	return pi, nil
 }
 
 // StateDistribution aggregates the steady state into module-population
@@ -370,7 +399,13 @@ func (m *Model) ExpectedReliability(rf reliability.StateFn) (float64, error) {
 
 // ExpectedReliabilityWS is the workspace-backed form of ExpectedReliability.
 func (m *Model) ExpectedReliabilityWS(ws *linalg.Workspace, rf reliability.StateFn) (float64, error) {
-	pi, err := m.SolveWS(ws)
+	return m.ExpectedReliabilityCtxWS(nil, ws, rf)
+}
+
+// ExpectedReliabilityCtxWS is ExpectedReliabilityWS with a context
+// threaded through the solve.
+func (m *Model) ExpectedReliabilityCtxWS(ctx context.Context, ws *linalg.Workspace, rf reliability.StateFn) (float64, error) {
+	pi, err := m.SolveCtxWS(ctx, ws)
 	if err != nil {
 		return 0, err
 	}
@@ -409,11 +444,17 @@ func (m *Model) ExpectedPaperReliability() (float64, error) {
 // ExpectedPaperReliabilityWS is the workspace-backed form of
 // ExpectedPaperReliability.
 func (m *Model) ExpectedPaperReliabilityWS(ws *linalg.Workspace) (float64, error) {
+	return m.ExpectedPaperReliabilityCtxWS(nil, ws)
+}
+
+// ExpectedPaperReliabilityCtxWS is ExpectedPaperReliabilityWS with a
+// context threaded through the solve.
+func (m *Model) ExpectedPaperReliabilityCtxWS(ctx context.Context, ws *linalg.Workspace) (float64, error) {
 	rf, err := m.PaperReliability()
 	if err != nil {
 		return 0, err
 	}
-	return m.ExpectedReliabilityWS(ws, rf)
+	return m.ExpectedReliabilityCtxWS(ctx, ws, rf)
 }
 
 func sortStates(states []ModuleState) {

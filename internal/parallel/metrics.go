@@ -27,6 +27,15 @@ var (
 	// in [0, 1]. Workers is the count the most recent run launched.
 	metPoolUtilization = obs.GaugeFor("parallel.pool.utilization")
 	metPoolWorkers     = obs.GaugeFor("parallel.pool.workers")
+
+	// Hardened-pool resilience: panics recovered from user code, workers
+	// retired and respawned after observing a panic (rejuvenation), item
+	// retry attempts, and items whose retry budget ran out (their typed
+	// error reached the caller's per-item slice).
+	metWorkerPanics   = obs.CounterFor("parallel.worker.panic")
+	metWorkerRespawns = obs.CounterFor("parallel.worker.respawn")
+	metItemRetries    = obs.CounterFor("parallel.item.retry")
+	metItemFailed     = obs.CounterFor("parallel.item.failed")
 )
 
 // forEachNObserved wraps the core pool loop with busy/wall accounting.

@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"errors"
 
 	"nvrel/internal/linalg"
@@ -72,6 +73,15 @@ func (g *Graph) SteadyStateWS(ws *linalg.Workspace) ([]float64, error) {
 	return pi, err
 }
 
+// SteadyStateCtxWS is SteadyStateWS with a context: the iterative kernels
+// check for cancellation periodically and the fallback chain stops at the
+// first deadline failure instead of retrying slower solvers against a
+// dead clock.
+func (g *Graph) SteadyStateCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, error) {
+	pi, _, err := g.SteadyStateDiagCtxWS(ctx, ws)
+	return pi, err
+}
+
 // SolvePath identifies which solver produced a steady-state result.
 type SolvePath int
 
@@ -84,6 +94,14 @@ const (
 	// PathSparseFallbackDense means the Gauss-Seidel iteration did not
 	// converge and the dense GTH backstop produced the result.
 	PathSparseFallbackDense
+	// PathDenseFallbackPower means the dense GTH solve failed (or its
+	// result was rejected by the distribution guard) and the uniformized
+	// power backstop produced the result.
+	PathDenseFallbackPower
+	// PathSparseFallbackPower means both the Gauss-Seidel iteration and
+	// the dense GTH backstop failed, and the uniformized power backstop
+	// produced the result.
+	PathSparseFallbackPower
 )
 
 func (p SolvePath) String() string {
@@ -94,37 +112,96 @@ func (p SolvePath) String() string {
 		return "sparse"
 	case PathSparseFallbackDense:
 		return "sparse-fallback-dense"
+	case PathDenseFallbackPower:
+		return "dense-fallback-power"
+	case PathSparseFallbackPower:
+		return "sparse-fallback-power"
 	default:
 		return "unknown"
 	}
 }
 
+// Attempt records one failed rung of the fallback chain: which solver ran,
+// how many iterations it spent, and the typed error that sent the chain to
+// the next rung. Successful rungs are not recorded — the SolveDiag Path
+// identifies the solver that produced the result — so a clean first-try
+// solve allocates nothing here.
+type Attempt struct {
+	// Solver is "gs", "gth" or "power".
+	Solver string
+	// Sweeps is the iteration count of the failed attempt (zero for GTH).
+	Sweeps int
+	// Err is the typed failure that forced the fallback.
+	Err error
+}
+
 // SolveDiag reports how a steady-state solve went: the path taken, the
-// Gauss-Seidel sweep count (zero on the dense path), and the convergence
-// error that forced a fallback (nil otherwise). It exists so callers and
-// tests can assert the solver behavior that the result vector alone
-// cannot reveal — most importantly that a sparse solve did not silently
-// degrade to the dense backstop.
+// Gauss-Seidel sweep count (zero on the dense path), the first failure
+// that forced a fallback (nil otherwise), and the per-attempt outcomes of
+// every failed rung. It exists so callers and tests can assert the solver
+// behavior that the result vector alone cannot reveal — most importantly
+// that a sparse solve did not silently degrade to a backstop.
 type SolveDiag struct {
 	States   int
 	Path     SolvePath
 	GSSweeps int
 	Fallback error
+	Attempts []Attempt
 }
 
 // SteadyStateDiagWS computes the stationary distribution like
 // SteadyStateWS and additionally reports which solver path produced it.
 func (g *Graph) SteadyStateDiagWS(ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+	return g.SteadyStateDiagCtxWS(nil, ws)
+}
+
+// isDeadline reports whether err is a typed deadline failure — the one
+// failure kind the fallback chain must not retry past, because every
+// later rung would burn time against a clock that already expired.
+func isDeadline(err error) bool {
+	se, ok := linalg.AsSolveError(err)
+	return ok && se.Kind == linalg.FailDeadline
+}
+
+// SteadyStateDiagCtxWS is the hardened steady-state entry point: solver
+// routing by size, a validated fallback chain driven by typed failures
+// (sparse: GS -> dense GTH -> uniformized power; dense: GTH -> power),
+// panic recovery around every kernel, and a distribution guard on every
+// candidate result. The contract is that a fault anywhere in the solve
+// either recovers on a later rung or surfaces as a typed
+// *linalg.SolveError — never a silently wrong vector.
+func (g *Graph) SteadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
 	if g.HasDeterministic() {
 		return nil, SolveDiag{}, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
 	}
+	if err := linalg.CtxError("petri.solve", ctx); err != nil {
+		return nil, SolveDiag{States: g.NumStates()}, err
+	}
 	if g.NumStates() >= linalg.SparseThreshold {
-		return g.steadyStateSparseDiagWS(ws)
+		return g.steadyStateSparseDiagCtxWS(ctx, ws)
 	}
 	metSolveDense.Inc()
 	diag := SolveDiag{States: g.NumStates(), Path: PathDense}
-	pi, err := g.SteadyStateDenseWS(ws)
-	return pi, diag, err
+	pi, err := g.steadyStateDenseGuarded(ws)
+	if err == nil {
+		return pi, diag, nil
+	}
+	diag.Fallback = err
+	diag.Attempts = append(diag.Attempts, Attempt{Solver: "gth", Err: err})
+	if isDeadline(err) {
+		metSolveFailed.Inc()
+		return nil, diag, err
+	}
+	diag.Path = PathDenseFallbackPower
+	metSolveFallbackPower.Inc()
+	pi, iters, perr := g.steadyStatePowerGuarded(ctx, ws)
+	if perr != nil {
+		diag.Attempts = append(diag.Attempts, Attempt{Solver: "power", Sweeps: iters, Err: perr})
+		metSolveFailed.Inc()
+		return nil, diag, perr
+	}
+	metSolveRecovered.Inc()
+	return pi, diag, nil
 }
 
 // SteadyStateDenseWS computes the stationary distribution by dense GTH
@@ -143,31 +220,112 @@ func (g *Graph) SteadyStateDenseWS(ws *linalg.Workspace) ([]float64, error) {
 // sweeps over the transposed CSR generator, never materializing a dense
 // matrix. If the iteration does not converge it falls back to dense GTH.
 func (g *Graph) SteadyStateSparseWS(ws *linalg.Workspace) ([]float64, error) {
-	pi, _, err := g.steadyStateSparseDiagWS(ws)
+	pi, _, err := g.steadyStateSparseDiagCtxWS(nil, ws)
 	return pi, err
 }
 
-func (g *Graph) steadyStateSparseDiagWS(ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
 	metSolveSparse.Inc()
 	diag := SolveDiag{States: g.NumStates(), Path: PathSparse}
+	pi := make([]float64, g.NumStates())
+	sweeps, err := g.sparseGSGuarded(ctx, ws, pi)
+	diag.GSSweeps = sweeps
+	if err == nil {
+		return pi, diag, nil
+	}
+	diag.Fallback = err
+	diag.Attempts = append(diag.Attempts, Attempt{Solver: "gs", Sweeps: sweeps, Err: err})
+	if isDeadline(err) {
+		metSolveFailed.Inc()
+		return nil, diag, err
+	}
+	// Rung 2: dense GTH. The dense generator is assembled independently
+	// from the rate edges, so a corrupted CSR stamp does not poison it.
+	metSolveFallback.Inc()
+	diag.Path = PathSparseFallbackDense
+	dpi, derr := g.steadyStateDenseGuarded(ws)
+	if derr == nil {
+		metSolveRecovered.Inc()
+		return dpi, diag, nil
+	}
+	diag.Attempts = append(diag.Attempts, Attempt{Solver: "gth", Err: derr})
+	if isDeadline(derr) {
+		metSolveFailed.Inc()
+		return nil, diag, derr
+	}
+	// Rung 3: uniformized power iteration, which needs nothing from the
+	// generator beyond matvecs.
+	diag.Path = PathSparseFallbackPower
+	metSolveFallbackPower.Inc()
+	ppi, iters, perr := g.steadyStatePowerGuarded(ctx, ws)
+	if perr != nil {
+		diag.Attempts = append(diag.Attempts, Attempt{Solver: "power", Sweeps: iters, Err: perr})
+		metSolveFailed.Inc()
+		return nil, diag, perr
+	}
+	metSolveRecovered.Inc()
+	return ppi, diag, nil
+}
+
+// sparseGSGuarded runs one Gauss-Seidel attempt with panic recovery and a
+// result guard; pi receives the distribution on success.
+func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi []float64) (sweeps int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = linalg.NewPanicError("petri.solve.gs", r)
+		}
+	}()
 	qt, err := g.GeneratorCSRTranspose(ws)
 	if err != nil {
-		return nil, diag, err
+		return 0, err
 	}
-	pi := make([]float64, g.NumStates())
-	diag.GSSweeps, err = ws.SteadyStateGS(qt, pi)
+	sweeps, err = ws.SteadyStateGSCtx(ctx, qt, pi)
 	ws.PutCSR(qt)
-	if errors.Is(err, linalg.ErrNotConverged) {
-		metSolveFallback.Inc()
-		diag.Path = PathSparseFallbackDense
-		diag.Fallback = err
-		pi, err := g.SteadyStateDenseWS(ws)
-		return pi, diag, err
+	if err == nil {
+		err = linalg.ValidateDistribution("petri.solve.gs", pi)
+	}
+	return sweeps, err
+}
+
+// steadyStateDenseGuarded runs one dense GTH attempt with panic recovery
+// and a result guard.
+func (g *Graph) steadyStateDenseGuarded(ws *linalg.Workspace) (pi []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pi, err = nil, linalg.NewPanicError("petri.solve.gth", r)
+		}
+	}()
+	pi, err = g.SteadyStateDenseWS(ws)
+	if err == nil {
+		if verr := linalg.ValidateDistribution("petri.solve.gth", pi); verr != nil {
+			return nil, verr
+		}
+	}
+	return pi, err
+}
+
+// steadyStatePowerGuarded runs one uniformized power-iteration attempt —
+// the last rung of the chain — with panic recovery and a result guard.
+func (g *Graph) steadyStatePowerGuarded(ctx context.Context, ws *linalg.Workspace) (pi []float64, iters int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pi, iters, err = nil, 0, linalg.NewPanicError("petri.solve.power", r)
+		}
+	}()
+	q, err := g.GeneratorCSR(ws)
+	if err != nil {
+		return nil, 0, err
+	}
+	pi = make([]float64, g.NumStates())
+	iters, err = ws.SteadyStatePowerCtx(ctx, q, pi)
+	ws.PutCSR(q)
+	if err == nil {
+		err = linalg.ValidateDistribution("petri.solve.power", pi)
 	}
 	if err != nil {
-		return nil, diag, err
+		return nil, iters, err
 	}
-	return pi, diag, nil
+	return pi, iters, nil
 }
 
 // ExpectedReward computes the steady-state expected reward of a graph with

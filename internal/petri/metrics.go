@@ -21,8 +21,16 @@ var (
 
 	// Steady-state routing: dense direct solves, sparse Gauss-Seidel
 	// solves, and sparse solves that fell back to dense GTH after the
-	// iteration failed to converge.
+	// iteration failed (convergence, guard rejection, or panic).
 	metSolveDense    = obs.CounterFor("petri.solve.dense")
 	metSolveSparse   = obs.CounterFor("petri.solve.sparse")
 	metSolveFallback = obs.CounterFor("petri.solve.fallback_dense")
+
+	// Fallback-chain outcomes: solves that escalated to the uniformized
+	// power backstop, solves that recovered on any fallback rung after a
+	// failure, and solves whose chain was exhausted (a typed error reached
+	// the caller).
+	metSolveFallbackPower = obs.CounterFor("petri.solve.fallback_power")
+	metSolveRecovered     = obs.CounterFor("petri.solve.recovered")
+	metSolveFailed        = obs.CounterFor("petri.solve.failed")
 )

@@ -1,0 +1,13 @@
+package petri
+
+import "nvrel/internal/faultinject"
+
+// Fault-injection sites of the generator assembly path. Hooks sit behind
+// the faultinject global gate (one atomic load, no allocation when chaos
+// is off).
+var (
+	// fiStampCorrupt rewrites one value of a freshly stamped CSR
+	// generator — the paper's "corrupted model parameter" fault. The mode
+	// (NaN, Inf, sign flip, silent rate scale) comes from the armed plan.
+	fiStampCorrupt = faultinject.SiteFor("petri.stamp.corrupt")
+)

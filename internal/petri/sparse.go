@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"nvrel/internal/faultinject"
 	"nvrel/internal/linalg"
 )
 
@@ -149,6 +150,9 @@ func (p *GeneratorPlan) stamp(g *Graph, ws *linalg.Workspace, rowPtr, colIdx, of
 	for k, e := range g.Exp {
 		c.Vals[off[k]] += e.Rate
 		c.Vals[diag[k]] -= e.Rate
+	}
+	if faultinject.Enabled() {
+		fiStampCorrupt.Corrupt(c.Vals)
 	}
 	return c, nil
 }

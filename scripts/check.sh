@@ -44,4 +44,13 @@ for metric in linalg.gs.sweeps petri.restamp petri.plan.memo_hit parallel.pool.u
     fi
 done
 
+echo "== chaos gate: fault plan over the standard sweeps"
+go run ./cmd/nvrel chaos -steps 2 -o artifacts/chaos.json
+# The command already exits non-zero when a fault escapes containment;
+# the grep is a belt-and-braces check that the report agrees.
+if ! grep -q '"silent_wrong": 0' artifacts/chaos.json; then
+    echo "chaos gate: report disagrees with exit status" >&2
+    exit 1
+fi
+
 echo "check.sh: all green"
