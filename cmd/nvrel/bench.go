@@ -34,6 +34,12 @@ type BenchResult struct {
 	// SpeedupVs1 is min_seconds at one worker divided by min_seconds at
 	// this worker count (1.0 for the one-worker row).
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// AllocBytes is the smallest heap-allocation delta observed across the
+	// reps (TotalAlloc before/after one run), so `bench -compare` can gate
+	// allocation regressions alongside wall-time ones. Reports written
+	// before the field existed decode as zero, which -compare treats as
+	// "no baseline, skip the alloc check".
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 }
 
 // BenchReport is the JSON document `nvrel bench` writes. Manifest pins the
@@ -66,8 +72,17 @@ func cmdBench(args []string, out io.Writer) error {
 	scale := fs.Bool("scale", false, "sweep model size N and compare the dense and sparse solver paths")
 	budget := fs.Float64("budget", 60, "with -scale: skip the dense solver once a solve exceeds (or is projected to exceed) this many seconds")
 	only := fs.String("only", "", "comma-separated subset of experiments to bench (default: all)")
+	compare := fs.Bool("compare", false, "compare two bench reports (old.json new.json) and fail on regression")
+	timeRatio := fs.Float64("time-ratio", 1.25, "with -compare: max allowed new/old min-seconds ratio")
+	allocRatio := fs.Float64("alloc-ratio", 1.10, "with -compare: max allowed new/old alloc-bytes ratio")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("bench -compare: want exactly two report paths (old.json new.json), got %d", fs.NArg())
+		}
+		return cmdBenchCompare(fs.Arg(0), fs.Arg(1), *timeRatio, *allocRatio, out)
 	}
 	if *reps < 1 {
 		return fmt.Errorf("bench: reps = %d must be at least 1", *reps)
@@ -187,15 +202,23 @@ func cmdBench(args []string, out io.Writer) error {
 		for _, w := range workerCounts {
 			nvrel.SetWorkers(w)
 			var min, sum float64
+			var minAlloc uint64
+			var ms0, ms1 runtime.MemStats
 			for rep := 0; rep < *reps; rep++ {
+				runtime.ReadMemStats(&ms0)
 				start := time.Now()
 				if err := b.run(); err != nil {
 					return fmt.Errorf("bench: %s at %d workers: %w", b.name, w, err)
 				}
 				elapsed := time.Since(start).Seconds()
+				runtime.ReadMemStats(&ms1)
+				alloc := ms1.TotalAlloc - ms0.TotalAlloc
 				sum += elapsed
 				if rep == 0 || elapsed < min {
 					min = elapsed
+				}
+				if rep == 0 || alloc < minAlloc {
+					minAlloc = alloc
 				}
 			}
 			if w == workerCounts[0] {
@@ -208,6 +231,7 @@ func cmdBench(args []string, out io.Writer) error {
 				MinSeconds:  min,
 				MeanSeconds: sum / float64(*reps),
 				SpeedupVs1:  base / min,
+				AllocBytes:  minAlloc,
 			}
 			report.Results = append(report.Results, r)
 			fmt.Fprintf(out, "  %-10s %-8d %-12.6f %-12.6f %.2fx\n",

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// `nvrel bench -compare old.json new.json` is the regression gate: it
+// matches the two reports' probes by (experiment, workers), checks the
+// new/old wall-time and alloc-bytes ratios against the flag thresholds,
+// prints a verdict table, and exits nonzero if anything regressed — so
+// CI can diff a fresh bench run against the checked-in baseline.
+
+// Absolute noise floors: a probe has to be at least this expensive in
+// the baseline before its ratio is trusted. Sub-millisecond timings and
+// sub-64KB allocation deltas are dominated by scheduler and GC jitter,
+// and a 3x ratio on 80µs is not a regression signal.
+const (
+	compareTimeFloorSeconds = 0.0005
+	compareAllocFloorBytes  = 64 << 10
+)
+
+// benchComparison is one matched probe's verdict.
+type benchComparison struct {
+	Experiment string
+	Workers    int
+	OldSeconds float64
+	NewSeconds float64
+	TimeRatio  float64
+	OldAlloc   uint64
+	NewAlloc   uint64
+	AllocRatio float64 // 0 when the alloc check was skipped
+	Verdict    string  // "ok", "SLOWER", "ALLOCS", or "SLOWER+ALLOCS"
+}
+
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench -compare: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench -compare: %s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("bench -compare: %s has no results", path)
+	}
+	return &r, nil
+}
+
+type probeKey struct {
+	experiment string
+	workers    int
+}
+
+// compareBenchReports matches probes by (experiment, workers) and flags
+// each as regressed when its ratio exceeds the threshold AND the
+// baseline clears the noise floor. Probes present in only one report are
+// reported in the unmatched list, never failed: baselines age across
+// machine shapes (a NumCPU=8 baseline has workers=8 rows a 4-core CI
+// runner can't reproduce) and across probe-set changes.
+func compareBenchReports(old, new *BenchReport, timeRatio, allocRatio float64) (rows []benchComparison, unmatched []string, regressed bool) {
+	oldByKey := make(map[probeKey]BenchResult, len(old.Results))
+	for _, r := range old.Results {
+		oldByKey[probeKey{r.Experiment, r.Workers}] = r
+	}
+	matched := make(map[probeKey]bool, len(new.Results))
+	for _, n := range new.Results {
+		k := probeKey{n.Experiment, n.Workers}
+		o, ok := oldByKey[k]
+		if !ok {
+			unmatched = append(unmatched, fmt.Sprintf("%s/w%d (new only)", n.Experiment, n.Workers))
+			continue
+		}
+		matched[k] = true
+		row := benchComparison{
+			Experiment: n.Experiment,
+			Workers:    n.Workers,
+			OldSeconds: o.MinSeconds,
+			NewSeconds: n.MinSeconds,
+			OldAlloc:   o.AllocBytes,
+			NewAlloc:   n.AllocBytes,
+			Verdict:    "ok",
+		}
+		if o.MinSeconds > 0 {
+			row.TimeRatio = n.MinSeconds / o.MinSeconds
+		}
+		slower := o.MinSeconds >= compareTimeFloorSeconds && row.TimeRatio > timeRatio
+		// AllocBytes == 0 in the baseline means it predates the field (or
+		// the probe genuinely allocated nothing); either way there is no
+		// alloc baseline to regress against.
+		allocs := false
+		if o.AllocBytes > 0 {
+			row.AllocRatio = float64(n.AllocBytes) / float64(o.AllocBytes)
+			allocs = o.AllocBytes >= compareAllocFloorBytes && row.AllocRatio > allocRatio
+		}
+		switch {
+		case slower && allocs:
+			row.Verdict = "SLOWER+ALLOCS"
+		case slower:
+			row.Verdict = "SLOWER"
+		case allocs:
+			row.Verdict = "ALLOCS"
+		}
+		if slower || allocs {
+			regressed = true
+		}
+		rows = append(rows, row)
+	}
+	for k := range oldByKey {
+		if !matched[k] {
+			unmatched = append(unmatched, fmt.Sprintf("%s/w%d (old only)", k.experiment, k.workers))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Experiment != rows[j].Experiment {
+			return rows[i].Experiment < rows[j].Experiment
+		}
+		return rows[i].Workers < rows[j].Workers
+	})
+	sort.Strings(unmatched)
+	return rows, unmatched, regressed
+}
+
+func cmdBenchCompare(oldPath, newPath string, timeRatio, allocRatio float64, out io.Writer) error {
+	if timeRatio <= 0 || allocRatio <= 0 {
+		return fmt.Errorf("bench -compare: ratios must be positive (time %g, alloc %g)", timeRatio, allocRatio)
+	}
+	old, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	rows, unmatched, regressed := compareBenchReports(old, new, timeRatio, allocRatio)
+	if len(rows) == 0 {
+		return fmt.Errorf("bench -compare: no (experiment, workers) probes in common between %s and %s", oldPath, newPath)
+	}
+
+	fmt.Fprintf(out, "bench compare: %s -> %s (time gate %.2fx, alloc gate %.2fx)\n",
+		oldPath, newPath, timeRatio, allocRatio)
+	fmt.Fprintf(out, "  %-10s %-8s %-12s %-12s %-8s %-12s %-12s %-8s %s\n",
+		"experiment", "workers", "old (s)", "new (s)", "ratio", "old alloc", "new alloc", "ratio", "verdict")
+	for _, r := range rows {
+		allocCol := "-"
+		if r.AllocRatio > 0 {
+			allocCol = fmt.Sprintf("%.2fx", r.AllocRatio)
+		}
+		fmt.Fprintf(out, "  %-10s %-8d %-12.6f %-12.6f %-8s %-12d %-12d %-8s %s\n",
+			r.Experiment, r.Workers, r.OldSeconds, r.NewSeconds,
+			fmt.Sprintf("%.2fx", r.TimeRatio), r.OldAlloc, r.NewAlloc, allocCol, r.Verdict)
+	}
+	for _, u := range unmatched {
+		fmt.Fprintf(out, "  skipped (unmatched): %s\n", u)
+	}
+	if regressed {
+		return fmt.Errorf("bench -compare: regression detected (time gate %.2fx, alloc gate %.2fx)", timeRatio, allocRatio)
+	}
+	fmt.Fprintf(out, "bench compare: ok — no regressions\n")
+	return nil
+}

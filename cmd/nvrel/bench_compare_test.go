@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchCompareSelfIsClean is an acceptance criterion: a report
+// compared against itself must pass the gate with exit status zero.
+func TestBenchCompareSelfIsClean(t *testing.T) {
+	out, err := capture(t, "bench", "-compare", "testdata/bench_old.json", "testdata/bench_old.json")
+	if err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("self-compare output missing clean verdict:\n%s", out)
+	}
+}
+
+// TestBenchCompareFlagsSlowdown is the other acceptance criterion: the
+// checked-in fixture with a 2x fig3 slowdown must fail the default
+// 1.25x gate, while the noise-floored gs-sparse probe (3x slower but at
+// 0.1ms scale) must not contribute to the verdict.
+func TestBenchCompareFlagsSlowdown(t *testing.T) {
+	out, err := capture(t, "bench", "-compare", "testdata/bench_old.json", "testdata/bench_slow.json")
+	if err == nil {
+		t.Fatalf("2x slowdown passed the gate:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "regression detected") {
+		t.Errorf("error = %v, want regression verdict", err)
+	}
+	if !strings.Contains(out, "SLOWER") {
+		t.Errorf("table missing SLOWER verdict:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "gs-sparse") && !strings.Contains(line, "ok") {
+			t.Errorf("sub-floor gs-sparse probe flagged: %s", line)
+		}
+	}
+}
+
+// TestBenchCompareRatioFlagsTunable: the same fixture passes once the
+// time gate is loosened past the 2x slowdown.
+func TestBenchCompareRatioFlagsTunable(t *testing.T) {
+	out, err := capture(t, "bench", "-compare", "-time-ratio", "2.5",
+		"testdata/bench_old.json", "testdata/bench_slow.json")
+	if err != nil {
+		t.Fatalf("loosened gate still failed: %v\n%s", err, out)
+	}
+}
+
+func writeBenchFixture(t *testing.T, name string, results []BenchResult) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(BenchReport{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchCompareAllocGate(t *testing.T) {
+	old := writeBenchFixture(t, "old.json", []BenchResult{
+		{Experiment: "fig3", Workers: 1, MinSeconds: 0.1, AllocBytes: 1 << 20},
+	})
+	// Same speed, 1.5x the allocations: the alloc gate alone must fire.
+	new := writeBenchFixture(t, "new.json", []BenchResult{
+		{Experiment: "fig3", Workers: 1, MinSeconds: 0.1, AllocBytes: 3 << 19},
+	})
+	out, err := capture(t, "bench", "-compare", old, new)
+	if err == nil {
+		t.Fatalf("1.5x alloc growth passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "ALLOCS") {
+		t.Errorf("table missing ALLOCS verdict:\n%s", out)
+	}
+	if out, err = capture(t, "bench", "-compare", "-alloc-ratio", "2.0", old, new); err != nil {
+		t.Fatalf("loosened alloc gate still failed: %v\n%s", err, out)
+	}
+}
+
+// TestBenchCompareSkipsMissingAllocBaseline: baselines written before
+// AllocBytes existed decode as zero and must not trip the alloc gate.
+func TestBenchCompareSkipsMissingAllocBaseline(t *testing.T) {
+	old := writeBenchFixture(t, "old.json", []BenchResult{
+		{Experiment: "fig3", Workers: 1, MinSeconds: 0.1},
+	})
+	new := writeBenchFixture(t, "new.json", []BenchResult{
+		{Experiment: "fig3", Workers: 1, MinSeconds: 0.1, AllocBytes: 1 << 30},
+	})
+	if out, err := capture(t, "bench", "-compare", old, new); err != nil {
+		t.Fatalf("alloc-less baseline tripped the gate: %v\n%s", err, out)
+	}
+}
+
+// TestBenchCompareUnmatchedProbesSkipped: probes present in only one
+// report are listed but never fail the gate — baselines age across
+// machine shapes and probe-set changes.
+func TestBenchCompareUnmatchedProbesSkipped(t *testing.T) {
+	old := writeBenchFixture(t, "old.json", []BenchResult{
+		{Experiment: "fig3", Workers: 1, MinSeconds: 0.1, AllocBytes: 1 << 20},
+		{Experiment: "fig3", Workers: 8, MinSeconds: 0.02, AllocBytes: 1 << 20},
+	})
+	new := writeBenchFixture(t, "new.json", []BenchResult{
+		{Experiment: "fig3", Workers: 1, MinSeconds: 0.1, AllocBytes: 1 << 20},
+		{Experiment: "fig4a", Workers: 1, MinSeconds: 0.1, AllocBytes: 1 << 20},
+	})
+	out, err := capture(t, "bench", "-compare", old, new)
+	if err != nil {
+		t.Fatalf("unmatched probes failed the gate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "fig3/w8 (old only)") || !strings.Contains(out, "fig4a/w1 (new only)") {
+		t.Errorf("unmatched probes not surfaced:\n%s", out)
+	}
+}
+
+func TestBenchCompareBadInputs(t *testing.T) {
+	if _, err := capture(t, "bench", "-compare", "testdata/bench_old.json"); err == nil {
+		t.Error("one-argument -compare accepted")
+	}
+	if _, err := capture(t, "bench", "-compare", "testdata/bench_old.json", "testdata/does_not_exist.json"); err == nil {
+		t.Error("missing report accepted")
+	}
+	if _, err := capture(t, "bench", "-compare", "-time-ratio", "0",
+		"testdata/bench_old.json", "testdata/bench_old.json"); err == nil {
+		t.Error("zero time-ratio accepted")
+	}
+	empty := writeBenchFixture(t, "disjoint.json", []BenchResult{
+		{Experiment: "other", Workers: 3, MinSeconds: 0.1},
+	})
+	if _, err := capture(t, "bench", "-compare", "testdata/bench_old.json", empty); err == nil {
+		t.Error("reports with no probes in common accepted")
+	}
+}
+
+// TestBenchReportCarriesAllocBytes drives one real probe and checks the
+// written report records a nonzero allocation baseline for -compare to
+// gate against.
+func TestBenchReportCarriesAllocBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := capture(t, "bench", "-reps", "1", "-only", "gs-sparse", "-o", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range report.Results {
+		if r.AllocBytes == 0 {
+			t.Errorf("%s/w%d recorded zero alloc_bytes", r.Experiment, r.Workers)
+		}
+	}
+}

@@ -307,7 +307,13 @@ func runChaosGrid(steps int, itemTimeout time.Duration) ([]float64, []error) {
 
 // solveChaosPoint builds and solves one grid point: the mean time to
 // compromise swept over [1200, 1800] around the Table II default.
-func solveChaosPoint(ctx context.Context, workload, j, steps int) (float64, error) {
+func solveChaosPoint(ctx context.Context, workload, j, steps int) (v float64, err error) {
+	ctx, sp := obs.StartSpan(ctx, "chaos.point")
+	sp.Int("workload", int64(workload)).Int("step", int64(j))
+	defer func() {
+		sp.Err(err)
+		sp.End()
+	}()
 	mttc := 1200 + 600*float64(j)/float64(steps-1)
 	if workload == 0 {
 		p := nvrel.DefaultFourVersion()

@@ -66,6 +66,8 @@ func dispatch(args []string, out io.Writer) error {
 		return cmdTrace(args[1:], out)
 	case "chaos":
 		return cmdChaos(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -90,12 +92,16 @@ commands:
   trace                      print one simulated event timeline (-arch -horizon -seed)
   chaos                      run the sweeps under a fault-injection plan and
                              assert every fault is recovered or surfaced typed
+  serve                      run the live-telemetry HTTP daemon (/metrics
+                             Prometheus, /metrics.json, /traces, POST /solve)
   help                       show this message
 
 global flags (before the command):
   -workers n                 worker goroutines for sweeps and replications
                              (default: NVREL_WORKERS or the CPU count)
   -metrics file.json         write a solver-metrics snapshot + run manifest
+  -trace file.json           record solve spans and write Chrome trace-event
+                             JSON at exit (open in Perfetto)
   -cpuprofile file           write a pprof CPU profile of the command
   -memprofile file           write a pprof heap profile at command exit
   -pprof addr                serve net/http/pprof on addr (e.g. localhost:6060)`)
@@ -110,6 +116,7 @@ func applyGlobalFlags(args []string) ([]string, globalOpts, error) {
 	var opts globalOpts
 	targets := map[string]*string{
 		"metrics":    &opts.metricsPath,
+		"trace":      &opts.tracePath,
 		"cpuprofile": &opts.cpuProfile,
 		"memprofile": &opts.memProfile,
 		"pprof":      &opts.pprofAddr,

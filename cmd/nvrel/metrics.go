@@ -20,6 +20,7 @@ import (
 // name (see applyGlobalFlags).
 type globalOpts struct {
 	metricsPath string // -metrics: write an obs snapshot + run manifest here
+	tracePath   string // -trace: write ring spans as Chrome trace-event JSON here
 	cpuProfile  string // -cpuprofile: write a pprof CPU profile here
 	memProfile  string // -memprofile: write a heap profile here at exit
 	pprofAddr   string // -pprof: serve net/http/pprof on this address
@@ -27,7 +28,8 @@ type globalOpts struct {
 
 // instrumented reports whether any observability plumbing was requested.
 func (o globalOpts) instrumented() bool {
-	return o.metricsPath != "" || o.cpuProfile != "" || o.memProfile != "" || o.pprofAddr != ""
+	return o.metricsPath != "" || o.tracePath != "" || o.cpuProfile != "" ||
+		o.memProfile != "" || o.pprofAddr != ""
 }
 
 // withInstrumentation wraps one command dispatch with the requested metrics
@@ -41,6 +43,11 @@ func withInstrumentation(opts globalOpts, args []string, dispatch func() error) 
 		prev := obs.Enable()
 		defer obs.SetEnabled(prev)
 		obs.Reset()
+	}
+	if opts.tracePath != "" {
+		prev := obs.TraceEnable()
+		defer obs.SetTraceEnabled(prev)
+		obs.TraceReset()
 	}
 	if opts.pprofAddr != "" {
 		// Fire-and-forget: the listener dies with the process. Bind errors
@@ -80,7 +87,26 @@ func withInstrumentation(opts globalOpts, args []string, dispatch func() error) 
 			cmdErr = err
 		}
 	}
+	if opts.tracePath != "" {
+		if err := writeTraceFile(opts.tracePath); err != nil && cmdErr == nil {
+			cmdErr = err
+		}
+	}
 	return cmdErr
+}
+
+// writeTraceFile dumps the span ring as Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	defer f.Close()
+	if err := obs.WriteTraceEvents(f); err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	return nil
 }
 
 func writeHeapProfile(path string) error {

@@ -1,0 +1,419 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nvrel"
+	"nvrel/internal/linalg"
+	"nvrel/internal/obs"
+	"nvrel/internal/parallel"
+)
+
+// `nvrel serve` turns the batch solver into a long-running telemetry
+// daemon: the same obs registry every solver package reports into is
+// exported live over HTTP (Prometheus text on /metrics, JSON on
+// /metrics.json, ring-buffer spans as Chrome trace-event JSON on
+// /traces), and /solve accepts model specs over POST, solving them
+// through the hardened pool — panic containment, worker rejuvenation,
+// per-request deadline — under a concurrency limit. The daemon's own
+// request counters and latency histograms feed the registry it exports,
+// so a scrape sees the scraping too.
+
+// Serve-layer metrics, following the <package>.<area>.<event> convention.
+var (
+	srvMetRequests      = obs.CounterFor("serve.request")
+	srvMetRequestErrors = obs.CounterFor("serve.request.error")
+	srvMetRequestSec    = obs.HistogramFor("serve.request.seconds",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
+	srvMetSolveOK       = obs.CounterFor("serve.solve.ok")
+	srvMetSolveErrors   = obs.CounterFor("serve.solve.error")
+	srvMetSolveRejected = obs.CounterFor("serve.solve.rejected_busy")
+	srvMetSolveTiming   = obs.TimingFor("serve.solve")
+)
+
+// serveConfig is the flag-settable daemon shape.
+type serveConfig struct {
+	addr            string
+	maxConcurrent   int
+	solveTimeout    time.Duration
+	shutdownTimeout time.Duration
+	traceRing       int
+}
+
+// server is the daemon state: the model cache shared by every request
+// (concurrency-safe, reuses explored reachability graphs), a workspace
+// pool (a linalg.Workspace is not goroutine-safe, so each in-flight solve
+// borrows its own), the solve-concurrency semaphore, and the readiness
+// latch the warm-up solve flips.
+type server struct {
+	cfg    serveConfig
+	cache  *nvrel.ModelCache
+	wsPool sync.Pool
+	sem    chan struct{}
+	ready  atomic.Bool
+	start  time.Time
+}
+
+func newServer(cfg serveConfig) *server {
+	if cfg.maxConcurrent < 1 {
+		cfg.maxConcurrent = 1
+	}
+	return &server{
+		cfg:    cfg,
+		cache:  nvrel.NewModelCache(),
+		wsPool: sync.Pool{New: func() any { return linalg.NewWorkspace() }},
+		sem:    make(chan struct{}, cfg.maxConcurrent),
+		start:  time.Now(),
+	}
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter and latency
+// histogram feeding the same registry the daemon exports.
+func (s *server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		srvMetRequests.Inc()
+		srvMetRequestSec.Observe(time.Since(t0).Seconds())
+		if sw.status >= 400 {
+			srvMetRequestErrors.Inc()
+		}
+	})
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "warming up")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w); err != nil {
+			srvMetRequestErrors.Inc()
+		}
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m := obs.NewManifest()
+		m.Command = "serve"
+		m.Workers = parallel.Workers()
+		m.WallSeconds = time.Since(s.start).Seconds()
+		doc := metricsDoc{Manifest: m, Metrics: obs.Capture()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteTraceEvents(w)
+	})
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	return s.instrument(mux)
+}
+
+// solveRequest is the POST /solve body. Pointer fields distinguish
+// "absent" from zero so the defaults mirror the solve subcommand exactly:
+// parameters start from the 6v defaults, and -arch 4v resets N to 4 and R
+// to 0 unless the request pins them.
+type solveRequest struct {
+	Arch           string   `json:"arch"` // "4v" or "6v" (default "6v")
+	N              *int     `json:"n,omitempty"`
+	F              *int     `json:"f,omitempty"`
+	R              *int     `json:"r,omitempty"`
+	Alpha          *float64 `json:"alpha,omitempty"`
+	P              *float64 `json:"p,omitempty"`
+	PPrime         *float64 `json:"pprime,omitempty"`
+	MTTC           *float64 `json:"mttc,omitempty"`
+	MTTF           *float64 `json:"mttf,omitempty"`
+	MTTR           *float64 `json:"mttr,omitempty"`
+	MTRJ           *float64 `json:"mtrj,omitempty"`
+	Interval       *float64 `json:"interval,omitempty"`
+	TimeoutSeconds float64  `json:"timeout_seconds,omitempty"`
+}
+
+// params resolves the request into a full parameter vector plus the
+// architecture, mirroring cmdSolve's defaulting.
+func (req *solveRequest) params() (nvrel.Params, string, error) {
+	arch := req.Arch
+	if arch == "" {
+		arch = "6v"
+	}
+	if arch != "4v" && arch != "6v" {
+		return nvrel.Params{}, "", fmt.Errorf("unknown architecture %q (want \"4v\" or \"6v\")", arch)
+	}
+	p := nvrel.DefaultSixVersion()
+	if arch == "4v" {
+		if req.N == nil {
+			p.N = 4
+		}
+		if req.R == nil {
+			p.R = 0
+		}
+	}
+	if req.N != nil {
+		p.N = *req.N
+	}
+	if req.F != nil {
+		p.F = *req.F
+	}
+	if req.R != nil {
+		p.R = *req.R
+	}
+	setF := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setF(&p.Alpha, req.Alpha)
+	setF(&p.P, req.P)
+	setF(&p.PPrime, req.PPrime)
+	setF(&p.MeanTimeToCompromise, req.MTTC)
+	setF(&p.MeanTimeToFailure, req.MTTF)
+	setF(&p.MeanTimeToRepair, req.MTTR)
+	setF(&p.MeanTimeToRejuvenate, req.MTRJ)
+	setF(&p.RejuvenationInterval, req.Interval)
+	return p, arch, nil
+}
+
+// attemptJSON is one failed fallback rung in the response diagnostics.
+type attemptJSON struct {
+	Solver string `json:"solver"`
+	Sweeps int    `json:"sweeps,omitempty"`
+	Error  string `json:"error"`
+}
+
+// solveDiagJSON mirrors petri.SolveDiag for the response body.
+type solveDiagJSON struct {
+	States   int           `json:"states"`
+	Path     string        `json:"path,omitempty"`
+	GSSweeps int           `json:"gs_sweeps,omitempty"`
+	Fallback string        `json:"fallback,omitempty"`
+	Attempts []attemptJSON `json:"attempts,omitempty"`
+}
+
+// solveResponse is the POST /solve reply.
+type solveResponse struct {
+	Arch           string            `json:"arch"`
+	Solver         string            `json:"solver"`
+	States         int               `json:"states"`
+	Reliability    float64           `json:"reliability"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	Diag           *solveDiagJSON    `json:"diag,omitempty"`
+	Trace          []obs.SpanSummary `json:"trace,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Admission control: never queue more solves than the semaphore
+	// allows — a busy daemon answers 429 immediately rather than
+	// accumulating goroutines until memory runs out.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		srvMetSolveRejected.Inc()
+		httpError(w, http.StatusTooManyRequests, "solver at max concurrency (%d in flight)", s.cfg.maxConcurrent)
+		return
+	}
+	timeout := s.cfg.solveTimeout
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	resp, code, err := s.solve(r.Context(), &req, timeout)
+	if err != nil {
+		srvMetSolveErrors.Inc()
+		httpError(w, code, "%v", err)
+		return
+	}
+	srvMetSolveOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// solve runs one request through the hardened pool with a per-request
+// deadline. The result matches the batch `nvrel solve` output
+// bit-for-bit: same model cache semantics, same solver routing, same
+// reliability summation order.
+func (s *server) solve(ctx context.Context, req *solveRequest, timeout time.Duration) (*solveResponse, int, error) {
+	p, arch, err := req.params()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	t0 := time.Now()
+	sctx, sp := obs.StartSpan(ctx, "serve.solve")
+	sp.Str("arch", arch)
+	resp := &solveResponse{Arch: arch}
+
+	// One item through the hardened pool: a panicking solver is recovered
+	// into a typed error (and the worker goroutine retired), and the
+	// ItemTimeout deadline bounds the solve even if a kernel wedges
+	// between context checks.
+	errs := parallel.ForEachHardened(sctx, 1, func(ictx context.Context, _ int) error {
+		var model *nvrel.Model
+		var berr error
+		if arch == "4v" {
+			model, berr = s.cache.BuildNoRejuvenation(p)
+		} else {
+			model, berr = s.cache.BuildWithRejuvenation(p)
+		}
+		if berr != nil {
+			return berr
+		}
+		ws := s.wsPool.Get().(*linalg.Workspace)
+		defer s.wsPool.Put(ws)
+		pi, diag, serr := model.SolveDiagCtxWS(ictx, ws)
+		if serr != nil {
+			return serr
+		}
+		rel, rerr := model.ExpectedPaperReliabilityFrom(pi)
+		if rerr != nil {
+			return rerr
+		}
+		resp.Solver = model.SolverKind()
+		resp.States = diag.States
+		resp.Reliability = rel
+		d := &solveDiagJSON{States: diag.States}
+		if resp.Solver == "ctmc" {
+			d.Path = diag.Path.String()
+			d.GSSweeps = diag.GSSweeps
+			if diag.Fallback != nil {
+				d.Fallback = diag.Fallback.Error()
+			}
+			for _, a := range diag.Attempts {
+				d.Attempts = append(d.Attempts, attemptJSON{Solver: a.Solver, Sweeps: a.Sweeps, Error: a.Err.Error()})
+			}
+		}
+		resp.Diag = d
+		return nil
+	}, parallel.HardenedOptions{Workers: 1, MaxAttempts: 2, ItemTimeout: timeout})
+	sp.Err(errs[0])
+	sp.End()
+	resp.ElapsedSeconds = time.Since(t0).Seconds()
+	srvMetSolveTiming.Record(time.Since(t0))
+	if errs[0] != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(errs[0], context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		return nil, code, errs[0]
+	}
+	if root := sp.Root(); root != 0 {
+		resp.Trace = obs.SummarizeTrace(obs.CollectTrace(root))
+	}
+	return resp, http.StatusOK, nil
+}
+
+// warmUp solves the default six-version model once so the first real
+// request doesn't pay exploration cost, then flips readiness. A failing
+// warm-up leaves the daemon not-ready (and loudly logged) rather than
+// dead: /metrics and /healthz stay useful for diagnosis.
+func (s *server) warmUp(out io.Writer) {
+	_, _, err := s.solve(context.Background(), &solveRequest{Arch: "6v"}, s.cfg.solveTimeout)
+	if err != nil {
+		fmt.Fprintf(out, "nvrel serve: warm-up solve failed: %v\n", err)
+		return
+	}
+	s.ready.Store(true)
+}
+
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var cfg serveConfig
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8077", "listen address (use :0 for an ephemeral port)")
+	fs.IntVar(&cfg.maxConcurrent, "max-concurrent", 4, "max in-flight /solve requests before 429")
+	fs.DurationVar(&cfg.solveTimeout, "solve-timeout", 30*time.Second, "default per-request solve deadline")
+	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
+	fs.IntVar(&cfg.traceRing, "trace-ring", obs.DefaultTraceCapacity, "span ring-buffer capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// A telemetry daemon with dark telemetry would be pointless: serve
+	// always collects metrics and spans, whatever the global flags say.
+	obs.Enable()
+	if cfg.traceRing > 0 && cfg.traceRing != obs.DefaultTraceCapacity {
+		obs.SetTraceCapacity(cfg.traceRing)
+	}
+	obs.TraceEnable()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s := newServer(cfg)
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(out, "nvrel serve: listening on http://%s\n", ln.Addr())
+	go s.warmUp(out)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(out, "nvrel serve: shutting down, draining in-flight requests")
+	shCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nvrel"
+	"nvrel/internal/obs"
+)
+
+// newTestServer builds a daemon with telemetry forced on (restored at
+// test end) and returns it with an httptest front end.
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	prevObs := obs.Enable()
+	prevTrace := obs.TraceEnable()
+	obs.TraceReset()
+	t.Cleanup(func() {
+		obs.SetEnabled(prevObs)
+		obs.SetTraceEnabled(prevTrace)
+	})
+	s := newServer(serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestServeHealthAndReadiness(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before warm-up = %d, want 503", resp.StatusCode)
+	}
+
+	s.warmUp(io.Discard)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after warm-up = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeSolveMatchesBatchCLI is the acceptance criterion: a /solve
+// round-trip must match the batch solver bit-for-bit. The response float
+// survives its JSON round trip exactly (encoding/json emits the shortest
+// representation that parses back to the same float64).
+func TestServeSolveMatchesBatchCLI(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, arch := range []string{"4v", "6v"} {
+		resp, err := http.Post(ts.URL+"/solve", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"arch":%q}`, arch)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/solve %s = %d: %s", arch, resp.StatusCode, body)
+		}
+		var sr solveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("/solve %s response: %v", arch, err)
+		}
+
+		var model *nvrel.Model
+		if arch == "4v" {
+			model, err = nvrel.BuildFourVersion(nvrel.DefaultFourVersion())
+		} else {
+			model, err = nvrel.BuildSixVersion(nvrel.DefaultSixVersion())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.ExpectedPaperReliability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Reliability != want {
+			t.Errorf("/solve %s reliability = %.17g, batch CLI computes %.17g", arch, sr.Reliability, want)
+		}
+		if sr.States != model.Graph.NumStates() {
+			t.Errorf("/solve %s states = %d, want %d", arch, sr.States, model.Graph.NumStates())
+		}
+		if sr.Diag == nil {
+			t.Errorf("/solve %s missing diag", arch)
+		}
+	}
+}
+
+func TestServeSolveDefaultsMirrorSolveCommand(t *testing.T) {
+	req := solveRequest{Arch: "4v"}
+	p, arch, err := req.params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch != "4v" || p.N != 4 || p.R != 0 {
+		t.Errorf("4v defaults = N=%d R=%d, want N=4 R=0", p.N, p.R)
+	}
+	n := 8
+	req = solveRequest{Arch: "4v", N: &n}
+	if p, _, _ = req.params(); p.N != 8 || p.R != 0 {
+		t.Errorf("4v with n=8 = N=%d R=%d, want N=8 R=0", p.N, p.R)
+	}
+	req = solveRequest{}
+	if p, arch, _ = req.params(); arch != "6v" || p.N != 6 || p.R != 1 {
+		t.Errorf("empty request = %s N=%d R=%d, want 6v N=6 R=1", arch, p.N, p.R)
+	}
+	req = solveRequest{Arch: "9v"}
+	if _, _, err = req.params(); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestServeSolveTraceNesting(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"6v"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sr.Trace) == 0 {
+		t.Fatal("solve response carries no trace")
+	}
+	depth := map[string]int{}
+	parent := map[string]string{}
+	for _, row := range sr.Trace {
+		depth[row.Name] = row.Depth
+		parent[row.Name] = row.Parent
+	}
+	if depth["serve.solve"] != 0 {
+		t.Errorf("serve.solve depth = %d, want 0 (rows: %+v)", depth["serve.solve"], sr.Trace)
+	}
+	if parent["parallel.item"] != "serve.solve" {
+		t.Errorf("parallel.item parent = %q, want serve.solve", parent["parallel.item"])
+	}
+	if parent["nvp.solve"] != "parallel.item" {
+		t.Errorf("nvp.solve parent = %q, want parallel.item", parent["nvp.solve"])
+	}
+	if _, ok := parent["mrgp.solve"]; !ok {
+		t.Errorf("trace missing mrgp.solve rows: %+v", sr.Trace)
+	}
+}
+
+func TestServeMetricsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A request before scraping so serve.request is nonzero.
+	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", got)
+	}
+	text := string(body)
+	if !strings.Contains(text, "# TYPE serve_request counter") {
+		t.Errorf("/metrics missing serve_request family:\n%.400s", text)
+	}
+	var serveReq int64
+	for _, line := range strings.Split(text, "\n") {
+		if n, _ := fmt.Sscanf(line, "serve_request %d", &serveReq); n == 1 {
+			break
+		}
+	}
+	if serveReq < 1 {
+		t.Errorf("serve_request = %d, want >= 1", serveReq)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc metricsDoc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if doc.Manifest.Command != "serve" || doc.Manifest.GoVersion == "" {
+		t.Errorf("/metrics.json manifest = %+v", doc.Manifest)
+	}
+	if _, ok := doc.Metrics.Counters["serve.request"]; !ok {
+		t.Error("/metrics.json missing serve.request counter")
+	}
+}
+
+func TestServeTracesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"4v"}`)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/traces is not trace-event JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "serve.solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/traces missing serve.solve span among %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestServeSolveRejectsWhenBusy(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Fill the admission semaphore so the next request sees a full house.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	defer func() { <-s.sem; <-s.sem }()
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"4v"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("/solve while busy = %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestServeSolveBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"arch":"42v"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{`{"arch":"4v","n":-3}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("/solve %q = %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+		if e.Error == "" {
+			t.Errorf("/solve %q returned no error message", c.body)
+		}
+	}
+}
+
+func TestServeUsageListsCommand(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf)
+	if !strings.Contains(buf.String(), "serve") {
+		t.Error("usage does not mention serve")
+	}
+}

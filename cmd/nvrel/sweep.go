@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"nvrel"
+	"nvrel/internal/obs"
 	"nvrel/internal/parallel"
 )
 
@@ -72,9 +73,15 @@ func cmdSweep(args []string, out io.Writer) error {
 	}
 	cache := nvrel.NewModelCache()
 	points := make([]sweepPoint, *steps)
-	solvePoint := func(ctx context.Context, i int) error {
+	solvePoint := func(ctx context.Context, i int) (err error) {
 		v := *from + (*to-*from)*float64(i)/float64(*steps-1)
 		points[i].v = v
+		ctx, sp := obs.StartSpan(ctx, "sweep.point")
+		sp.Int("index", int64(i)).Float("value", v).Str("param", *param)
+		defer func() {
+			sp.Err(err)
+			sp.End()
+		}()
 
 		e4 := math.NaN()
 		if !rejuvenationOnly {

@@ -1,10 +1,12 @@
 package mrgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"nvrel/internal/linalg"
+	"nvrel/internal/obs"
 	"nvrel/internal/petri"
 )
 
@@ -36,6 +38,20 @@ var ErrNoTimedTransitions = errors.New("mrgp: absorbing tangible marking (no tim
 // period) is longer and therefore cheaper and better conditioned.
 func SolveGeneral(g *petri.Graph) (*Solution, error) {
 	return SolveGeneralWS(nil, g)
+}
+
+// SolveGeneralCtxWS is SolveGeneralWS with a context, used only for span
+// parenting: the general solver has no iterative kernels worth
+// cancelling, but its span must still nest under the caller's solve span
+// so 6v ClockWaitsForWave traces stay one tree.
+func SolveGeneralCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (sol *Solution, err error) {
+	_, sp := obs.StartSpan(ctx, "mrgp.solve.general")
+	sp.Int("states", int64(g.NumStates()))
+	defer func() {
+		sp.Err(err)
+		sp.End()
+	}()
+	return SolveGeneralWS(ws, g)
 }
 
 // SolveGeneralWS is the workspace-backed form of SolveGeneral; see SolveWS

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"nvrel/internal/linalg"
+	"nvrel/internal/obs"
 	"nvrel/internal/petri"
 )
 
@@ -103,33 +104,49 @@ func isDeadline(err error) bool {
 // that followed a sparse failure, so observability can tell "small model,
 // dense by design" apart from "sparse path failed and was rescued".
 func SolveCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	ctx, sp := obs.StartSpan(ctx, "mrgp.solve")
+	defer sp.End()
+	sp.Int("states", int64(g.NumStates()))
 	if err := linalg.CtxError("mrgp.solve", ctx); err != nil {
+		sp.Err(err)
 		return nil, err
 	}
 	if g.NumStates() >= linalg.SparseThreshold {
 		metRoutedSparse.Inc()
+		sp.Str("routed", "sparse")
 		sol, err := solveSparseGuarded(ctx, ws, g)
 		if err == nil {
 			return sol, nil
 		}
 		if isStructuralErr(err) || isDeadline(err) {
+			sp.Err(err)
 			return nil, err
 		}
 		metSolveFallback.Inc()
 		sol, derr := solveDenseGuarded(ctx, ws, g)
 		if derr == nil {
 			metRecoveredDense.Inc()
+			sp.Str("recovered", "dense")
 			return sol, nil
 		}
+		sp.Err(derr)
 		return nil, derr
 	}
 	metRoutedDense.Inc()
-	return solveDenseGuarded(ctx, ws, g)
+	sp.Str("routed", "dense")
+	sol, err := solveDenseGuarded(ctx, ws, g)
+	sp.Err(err)
+	return sol, err
 }
 
 // solveSparseGuarded runs one sparse attempt with panic recovery and
 // result guards on both output distributions.
 func solveSparseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (sol *Solution, err error) {
+	ctx, sp := obs.StartSpan(ctx, "mrgp.rung.sparse")
+	defer func() {
+		sp.Err(err)
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			sol, err = nil, linalg.NewPanicError("mrgp.solve.sparse", r)
@@ -147,6 +164,11 @@ func solveSparseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Grap
 // solveDenseGuarded runs one dense attempt with panic recovery and result
 // guards.
 func solveDenseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (sol *Solution, err error) {
+	_, sp := obs.StartSpan(ctx, "mrgp.rung.dense")
+	defer func() {
+		sp.Err(err)
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			sol, err = nil, linalg.NewPanicError("mrgp.solve.dense", r)

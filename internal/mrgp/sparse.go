@@ -7,6 +7,7 @@ import (
 
 	"nvrel/internal/faultinject"
 	"nvrel/internal/linalg"
+	"nvrel/internal/obs"
 	"nvrel/internal/petri"
 )
 
@@ -84,6 +85,21 @@ func SolveSparseCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph)
 	stall := 0
 	cycles := 0
 	lastDelta := math.Inf(1)
+	// The embedded-chain span must close before the occupancy span opens
+	// (they are sibling kernels under mrgp.rung.sparse), so it ends via
+	// this helper on every exit from the loop rather than a defer that
+	// would stretch it over the integral below.
+	_, ksp := obs.StartSpan(ctx, "mrgp.kernel.embedded")
+	kspEnded := false
+	endEmbedded := func(err error) {
+		if kspEnded {
+			return
+		}
+		kspEnded = true
+		ksp.Int("cycles", int64(cycles)).Int("nnz", int64(q.NNZ())).Float("residual", lastDelta).Err(err)
+		ksp.End()
+	}
+	defer endEmbedded(nil)
 	for cycle := 0; cycle < embMaxCycles; cycle++ {
 		if err := linalg.CtxError("mrgp.power", ctx); err != nil {
 			return nil, err
@@ -142,16 +158,23 @@ func SolveSparseCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph)
 	metPowerCycles.Add(int64(cycles))
 	metPowerResidual.Set(lastDelta)
 	if !converged {
-		return nil, &linalg.SolveError{Site: "mrgp.power", Kind: linalg.FailNotConverged, Index: -1, Residual: lastDelta,
+		err := &linalg.SolveError{Site: "mrgp.power", Kind: linalg.FailNotConverged, Index: -1, Residual: lastDelta,
 			Err: fmt.Errorf("%w: embedded power iteration after %d cycles", linalg.ErrNotConverged, embMaxCycles)}
+		endEmbedded(err)
+		return nil, err
 	}
+	endEmbedded(nil)
 
 	sigma := make([]float64, n)
 	copy(sigma, v)
 
 	occupancy := make([]float64, n)
-	if _, err := ws.UniformizedIntegralCSR(q, sigma, delay, rate, truncationEpsilon, occupancy); err != nil {
-		return nil, err
+	_, osp := obs.StartSpan(ctx, "mrgp.kernel.occupancy")
+	_, oerr := ws.UniformizedIntegralCSR(q, sigma, delay, rate, truncationEpsilon, occupancy)
+	osp.Err(oerr)
+	osp.End()
+	if oerr != nil {
+		return nil, oerr
 	}
 	linalg.Normalize(occupancy)
 

@@ -8,6 +8,7 @@ import (
 	"nvrel/internal/faultinject"
 	"nvrel/internal/linalg"
 	"nvrel/internal/mrgp"
+	"nvrel/internal/obs"
 	"nvrel/internal/petri"
 	"nvrel/internal/reliability"
 )
@@ -339,19 +340,47 @@ func (m *Model) SolveWS(ws *linalg.Workspace) ([]float64, error) {
 // produced the vector, it is validated (finite, non-negative, simplex)
 // before any caller computes a reliability number from it.
 func (m *Model) SolveCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, error) {
+	pi, _, err := m.SolveDiagCtxWS(ctx, ws)
+	return pi, err
+}
+
+// SolverKind names the solver the architecture and clock policy route to:
+// "ctmc" (GTH/GS on the plain CTMC), "mrgp" (clock-synchronous
+// Markov-regenerative), or "mrgp-general" (waits-for-wave clock).
+func (m *Model) SolverKind() string {
+	switch {
+	case m.Arch != WithRejuvenation:
+		return "ctmc"
+	case m.Params.Clock == ClockWaitsForWave:
+		return "mrgp-general"
+	default:
+		return "mrgp"
+	}
+}
+
+// SolveDiagCtxWS solves like SolveCtxWS and additionally reports the
+// petri.SolveDiag for the CTMC architecture (path taken, GS sweeps,
+// fallback attempts). The Markov-regenerative architectures have no
+// per-rung diagnostics struct; they report only the state count.
+func (m *Model) SolveDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, petri.SolveDiag, error) {
+	ctx, sp := obs.StartSpan(ctx, "nvp.solve")
+	sp.Str("arch", m.Arch.String()).Str("solver", m.SolverKind())
 	var (
-		pi  []float64
-		err error
+		pi   []float64
+		diag petri.SolveDiag
+		err  error
 	)
 	if m.Arch != WithRejuvenation {
-		pi, err = m.Graph.SteadyStateCtxWS(ctx, ws)
+		pi, diag, err = m.Graph.SteadyStateDiagCtxWS(ctx, ws)
 	} else if m.Params.Clock == ClockWaitsForWave {
+		diag = petri.SolveDiag{States: m.Graph.NumStates()}
 		var sol *mrgp.Solution
-		sol, err = mrgp.SolveGeneralWS(ws, m.Graph)
+		sol, err = mrgp.SolveGeneralCtxWS(ctx, ws, m.Graph)
 		if sol != nil {
 			pi = sol.Pi
 		}
 	} else {
+		diag = petri.SolveDiag{States: m.Graph.NumStates()}
 		var sol *mrgp.Solution
 		sol, err = mrgp.SolveCtxWS(ctx, ws, m.Graph)
 		if sol != nil {
@@ -359,15 +388,21 @@ func (m *Model) SolveCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64
 		}
 	}
 	if err != nil {
-		return nil, err
+		sp.Err(err)
+		sp.End()
+		return nil, diag, err
 	}
 	if faultinject.Enabled() && fiResultNaN.Fire() && len(pi) > 0 {
 		pi[0] = math.NaN()
 	}
 	if err := linalg.ValidateDistribution("nvp.solve", pi); err != nil {
-		return nil, err
+		sp.Err(err)
+		sp.End()
+		return nil, diag, err
 	}
-	return pi, nil
+	sp.Int("states", int64(diag.States))
+	sp.End()
+	return pi, diag, nil
 }
 
 // StateDistribution aggregates the steady state into module-population
@@ -455,6 +490,27 @@ func (m *Model) ExpectedPaperReliabilityCtxWS(ctx context.Context, ws *linalg.Wo
 		return 0, err
 	}
 	return m.ExpectedReliabilityCtxWS(ctx, ws, rf)
+}
+
+// ExpectedPaperReliabilityFrom computes E[R_sys] under the paper's
+// reliability function from an already-solved distribution. The summation
+// loop is identical to ExpectedReliabilityCtxWS, so callers that solve
+// once (for diagnostics) and weigh separately get a bit-for-bit match
+// with the one-call path.
+func (m *Model) ExpectedPaperReliabilityFrom(pi []float64) (float64, error) {
+	rf, err := m.PaperReliability()
+	if err != nil {
+		return 0, err
+	}
+	if len(pi) != len(m.Graph.Markings) {
+		return 0, fmt.Errorf("nvp: distribution has %d states, graph has %d", len(pi), len(m.Graph.Markings))
+	}
+	var e float64
+	for s, mk := range m.Graph.Markings {
+		i, j, k := m.classify(mk)
+		e += pi[s] * rf(i, j, k)
+	}
+	return e, nil
 }
 
 func sortStates(states []ModuleState) {

@@ -17,7 +17,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -151,7 +153,19 @@ type Histogram struct {
 // HistogramFor returns the histogram registered under name, creating it
 // with the given sorted inclusive upper bounds on first use (later calls
 // ignore bounds). An empty bounds slice yields a count/sum-only summary.
+// Bounds must be finite-or-+Inf-free of NaN and strictly increasing;
+// violating that is a programmer error and panics with the offending
+// name, because a malformed bucket layout silently misroutes every
+// observation for the life of the process.
 func HistogramFor(name string, bounds []float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is NaN", name, i))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d (%g after %g)", name, i, b, bounds[i-1]))
+		}
+	}
 	def.mu.Lock()
 	defer def.mu.Unlock()
 	h, ok := def.histograms[name]
@@ -192,7 +206,25 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
-// Timing aggregates durations: count, total, and max, in nanoseconds.
+// latencyBuckets is the fixed bucket count of the per-Timing latency
+// histogram: one log2 bucket per possible bits.Len64 of a nanosecond
+// duration (0..64), so bucketing is a single instruction with no search
+// and no allocation — Record stays on the enabled-path zero-alloc
+// contract guarded by BenchmarkObsEnabledNoAlloc.
+const latencyBuckets = 65
+
+// latencyBucket maps a duration in nanoseconds to its log2 bucket:
+// bucket b holds durations in [2^(b-1), 2^b) ns (bucket 0 holds 0 and
+// negatives, which clock skew can produce).
+func latencyBucket(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// Timing aggregates durations: count, total, max, and a bounded log2
+// latency histogram (for tail percentile estimates), in nanoseconds.
 // Spans started from a Timing may nest freely — each Span is an
 // independent value and sibling or enclosing spans do not interact.
 type Timing struct {
@@ -200,6 +232,7 @@ type Timing struct {
 	count atomic.Int64
 	total atomic.Int64
 	max   atomic.Int64
+	lat   [latencyBuckets]atomic.Int64
 }
 
 // TimingFor returns the timing registered under name, creating it on
@@ -248,6 +281,7 @@ func (t *Timing) Record(d time.Duration) {
 	ns := int64(d)
 	t.count.Add(1)
 	t.total.Add(ns)
+	t.lat[latencyBucket(ns)].Add(1)
 	for {
 		old := t.max.Load()
 		if ns <= old || t.max.CompareAndSwap(old, ns) {
@@ -270,6 +304,52 @@ func (t *Timing) Total() time.Duration {
 		return 0
 	}
 	return time.Duration(t.total.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of recorded durations
+// from the log2 latency histogram, interpolating linearly within the
+// containing bucket and clamping to the recorded max (an estimate can
+// otherwise land past it, since a bucket's range is a full octave). Zero
+// when nothing has been recorded.
+func (t *Timing) Quantile(q float64) time.Duration {
+	if t == nil {
+		return 0
+	}
+	var counts [latencyBuckets]int64
+	var n int64
+	for i := range t.lat {
+		counts[i] = t.lat[i].Load()
+		n += counts[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	maxNS := float64(t.max.Load())
+	var cum int64
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		before := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		var lo, hi float64
+		if b == 0 {
+			lo, hi = 0, 1
+		} else {
+			lo = math.Ldexp(1, b-1)
+			hi = lo * 2
+		}
+		est := lo + (hi-lo)*(rank-before)/float64(c)
+		if maxNS > 0 && est > maxNS {
+			est = maxNS
+		}
+		return time.Duration(est)
+	}
+	return time.Duration(maxNS)
 }
 
 // Reset zeroes every registered metric (counts, gauges, histograms,
@@ -296,5 +376,8 @@ func Reset() {
 		t.count.Store(0)
 		t.total.Store(0)
 		t.max.Store(0)
+		for i := range t.lat {
+			t.lat[i].Store(0)
+		}
 	}
 }

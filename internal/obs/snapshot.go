@@ -26,12 +26,20 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
-// TimingSnapshot is one timing's state in seconds.
+// TimingSnapshot is one timing's state in seconds. The percentiles are
+// estimates from a per-Timing bounded log2 latency histogram (linear
+// interpolation within the containing octave, clamped to the observed
+// max), so tails are accurate to within a factor of two — enough to
+// tell a 10 ms p99 from a 100 ms one, which is what the exposition is
+// for.
 type TimingSnapshot struct {
 	Count        int64   `json:"count"`
 	TotalSeconds float64 `json:"total_seconds"`
 	MeanSeconds  float64 `json:"mean_seconds"`
 	MaxSeconds   float64 `json:"max_seconds"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P95Seconds   float64 `json:"p95_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
 }
 
 // Capture snapshots the default registry. It is safe against concurrent
@@ -69,6 +77,9 @@ func Capture() Snapshot {
 			Count:        t.count.Load(),
 			TotalSeconds: time.Duration(t.total.Load()).Seconds(),
 			MaxSeconds:   time.Duration(t.max.Load()).Seconds(),
+			P50Seconds:   t.Quantile(0.50).Seconds(),
+			P95Seconds:   t.Quantile(0.95).Seconds(),
+			P99Seconds:   t.Quantile(0.99).Seconds(),
 		}
 		if ts.Count > 0 {
 			ts.MeanSeconds = ts.TotalSeconds / float64(ts.Count)

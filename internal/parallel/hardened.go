@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nvrel/internal/faultinject"
+	"nvrel/internal/obs"
 )
 
 // Fault-injection sites of the hardened pool, exercised by the chaos
@@ -59,7 +60,12 @@ func ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) 
 			if err := child.Err(); err != nil {
 				return err
 			}
-			if err := fn(child, i); err != nil {
+			ictx, sp := obs.StartSpan(child, "parallel.item")
+			sp.Int("index", int64(i)).Int("worker", 0)
+			err := fn(ictx, i)
+			sp.Err(err)
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
@@ -74,14 +80,19 @@ func ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || child.Err() != nil {
 					return
 				}
-				if err := fn(child, i); err != nil {
+				ictx, sp := obs.StartSpan(child, "parallel.item")
+				sp.Int("index", int64(i)).Int("worker", int64(worker))
+				err := fn(ictx, i)
+				sp.Err(err)
+				sp.End()
+				if err != nil {
 					errMu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -90,7 +101,7 @@ func ForEachCtx(ctx context.Context, n int, fn func(ctx context.Context, i int) 
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr == nil {
@@ -208,38 +219,54 @@ func ForEachHardened(ctx context.Context, n int, fn func(ctx context.Context, i 
 
 	// runItem executes one attempt with panic recovery and the optional
 	// per-attempt deadline. It reports whether fn panicked, so the calling
-	// worker can retire itself.
-	runItem := func(t task) (panicked bool) {
+	// worker can retire itself. The item span carries worker attribution —
+	// which goroutine incarnation ran which item on which attempt — so a
+	// trace shows retries landing on fresh workers after a rejuvenation.
+	runItem := func(t task, worker int64) (panicked bool) {
+		sctx, sp := obs.StartSpan(ctx, "parallel.item")
+		sp.Int("index", int64(t.idx)).Int("attempt", int64(t.attempt)).Int("worker", worker)
 		defer func() {
 			if r := recover(); r != nil {
 				panicked = true
 				metWorkerPanics.Inc()
-				finish(t, &PanicError{Index: t.idx, Value: r})
+				perr := &PanicError{Index: t.idx, Value: r}
+				sp.Err(perr)
+				sp.End()
+				finish(t, perr)
 			}
 		}()
 		if err := ctx.Err(); err != nil {
+			sp.Err(err)
+			sp.End()
 			complete(t.idx, err)
 			return false
 		}
-		ictx := ctx
+		ictx := sctx
 		if opts.ItemTimeout > 0 {
 			var cancel context.CancelFunc
-			ictx, cancel = context.WithTimeout(ctx, opts.ItemTimeout)
+			ictx, cancel = context.WithTimeout(sctx, opts.ItemTimeout)
 			defer cancel()
 		}
 		if faultinject.Enabled() {
 			fiWorkerPanic.Panic()
 			fiWorkerStall.Stall(ictx)
 		}
-		finish(t, fn(ictx, t.idx))
+		err := fn(ictx, t.idx)
+		sp.Err(err)
+		sp.End()
+		finish(t, err)
 		return false
 	}
 
+	// workerIDs hands every worker incarnation — initial or respawned — a
+	// distinct id for span attribution.
+	var workerIDs atomic.Int64
 	var worker func()
 	worker = func() {
 		defer wg.Done()
+		id := workerIDs.Add(1) - 1
 		for t := range tasks {
-			if runItem(t) {
+			if runItem(t, id) {
 				// This goroutine just observed a panic in user code.
 				// Retire it and hand its slot to a fresh worker
 				// (rejuvenation): the item bookkeeping is already done,

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"nvrel/internal/linalg"
+	"nvrel/internal/obs"
 )
 
 // ErrNoStates is returned when a graph has an empty tangible state space.
@@ -171,6 +172,18 @@ func isDeadline(err error) bool {
 // either recovers on a later rung or surfaces as a typed
 // *linalg.SolveError — never a silently wrong vector.
 func (g *Graph) SteadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+	ctx, sp := obs.StartSpan(ctx, "petri.solve")
+	pi, diag, err := g.steadyStateDiagCtxWS(ctx, ws)
+	sp.Int("states", int64(diag.States)).
+		Str("path", diag.Path.String()).
+		Int("gs_sweeps", int64(diag.GSSweeps)).
+		Int("fallbacks", int64(len(diag.Attempts))).
+		Err(err)
+	sp.End()
+	return pi, diag, err
+}
+
+func (g *Graph) steadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
 	if g.HasDeterministic() {
 		return nil, SolveDiag{}, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
 	}
@@ -182,7 +195,7 @@ func (g *Graph) SteadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) 
 	}
 	metSolveDense.Inc()
 	diag := SolveDiag{States: g.NumStates(), Path: PathDense}
-	pi, err := g.steadyStateDenseGuarded(ws)
+	pi, err := g.steadyStateDenseGuarded(ctx, ws)
 	if err == nil {
 		return pi, diag, nil
 	}
@@ -243,7 +256,7 @@ func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Works
 	// from the rate edges, so a corrupted CSR stamp does not poison it.
 	metSolveFallback.Inc()
 	diag.Path = PathSparseFallbackDense
-	dpi, derr := g.steadyStateDenseGuarded(ws)
+	dpi, derr := g.steadyStateDenseGuarded(ctx, ws)
 	if derr == nil {
 		metSolveRecovered.Inc()
 		return dpi, diag, nil
@@ -268,8 +281,16 @@ func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Works
 }
 
 // sparseGSGuarded runs one Gauss-Seidel attempt with panic recovery and a
-// result guard; pi receives the distribution on success.
+// result guard; pi receives the distribution on success. The rung span
+// covers generator stamping plus validation; the nested kernel span
+// isolates the Gauss-Seidel iteration itself (the kernel stays
+// span-free internally so its NoAlloc guarantees are untouched).
 func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi []float64) (sweeps int, err error) {
+	ctx, sp := obs.StartSpan(ctx, "petri.rung.gs")
+	defer func() {
+		sp.Int("sweeps", int64(sweeps)).Err(err)
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			err = linalg.NewPanicError("petri.solve.gs", r)
@@ -279,7 +300,10 @@ func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi []
 	if err != nil {
 		return 0, err
 	}
+	_, ksp := obs.StartSpan(ctx, "linalg.gs")
 	sweeps, err = ws.SteadyStateGSCtx(ctx, qt, pi)
+	ksp.Int("sweeps", int64(sweeps)).Int("nnz", int64(qt.NNZ())).Err(err)
+	ksp.End()
 	ws.PutCSR(qt)
 	if err == nil {
 		err = linalg.ValidateDistribution("petri.solve.gs", pi)
@@ -288,14 +312,28 @@ func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi []
 }
 
 // steadyStateDenseGuarded runs one dense GTH attempt with panic recovery
-// and a result guard.
-func (g *Graph) steadyStateDenseGuarded(ws *linalg.Workspace) (pi []float64, err error) {
+// and a result guard. The body inlines SteadyStateDenseWS so the kernel
+// span covers only the GTH elimination, not the generator assembly.
+func (g *Graph) steadyStateDenseGuarded(ctx context.Context, ws *linalg.Workspace) (pi []float64, err error) {
+	ctx, sp := obs.StartSpan(ctx, "petri.rung.gth")
+	defer func() {
+		sp.Err(err)
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			pi, err = nil, linalg.NewPanicError("petri.solve.gth", r)
 		}
 	}()
-	pi, err = g.SteadyStateDenseWS(ws)
+	q, err := g.GeneratorWS(ws)
+	if err != nil {
+		return nil, err
+	}
+	defer ws.PutMat(q)
+	_, ksp := obs.StartSpan(ctx, "linalg.gth")
+	pi, err = ws.SteadyStateGTH(q, nil)
+	ksp.Err(err)
+	ksp.End()
 	if err == nil {
 		if verr := linalg.ValidateDistribution("petri.solve.gth", pi); verr != nil {
 			return nil, verr
@@ -307,6 +345,11 @@ func (g *Graph) steadyStateDenseGuarded(ws *linalg.Workspace) (pi []float64, err
 // steadyStatePowerGuarded runs one uniformized power-iteration attempt —
 // the last rung of the chain — with panic recovery and a result guard.
 func (g *Graph) steadyStatePowerGuarded(ctx context.Context, ws *linalg.Workspace) (pi []float64, iters int, err error) {
+	ctx, sp := obs.StartSpan(ctx, "petri.rung.power")
+	defer func() {
+		sp.Int("iters", int64(iters)).Err(err)
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			pi, iters, err = nil, 0, linalg.NewPanicError("petri.solve.power", r)
@@ -317,7 +360,10 @@ func (g *Graph) steadyStatePowerGuarded(ctx context.Context, ws *linalg.Workspac
 		return nil, 0, err
 	}
 	pi = make([]float64, g.NumStates())
+	_, ksp := obs.StartSpan(ctx, "linalg.power")
 	iters, err = ws.SteadyStatePowerCtx(ctx, q, pi)
+	ksp.Int("iters", int64(iters)).Int("nnz", int64(q.NNZ())).Err(err)
+	ksp.End()
 	ws.PutCSR(q)
 	if err == nil {
 		err = linalg.ValidateDistribution("petri.solve.power", pi)

@@ -44,6 +44,19 @@ for metric in linalg.gs.sweeps petri.restamp petri.plan.memo_hit parallel.pool.u
     fi
 done
 
+echo "== bench regression gate vs checked-in baseline"
+# Wall time crosses machine shapes, so the CI time gate is a sanity bound
+# (catches algorithmic blowups, not percent-level drift); alloc counts
+# are stable across machines, so that gate is tight. Local runs on the
+# baseline machine can use the default 1.25x via:
+#   go run ./cmd/nvrel bench -reps 3 -o new.json && \
+#   go run ./cmd/nvrel bench -compare BENCH_sweeps.json new.json
+go run ./cmd/nvrel bench -compare -time-ratio 25 -alloc-ratio 1.5 \
+    BENCH_sweeps.json artifacts/BENCH_ci.json | tee artifacts/bench_compare.txt
+
+echo "== serve daemon smoke test"
+./scripts/serve_smoke.sh
+
 echo "== chaos gate: fault plan over the standard sweeps"
 go run ./cmd/nvrel chaos -steps 2 -o artifacts/chaos.json
 # The command already exits non-zero when a fault escapes containment;
