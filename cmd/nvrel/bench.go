@@ -8,7 +8,6 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strings"
 	"time"
 
 	"nvrel"
@@ -70,6 +69,9 @@ func cmdBench(args []string, out io.Writer) error {
 	reps := fs.Int("reps", 3, "timed repetitions per experiment and worker count")
 	output := fs.String("o", "", "output path for the JSON report (default BENCH_sweeps.json, or BENCH_scale.json with -scale; empty for stdout only)")
 	scale := fs.Bool("scale", false, "sweep model size N and compare the dense and sparse solver paths")
+	warmstart := fs.Bool("warmstart", false, "run the warm-start probe sweeps (cold vs seeded) and gate the iteration reduction")
+	warmRatio := fs.Float64("warm-ratio", 0.6, "with -warmstart: max allowed warm/cold total-iteration ratio")
+	agree := fs.Float64("agree", 1e-12, "with -warmstart: max allowed elementwise |pi_warm - pi_cold|")
 	budget := fs.Float64("budget", 60, "with -scale: skip the dense solver once a solve exceeds (or is projected to exceed) this many seconds")
 	only := fs.String("only", "", "comma-separated subset of experiments to bench (default: all)")
 	compare := fs.Bool("compare", false, "compare two bench reports (old.json new.json) and fail on regression")
@@ -93,11 +95,17 @@ func cmdBench(args []string, out io.Writer) error {
 			outputSet = true
 		}
 	})
+	if *warmstart {
+		if !outputSet {
+			*output = "BENCH_warmstart.json"
+		}
+		return cmdBenchWarmstart(*output, *only, *warmRatio, *agree, out)
+	}
 	if *scale {
 		if !outputSet {
 			*output = "BENCH_scale.json"
 		}
-		return cmdBenchScale(*output, *budget, out)
+		return cmdBenchScale(*output, *budget, *only, out)
 	}
 	if !outputSet {
 		*output = "BENCH_sweeps.json"
@@ -109,8 +117,11 @@ func cmdBench(args []string, out io.Writer) error {
 	// states) routes through the sparse solver, so the embedded metrics
 	// snapshot carries nonzero GS sweep counters and the timing rows get a
 	// sparse-path reference point. The cache makes re-runs restamp instead
-	// of re-explore, mirroring how the sweep experiments use the solver.
+	// of re-explore, and the warm registry makes them re-converge from the
+	// previous iterate instead of from uniform — the same repeat-solve
+	// pattern the serve daemon and the optimizer generate.
 	gsCache := nvp.NewModelCache()
+	gsReg := nvp.NewWarmRegistry()
 	gsWS := linalg.NewWorkspace()
 	gsProbe := func() error {
 		p := nvp.DefaultFourVersion()
@@ -119,7 +130,7 @@ func cmdBench(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		_, err = m.Graph.SteadyStateWS(gsWS)
+		_, _, err = gsReg.SolveDiagCtxWS(nil, m, gsWS)
 		return err
 	}
 
@@ -132,27 +143,9 @@ func cmdBench(args []string, out io.Writer) error {
 		{"fig4d", func() error { _, err := nvrel.Fig4d(nil); return err }},
 		{"gs-sparse", gsProbe},
 	}
-	if *only != "" {
-		keep := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
-		var kept []benchCase
-		for _, b := range benchmarks {
-			if keep[b.name] {
-				kept = append(kept, b)
-				delete(keep, b.name)
-			}
-		}
-		if len(keep) > 0 {
-			var unknown []string
-			for name := range keep {
-				unknown = append(unknown, name)
-			}
-			sort.Strings(unknown)
-			return fmt.Errorf("bench: unknown experiment(s) in -only: %s", strings.Join(unknown, ", "))
-		}
-		benchmarks = kept
+	benchmarks, err := filterOnly(*only, benchmarks, func(b benchCase) string { return b.name })
+	if err != nil {
+		return err
 	}
 
 	// The embedded metrics snapshot covers exactly this bench run.

@@ -150,8 +150,14 @@ func scaleFamilies() []scaleFamily {
 // cmdBenchScale sweeps each family's model size upward, racing the dense
 // solver against the sparse one at every point. The dense solver drops out
 // of a family once a solve exceeds the time budget — the remaining sizes
-// are exactly the ones the sparse engine opens up.
-func cmdBenchScale(output string, budget float64, out io.Writer) error {
+// are exactly the ones the sparse engine opens up. The `-only` flag
+// selects families by name through the same helper as the other bench
+// modes.
+func cmdBenchScale(output string, budget float64, only string, out io.Writer) error {
+	families, err := filterOnly(only, scaleFamilies(), func(f scaleFamily) string { return f.name })
+	if err != nil {
+		return err
+	}
 	report := ScaleReport{
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
@@ -164,7 +170,7 @@ func cmdBenchScale(output string, budget float64, out io.Writer) error {
 	fmt.Fprintf(out, "  %-18s %-5s %-7s %-8s %-12s %-12s %-9s %s\n",
 		"family", "N", "states", "nnz", "dense (s)", "sparse (s)", "speedup", "max|diff|")
 
-	for _, fam := range scaleFamilies() {
+	for _, fam := range families {
 		denseAlive := true
 		var lastDenseSec float64
 		var lastDenseStates int

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// filterOnly applies a bench `-only` flag value (comma-separated probe
+// names) to a named probe list. Every bench mode — the experiment suite,
+// `-scale`, and `-warmstart` — selects through this one helper, so the
+// flag behaves identically everywhere: empty keeps everything, order is
+// preserved, and a name matching nothing is an error listing the unknown
+// names rather than a silently empty run.
+func filterOnly[T any](only string, items []T, name func(T) string) ([]T, error) {
+	if only == "" {
+		return items, nil
+	}
+	keep := make(map[string]bool)
+	for _, n := range strings.Split(only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			keep[n] = true
+		}
+	}
+	kept := make([]T, 0, len(items))
+	for _, it := range items {
+		if keep[name(it)] {
+			kept = append(kept, it)
+			delete(keep, name(it))
+		}
+	}
+	if len(keep) > 0 {
+		unknown := make([]string, 0, len(keep))
+		for n := range keep {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("bench: unknown experiment(s) in -only: %s", strings.Join(unknown, ", "))
+	}
+	return kept, nil
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"nvrel/internal/linalg"
+	"nvrel/internal/nvp"
+	"nvrel/internal/obs"
+)
+
+// WarmstartResult is one probe's cold-vs-warm sweep comparison: the same
+// parameter sweep solved twice, once with every solve starting from the
+// uniform vector and once seeded through the warm-start registry, with
+// the SolveDiag-summed iterative work and the elementwise agreement of
+// the two result sets.
+type WarmstartResult struct {
+	Probe  string `json:"probe"`
+	Points int    `json:"points"`
+	States int    `json:"states"`
+
+	// ColdIters/WarmIters are total iterative-kernel iterations (GS
+	// sweeps + power/embedded cycles) summed over the sweep; IterRatio is
+	// warm/cold — the warmstart gate bounds it from above.
+	ColdIters int     `json:"cold_iters"`
+	WarmIters int     `json:"warm_iters"`
+	IterRatio float64 `json:"iter_ratio"`
+
+	// SeededPoints counts sweep points whose producing kernel actually
+	// started from a registry seed (the first point of a sweep never can).
+	SeededPoints int `json:"seeded_points"`
+
+	// MaxAbsDiff is the largest elementwise |pi_warm - pi_cold| across
+	// every point of the sweep.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+}
+
+// WarmstartReport is the JSON document `nvrel bench -warmstart` writes.
+type WarmstartReport struct {
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Timestamp string  `json:"timestamp"`
+	WarmRatio float64 `json:"warm_ratio_gate"`
+	Agree     float64 `json:"agree_gate"`
+
+	// TotalColdIters/TotalWarmIters aggregate every probe; TotalRatio is
+	// their quotient — the headline number the gate enforces.
+	TotalColdIters int     `json:"total_cold_iters"`
+	TotalWarmIters int     `json:"total_warm_iters"`
+	TotalRatio     float64 `json:"total_ratio"`
+
+	Results  []WarmstartResult `json:"results"`
+	Manifest obs.Manifest      `json:"manifest"`
+	Metrics  obs.Snapshot      `json:"metrics"`
+}
+
+// warmProbe is one warm-start benchmark: a sweep of Restamp-sibling
+// models over a parameter schedule, solved cold then warm.
+type warmProbe struct {
+	name string
+	// reference marks the probe the -warm-ratio iteration gate applies
+	// to; non-reference probes are gated only on agreement and on not
+	// regressing past the cold pass.
+	reference bool
+	// build returns the sweep's models in schedule order. All must share
+	// one topology (built through one ModelCache) so the registry can
+	// seed across them.
+	build func() ([]*nvp.Model, error)
+}
+
+// refineSchedule is the parameter schedule every probe sweeps: a
+// geometric refinement toward the Table-II default, base*(1 + width*
+// shrink^k) for k = 0..points-1. This is the solve sequence the
+// warm-start engine exists for — the optimizer's golden-section probes
+// and a serving daemon's near-duplicate requests both cluster
+// geometrically around a point of interest, unlike the paper figures'
+// coarse publication grids (whose 25-50%% parameter jumps leave any
+// neighbor seed many contraction decades from the answer).
+func refineSchedule(base, width, shrink float64, points int) []float64 {
+	out := make([]float64, points)
+	step := width
+	for k := range out {
+		out[k] = base * (1 + step)
+		step *= shrink
+	}
+	return out
+}
+
+// warmstartProbes returns the probe set. The paper-scale sweeps all route
+// dense and would measure nothing, so each probe widens a model family
+// past linalg.SparseThreshold, mirroring the chaos workloads.
+func warmstartProbes() []warmProbe {
+	return []warmProbe{
+		{
+			// The reference Table-II sweep: the four-version CTMC widened
+			// to N=24 (325 states, Gauss-Seidel path), refining the mean
+			// time to compromise around its Table-II default of 1000 s.
+			name:      "gs-mttc",
+			reference: true,
+			build: func() ([]*nvp.Model, error) {
+				cache := nvp.NewModelCache()
+				models := make([]*nvp.Model, 0, 24)
+				for _, v := range refineSchedule(1000, 0.4, 0.6, 24) {
+					p := nvp.DefaultFourVersion()
+					p.N = 24
+					p.MeanTimeToCompromise = v
+					m, err := cache.BuildNoRejuvenation(p)
+					if err != nil {
+						return nil, fmt.Errorf("mttc=%g: %w", v, err)
+					}
+					models = append(models, m)
+				}
+				return models, nil
+			},
+		},
+		{
+			// The six-version DSPN at N=10 (176 states, sparse MRGP
+			// embedded-chain path), refining the rejuvenation interval
+			// around the paper's optimum band (~450 s) the way the
+			// golden-section optimizer does. The embedded vector is far
+			// more parameter-sensitive than a CTMC stationary vector, so
+			// the measured reduction is structurally smaller — this probe
+			// documents it and guards against regression rather than
+			// carrying the headline gate.
+			name: "mrgp-interval",
+			build: func() ([]*nvp.Model, error) {
+				cache := nvp.NewModelCache()
+				models := make([]*nvp.Model, 0, 14)
+				for _, tau := range refineSchedule(450, 0.4, 0.6, 14) {
+					p := nvp.DefaultSixVersion()
+					p.N = 10
+					p.RejuvenationInterval = tau
+					m, err := cache.BuildWithRejuvenation(p)
+					if err != nil {
+						return nil, fmt.Errorf("tau=%g: %w", tau, err)
+					}
+					models = append(models, m)
+				}
+				return models, nil
+			},
+		},
+	}
+}
+
+// cmdBenchWarmstart runs each probe's sweep twice — cold (no registry)
+// and warm (a fresh registry threaded through the sweep in order) — and
+// gates the result: the reference probe must need at most warmRatio of
+// its cold pass's iterations, no probe may need more iterations warm than
+// cold, and every warm distribution must agree with its cold counterpart
+// to within agree. Both passes run sequentially on one goroutine so the
+// seeding order, and therefore the measurement, is deterministic.
+func cmdBenchWarmstart(output string, only string, warmRatio, agree float64, out io.Writer) error {
+	probes, err := filterOnly(only, warmstartProbes(), func(p warmProbe) string { return p.name })
+	if err != nil {
+		return err
+	}
+
+	prevObs := obs.Enable()
+	defer obs.SetEnabled(prevObs)
+	obs.Reset()
+	benchStart := time.Now()
+	phases := make(map[string]float64, len(probes))
+
+	report := WarmstartReport{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		WarmRatio: warmRatio,
+		Agree:     agree,
+	}
+	fmt.Fprintf(out, "bench -warmstart: %d probes, gate warm <= %.2fx cold iters, agree <= %.1g\n",
+		len(probes), warmRatio, agree)
+	fmt.Fprintf(out, "  %-14s %-7s %-7s %-11s %-11s %-7s %-7s %s\n",
+		"probe", "points", "states", "cold iters", "warm iters", "ratio", "seeded", "max|diff|")
+
+	for _, probe := range probes {
+		probeStart := time.Now()
+		models, err := probe.build()
+		if err != nil {
+			return fmt.Errorf("bench -warmstart: %s: %w", probe.name, err)
+		}
+		res := WarmstartResult{Probe: probe.name, Points: len(models)}
+		if len(models) > 0 {
+			res.States = models[0].Graph.NumStates()
+		}
+		ws := linalg.NewWorkspace()
+
+		// Cold pass: every point from the uniform start.
+		coldPis := make([][]float64, len(models))
+		coldStart := time.Now()
+		for i, m := range models {
+			pi, diag, err := m.SolveDiagCtxWS(nil, ws)
+			if err != nil {
+				return fmt.Errorf("bench -warmstart: %s cold point %d: %w", probe.name, i, err)
+			}
+			coldPis[i] = pi
+			res.ColdIters += diag.Iterations()
+		}
+		res.ColdSeconds = time.Since(coldStart).Seconds()
+
+		// Warm pass: a fresh registry, threaded through the sweep in grid
+		// order so each point can seed from its predecessors.
+		reg := nvp.NewWarmRegistry()
+		warmStart := time.Now()
+		for i, m := range models {
+			pi, diag, err := reg.SolveDiagCtxWS(nil, m, ws)
+			if err != nil {
+				return fmt.Errorf("bench -warmstart: %s warm point %d: %w", probe.name, i, err)
+			}
+			res.WarmIters += diag.Iterations()
+			if diag.Seeded {
+				res.SeededPoints++
+			}
+			for j := range pi {
+				if d := math.Abs(pi[j] - coldPis[i][j]); d > res.MaxAbsDiff {
+					res.MaxAbsDiff = d
+				}
+			}
+		}
+		res.WarmSeconds = time.Since(warmStart).Seconds()
+		if res.ColdIters > 0 {
+			res.IterRatio = float64(res.WarmIters) / float64(res.ColdIters)
+		}
+		report.TotalColdIters += res.ColdIters
+		report.TotalWarmIters += res.WarmIters
+		report.Results = append(report.Results, res)
+		phases[probe.name] = time.Since(probeStart).Seconds()
+		fmt.Fprintf(out, "  %-14s %-7d %-7d %-11d %-11d %-7.3f %-7d %.3g\n",
+			res.Probe, res.Points, res.States, res.ColdIters, res.WarmIters, res.IterRatio, res.SeededPoints, res.MaxAbsDiff)
+	}
+	if report.TotalColdIters > 0 {
+		report.TotalRatio = float64(report.TotalWarmIters) / float64(report.TotalColdIters)
+	}
+	fmt.Fprintf(out, "total: %d cold iters -> %d warm iters (%.3fx, %.0f%% reduction)\n",
+		report.TotalColdIters, report.TotalWarmIters, report.TotalRatio, (1-report.TotalRatio)*100)
+
+	report.Manifest = runManifest([]string{"bench", "-warmstart"}, time.Since(benchStart).Seconds())
+	report.Manifest.Phases = phases
+	report.Metrics = obs.Capture()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if output == "" {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(output, data, 0o644); err != nil {
+			return fmt.Errorf("bench -warmstart: writing report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", output)
+	}
+
+	// The gate, after the artifact is on disk so a failure still leaves
+	// the evidence around.
+	for i, res := range report.Results {
+		if res.MaxAbsDiff > agree {
+			return fmt.Errorf("bench -warmstart: GATE FAILED: probe %s max|pi_warm - pi_cold| = %.3g exceeds %.3g",
+				res.Probe, res.MaxAbsDiff, agree)
+		}
+		if probes[i].reference && res.ColdIters > 0 && res.IterRatio > warmRatio {
+			return fmt.Errorf("bench -warmstart: GATE FAILED: reference probe %s warm/cold iteration ratio %.3f exceeds %.3f",
+				res.Probe, res.IterRatio, warmRatio)
+		}
+		if !probes[i].reference && res.WarmIters > res.ColdIters {
+			return fmt.Errorf("bench -warmstart: GATE FAILED: probe %s regressed: %d warm iters > %d cold",
+				res.Probe, res.WarmIters, res.ColdIters)
+		}
+	}
+	return nil
+}

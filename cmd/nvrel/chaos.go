@@ -41,6 +41,7 @@ var chaosEvidenceCounters = []string{
 	"mrgp.solve.recovered_dense",
 	"parallel.item.retry",
 	"parallel.worker.respawn",
+	"linalg.seed.rejected",
 }
 
 // defaultChaosPlan covers every registered fault site with at least one
@@ -60,6 +61,8 @@ func defaultChaosPlan(seed int64) *faultinject.Plan {
 		{Site: "parallel.worker.panic", Mode: "panic"},
 		{Site: "parallel.worker.stall", Mode: "stall", DelayMS: 5000},
 		{Site: "nvp.result.nan", Mode: "fire"},
+		{Site: "warmstart.seed.corrupt", Mode: "nan"},
+		{Site: "warmstart.seed.corrupt", Mode: "negate"},
 	}}
 }
 
@@ -286,16 +289,35 @@ func typedChaosError(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// chaosGridEnv is the per-grid solve environment: one model cache (each
+// point re-stamps its CSR matrices through it, so stamp-time faults stay
+// reachable), one warm-start registry (each point seeds from its solved
+// predecessors, so the seed-lookup fault site and the seed-validation
+// rejection path are both live), and one workspace arena — the same trio
+// every production sweep driver carries.
+type chaosGridEnv struct {
+	cache *nvrel.ModelCache
+	reg   *nvrel.WarmRegistry
+	arena *linalg.Arena
+}
+
 // runChaosGrid solves both workloads over a steps-point grid of the mean
-// time to compromise through the hardened pool. One worker keeps the
-// hook-hit order deterministic, so a plan's After/Count windows select the
-// same solve on every run; models are rebuilt per point so each run
-// re-stamps its CSR matrices (stamp-time faults stay reachable).
+// time to compromise through the hardened pool. One worker keeps both the
+// hook-hit order and the warm-start seeding order deterministic, so a
+// plan's After/Count windows select the same solve — and every solve sees
+// the same registry state — on every run. The baseline grid runs the same
+// warm path with injection disabled, so fault runs are compared
+// like-for-like.
 func runChaosGrid(steps int, itemTimeout time.Duration) ([]float64, []error) {
 	n := 2 * steps
 	vals := make([]float64, n)
+	env := chaosGridEnv{
+		cache: nvrel.NewModelCache(),
+		reg:   nvrel.NewWarmRegistry(),
+		arena: linalg.NewArena(),
+	}
 	errs := parallel.ForEachHardened(context.Background(), n, func(ctx context.Context, i int) error {
-		v, err := solveChaosPoint(ctx, i/steps, i%steps, steps)
+		v, err := solveChaosPoint(ctx, env, i/steps, i%steps, steps)
 		if err != nil {
 			return err
 		}
@@ -307,7 +329,7 @@ func runChaosGrid(steps int, itemTimeout time.Duration) ([]float64, []error) {
 
 // solveChaosPoint builds and solves one grid point: the mean time to
 // compromise swept over [1200, 1800] around the Table II default.
-func solveChaosPoint(ctx context.Context, workload, j, steps int) (v float64, err error) {
+func solveChaosPoint(ctx context.Context, env chaosGridEnv, workload, j, steps int) (v float64, err error) {
 	ctx, sp := obs.StartSpan(ctx, "chaos.point")
 	sp.Int("workload", int64(workload)).Int("step", int64(j))
 	defer func() {
@@ -315,22 +337,26 @@ func solveChaosPoint(ctx context.Context, workload, j, steps int) (v float64, er
 		sp.End()
 	}()
 	mttc := 1200 + 600*float64(j)/float64(steps-1)
+	var m *nvrel.Model
 	if workload == 0 {
 		p := nvrel.DefaultFourVersion()
 		p.N = 24
 		p.MeanTimeToCompromise = mttc
-		m, err := nvrel.BuildFourVersion(p)
-		if err != nil {
-			return 0, err
-		}
-		return m.ExpectedPaperReliabilityCtxWS(ctx, nil)
+		m, err = env.cache.BuildNoRejuvenation(p)
+	} else {
+		p := nvrel.DefaultSixVersion()
+		p.N = 10
+		p.MeanTimeToCompromise = mttc
+		m, err = env.cache.BuildWithRejuvenation(p)
 	}
-	p := nvrel.DefaultSixVersion()
-	p.N = 10
-	p.MeanTimeToCompromise = mttc
-	m, err := nvrel.BuildSixVersion(p)
 	if err != nil {
 		return 0, err
 	}
-	return m.ExpectedPaperReliabilityCtxWS(ctx, nil)
+	ws := env.arena.Get()
+	defer env.arena.Put(ws)
+	pi, _, err := env.reg.SolveDiagCtxWS(ctx, m, ws)
+	if err != nil {
+		return 0, err
+	}
+	return m.ExpectedPaperReliabilityFrom(pi)
 }

@@ -11,7 +11,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -55,16 +54,20 @@ type serveConfig struct {
 
 // server is the daemon state: the model cache shared by every request
 // (concurrency-safe, reuses explored reachability graphs), a workspace
-// pool (a linalg.Workspace is not goroutine-safe, so each in-flight solve
-// borrows its own), the solve-concurrency semaphore, and the readiness
-// latch the warm-up solve flips.
+// arena (a linalg.Workspace is not goroutine-safe, so each in-flight
+// solve borrows its own; the arena tops out at max-concurrency
+// workspaces and never loses them to GC), the warm-start registry that
+// seeds cache-miss solves from the nearest already-served neighbor, the
+// solve-concurrency semaphore, and the readiness latch the warm-up solve
+// flips.
 type server struct {
-	cfg    serveConfig
-	cache  *nvrel.ModelCache
-	wsPool sync.Pool
-	sem    chan struct{}
-	ready  atomic.Bool
-	start  time.Time
+	cfg     serveConfig
+	cache   *nvrel.ModelCache
+	warmReg *nvrel.WarmRegistry
+	arena   *linalg.Arena
+	sem     chan struct{}
+	ready   atomic.Bool
+	start   time.Time
 }
 
 func newServer(cfg serveConfig) *server {
@@ -72,11 +75,12 @@ func newServer(cfg serveConfig) *server {
 		cfg.maxConcurrent = 1
 	}
 	return &server{
-		cfg:    cfg,
-		cache:  nvrel.NewModelCache(),
-		wsPool: sync.Pool{New: func() any { return linalg.NewWorkspace() }},
-		sem:    make(chan struct{}, cfg.maxConcurrent),
-		start:  time.Now(),
+		cfg:     cfg,
+		cache:   nvrel.NewModelCache(),
+		warmReg: nvrel.NewWarmRegistry(),
+		arena:   linalg.NewArena(),
+		sem:     make(chan struct{}, cfg.maxConcurrent),
+		start:   time.Now(),
 	}
 }
 
@@ -219,11 +223,14 @@ type attemptJSON struct {
 
 // solveDiagJSON mirrors petri.SolveDiag for the response body.
 type solveDiagJSON struct {
-	States   int           `json:"states"`
-	Path     string        `json:"path,omitempty"`
-	GSSweeps int           `json:"gs_sweeps,omitempty"`
-	Fallback string        `json:"fallback,omitempty"`
-	Attempts []attemptJSON `json:"attempts,omitempty"`
+	States     int           `json:"states"`
+	Path       string        `json:"path,omitempty"`
+	GSSweeps   int           `json:"gs_sweeps,omitempty"`
+	PowerIters int           `json:"power_iters,omitempty"`
+	Seeded     bool          `json:"seeded,omitempty"`
+	SeedSource string        `json:"seed_source,omitempty"`
+	Fallback   string        `json:"fallback,omitempty"`
+	Attempts   []attemptJSON `json:"attempts,omitempty"`
 }
 
 // solveResponse is the POST /solve reply.
@@ -306,9 +313,9 @@ func (s *server) solve(ctx context.Context, req *solveRequest, timeout time.Dura
 		if berr != nil {
 			return berr
 		}
-		ws := s.wsPool.Get().(*linalg.Workspace)
-		defer s.wsPool.Put(ws)
-		pi, diag, serr := model.SolveDiagCtxWS(ictx, ws)
+		ws := s.arena.Get()
+		defer s.arena.Put(ws)
+		pi, diag, serr := s.warmReg.SolveDiagCtxWS(ictx, model, ws)
 		if serr != nil {
 			return serr
 		}
@@ -319,7 +326,7 @@ func (s *server) solve(ctx context.Context, req *solveRequest, timeout time.Dura
 		resp.Solver = model.SolverKind()
 		resp.States = diag.States
 		resp.Reliability = rel
-		d := &solveDiagJSON{States: diag.States}
+		d := &solveDiagJSON{States: diag.States, Seeded: diag.Seeded, SeedSource: diag.SeedSource, PowerIters: diag.PowerIters}
 		if resp.Solver == "ctmc" {
 			d.Path = diag.Path.String()
 			d.GSSweeps = diag.GSSweeps

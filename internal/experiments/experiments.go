@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"nvrel/internal/linalg"
 	"nvrel/internal/nvp"
 	"nvrel/internal/parallel"
 )
@@ -41,27 +42,51 @@ type Series struct {
 }
 
 // evalFour solves the four-version system for params, reusing the cached
-// reachability graph and a pooled solver workspace.
+// reachability graph, an arena workspace, and the warm-start registry.
 func evalFour(p nvp.Params) (float64, error) {
+	ws := getWS()
+	defer putWS(ws)
+	return evalFourWS(ws, p)
+}
+
+// evalFourWS is evalFour on a caller-held workspace (sweep drivers hold
+// one workspace per pool worker; see forEachWS).
+func evalFourWS(ws *linalg.Workspace, p nvp.Params) (float64, error) {
 	m, err := solveCache.BuildNoRejuvenation(p)
 	if err != nil {
 		return 0, err
 	}
-	ws := getWS()
-	defer putWS(ws)
-	return m.ExpectedPaperReliabilityWS(ws)
+	return evalModel(ws, m)
 }
 
 // evalSix solves the six-version system for params, reusing the cached
-// reachability graph and a pooled solver workspace.
+// reachability graph, an arena workspace, and the warm-start registry.
 func evalSix(p nvp.Params) (float64, error) {
+	ws := getWS()
+	defer putWS(ws)
+	return evalSixWS(ws, p)
+}
+
+// evalSixWS is evalSix on a caller-held workspace.
+func evalSixWS(ws *linalg.Workspace, p nvp.Params) (float64, error) {
 	m, err := solveCache.BuildWithRejuvenation(p)
 	if err != nil {
 		return 0, err
 	}
-	ws := getWS()
-	defer putWS(ws)
-	return m.ExpectedPaperReliabilityWS(ws)
+	return evalModel(ws, m)
+}
+
+// evalModel is the shared solve-and-weigh step of every experiment in this
+// package: a warm-registry solve (a passthrough for dense-routed models)
+// followed by the paper reliability summation over the solved
+// distribution — bit-identical to the one-call ExpectedPaperReliabilityWS
+// path (see ExpectedPaperReliabilityFrom).
+func evalModel(ws *linalg.Workspace, m *nvp.Model) (float64, error) {
+	pi, _, err := warmReg.SolveDiagCtxWS(nil, m, ws)
+	if err != nil {
+		return 0, err
+	}
+	return m.ExpectedPaperReliabilityFrom(pi)
 }
 
 // Headline reproduces the §V-B default-parameter comparison (E1).
@@ -120,11 +145,11 @@ func RunFig3(grid []float64) (Series, error) {
 			"paper reports the maximum at 400-450 s",
 	}
 	points := make([]Point, len(grid))
-	err := parallel.ForEach(len(grid), func(i int) error {
+	err := forEachWS(len(grid), func(ws *linalg.Workspace, i int) error {
 		tau := grid[i]
 		p := nvp.DefaultSixVersion()
 		p.RejuvenationInterval = tau
-		e6, err := evalSix(p)
+		e6, err := evalSixWS(ws, p)
 		if err != nil {
 			return fmt.Errorf("tau=%g: %w", tau, err)
 		}
@@ -225,20 +250,21 @@ func RunFig4d(grid []float64) (Series, error) {
 // sweepBoth evaluates both architectures over the grid in parallel,
 // applying set to each architecture's default parameters. Points land in
 // grid order and the returned error is the one a serial sweep would hit
-// first (lowest grid index).
+// first (lowest grid index). Each pool worker holds one arena workspace
+// for the whole sweep instead of checking one out per point.
 func sweepBoth(s *Series, grid []float64, set func(*nvp.Params, float64)) error {
 	points := make([]Point, len(grid))
-	err := parallel.ForEach(len(grid), func(i int) error {
+	err := forEachWS(len(grid), func(ws *linalg.Workspace, i int) error {
 		v := grid[i]
 		p4 := nvp.DefaultFourVersion()
 		set(&p4, v)
-		e4, err := evalFour(p4)
+		e4, err := evalFourWS(ws, p4)
 		if err != nil {
 			return fmt.Errorf("%s: four-version at %g: %w", s.ID, v, err)
 		}
 		p6 := nvp.DefaultSixVersion()
 		set(&p6, v)
-		e6, err := evalSix(p6)
+		e6, err := evalSixWS(ws, p6)
 		if err != nil {
 			return fmt.Errorf("%s: six-version at %g: %w", s.ID, v, err)
 		}

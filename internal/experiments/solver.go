@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"sync"
-
 	"nvrel/internal/linalg"
 	"nvrel/internal/nvp"
+	"nvrel/internal/parallel"
 )
 
 // solveCache shares reachability-graph topology across every sweep point
@@ -13,10 +12,28 @@ import (
 // bit-identical to exploring from scratch (see nvp.ModelCache).
 var solveCache = nvp.NewModelCache()
 
-// wsPool hands each worker goroutine its own linalg workspace so repeated
+// wsArena hands each worker goroutine its own linalg workspace so repeated
 // solves reuse scratch matrices and Poisson weight vectors. Workspaces are
-// not concurrency-safe; the pool guarantees exclusive use.
-var wsPool = sync.Pool{New: func() any { return linalg.NewWorkspace() }}
+// not concurrency-safe; the arena guarantees exclusive use and — unlike
+// the sync.Pool it replaced — never loses warmed workspaces to a GC cycle,
+// so the arena holds at most peak-concurrency workspaces for the process
+// lifetime.
+var wsArena = linalg.NewArena()
 
-func getWS() *linalg.Workspace   { return wsPool.Get().(*linalg.Workspace) }
-func putWS(ws *linalg.Workspace) { wsPool.Put(ws) }
+// warmReg seeds every iterative solve in this package with the nearest
+// already-solved neighbor on the same topology (see nvp.WarmRegistry).
+// Paper-scale models route to the dense direct solvers and pass through
+// unseeded, so the published figures remain bit-identical to cold solves;
+// scaled-up sweeps, optimizer probes, and (N,f,r) enumerations get the
+// iteration reduction.
+var warmReg = nvp.NewWarmRegistry()
+
+func getWS() *linalg.Workspace   { return wsArena.Get() }
+func putWS(ws *linalg.Workspace) { wsArena.Put(ws) }
+
+// forEachWS is the sweep-driver pool front-end: fn runs over 0..n-1 with
+// each pool worker holding one arena workspace for its entire run (one
+// checkout per worker, not one per point).
+func forEachWS(n int, fn func(ws *linalg.Workspace, i int) error) error {
+	return parallel.ForEachRes(n, wsArena.Get, wsArena.Put, fn)
+}

@@ -1,0 +1,51 @@
+package linalg
+
+import "sync"
+
+// Arena is a concurrency-safe free list of solver workspaces shared across
+// a worker pool. Unlike a sync.Pool, an arena never loses its workspaces
+// to a garbage-collection cycle, so the scratch vectors, pooled matrices,
+// and Poisson memo tables a sweep has warmed stay warm for its whole
+// lifetime — per-item allocation is replaced by a handful of workspaces
+// that live exactly as long as the driver sharing them.
+//
+// Get hands out exclusive ownership (a Workspace is not goroutine-safe);
+// Put returns it. The arena grows to the peak concurrency of its users
+// and no further.
+type Arena struct {
+	mu   sync.Mutex
+	free []*Workspace
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{}
+}
+
+// Get returns a workspace for exclusive use, reusing a released one when
+// available. A nil arena allocates a fresh workspace every time.
+func (a *Arena) Get() *Workspace {
+	if a == nil {
+		return NewWorkspace()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.free); n > 0 {
+		ws := a.free[n-1]
+		a.free = a.free[:n-1]
+		metArenaHit.Inc()
+		return ws
+	}
+	metArenaMiss.Inc()
+	return NewWorkspace()
+}
+
+// Put returns a workspace obtained from Get to the arena.
+func (a *Arena) Put(ws *Workspace) {
+	if a == nil || ws == nil {
+		return
+	}
+	a.mu.Lock()
+	a.free = append(a.free, ws)
+	a.mu.Unlock()
+}

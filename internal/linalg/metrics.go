@@ -41,6 +41,19 @@ var (
 	// layer before or during a GS solve (see validate.go).
 	metGSRejected = obs.CounterFor("linalg.gs.rejected")
 
+	// Warm-start seeds: accepted seeds start the iteration from a
+	// neighbor's solution; rejected ones (wrong length, non-finite,
+	// negative, vanished) silently degrade to the uniform start. The
+	// rejected counter is chaos-gate evidence that a corrupted seed was
+	// contained (see ApplySeed).
+	metSeedWarm     = obs.CounterFor("linalg.seed.warm")
+	metSeedRejected = obs.CounterFor("linalg.seed.rejected")
+
+	// Workspace arena: a hit reuses a workspace another worker released;
+	// a miss grows the arena by one workspace.
+	metArenaHit  = obs.CounterFor("linalg.arena.hit")
+	metArenaMiss = obs.CounterFor("linalg.arena.miss")
+
 	// Uniformization: matrix-free series evaluated, series terms run, the
 	// distribution of truncation depths K, and the analytic tail mass left
 	// beyond the most recent truncation point.

@@ -38,25 +38,37 @@ func (ws *Workspace) SteadyStatePower(q *CSR, dst []float64) (iters int, err err
 // SolveError{Kind: FailDeadline} when the context dies. A nil context
 // never checks.
 func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []float64) (iters int, err error) {
+	iters, _, err = ws.SteadyStatePowerSeededCtx(ctx, q, dst, nil)
+	return iters, err
+}
+
+// SteadyStatePowerSeededCtx is SteadyStatePowerCtx with an optional
+// warm-start initial guess, under the same contract as
+// SteadyStateGSSeededCtx: an ApplySeed-accepted seed replaces the uniform
+// starting vector (warm reports true), anything else reproduces the cold
+// solve bit for bit. Power iteration contracts onto the unique stationary
+// vector from any starting distribution, so the seed affects only the
+// iteration count, never the fixed point.
+func (ws *Workspace) SteadyStatePowerSeededCtx(ctx context.Context, q *CSR, dst, seed []float64) (iters int, warm bool, err error) {
 	rows, cols := q.Dims()
 	if rows != cols {
-		return 0, ErrDimensionMismatch
+		return 0, false, ErrDimensionMismatch
 	}
 	n := rows
 	if len(dst) != n {
-		return 0, ErrDimensionMismatch
+		return 0, false, ErrDimensionMismatch
 	}
 	if err := ValidateGeneratorCSR("linalg.power", q); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	metPowerSolves.Inc()
 	if n == 1 {
 		dst[0] = 1
-		return 0, nil
+		return 0, false, nil
 	}
 	rate := q.MaxAbsDiag() * 1.02
 	if rate == 0 {
-		return 0, &SolveError{Site: "linalg.power", Kind: FailGenerator, Index: -1,
+		return 0, false, &SolveError{Site: "linalg.power", Kind: FailGenerator, Index: -1,
 			Err: fmt.Errorf("linalg: generator has no rates (frozen chain)")}
 	}
 	// A state with no exit rate makes the chain absorbing (reducible), for
@@ -71,13 +83,17 @@ func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []floa
 			}
 		}
 		if diag >= 0 {
-			return 0, &SolveError{Site: "linalg.power", Kind: FailGenerator, Index: i, Value: diag,
+			return 0, false, &SolveError{Site: "linalg.power", Kind: FailGenerator, Index: i, Value: diag,
 				Err: fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", i)}
 		}
 	}
 	invRate := 1 / rate
-	for i := range dst {
-		dst[i] = 1 / float64(n)
+	if !ApplySeed(dst, seed) {
+		for i := range dst {
+			dst[i] = 1 / float64(n)
+		}
+	} else {
+		warm = true
 	}
 	tmp := ws.Vec(n)
 	defer ws.PutVec(tmp)
@@ -87,14 +103,14 @@ func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []floa
 	for iter := 0; iter < powerMaxIters; iter++ {
 		if iter&63 == 0 {
 			if err := CtxError("linalg.power", ctx); err != nil {
-				return iter, err
+				return iter, warm, err
 			}
 		}
 		if faultinject.Enabled() {
 			fiKernelPanic.Panic()
 		}
 		if err := q.VecMulInto(tmp, dst); err != nil {
-			return iter, err
+			return iter, warm, err
 		}
 		var delta, norm float64
 		for i := range dst {
@@ -109,11 +125,11 @@ func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []floa
 		}
 		metPowerIters.Inc()
 		if math.IsNaN(delta) || math.IsNaN(norm) {
-			return iter + 1, &SolveError{Site: "linalg.power", Kind: FailNaN, Index: -1,
+			return iter + 1, warm, &SolveError{Site: "linalg.power", Kind: FailNaN, Index: -1,
 				Err: fmt.Errorf("linalg: power iterate went non-finite at iteration %d", iter)}
 		}
 		if norm <= 0 {
-			return iter + 1, &SolveError{Site: "linalg.power", Kind: FailNotConverged, Index: -1,
+			return iter + 1, warm, &SolveError{Site: "linalg.power", Kind: FailNotConverged, Index: -1,
 				Err: fmt.Errorf("linalg: power iterate vanished at iteration %d", iter)}
 		}
 		normalize(dst)
@@ -121,7 +137,7 @@ func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []floa
 		if rel <= powerTol {
 			metPowerConverged.Inc()
 			metPowerResidual.Set(rel)
-			return iter + 1, nil
+			return iter + 1, warm, nil
 		}
 		// Stall acceptance mirrors SteadyStateGS: when the per-iteration
 		// improvement dies at the rounding floor, the iterate is as
@@ -130,7 +146,7 @@ func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []floa
 			if stall++; stall >= 20 && rel <= powerStallTol {
 				metPowerConverged.Inc()
 				metPowerResidual.Set(rel)
-				return iter + 1, nil
+				return iter + 1, warm, nil
 			}
 		} else {
 			stall = 0
@@ -138,6 +154,6 @@ func (ws *Workspace) SteadyStatePowerCtx(ctx context.Context, q *CSR, dst []floa
 		prev = delta
 	}
 	metPowerExhausted.Inc()
-	return powerMaxIters, &SolveError{Site: "linalg.power", Kind: FailNotConverged, Index: -1,
+	return powerMaxIters, warm, &SolveError{Site: "linalg.power", Kind: FailNotConverged, Index: -1,
 		Err: fmt.Errorf("%w: uniformized power iteration after %d iterations", ErrNotConverged, powerMaxIters)}
 }

@@ -62,38 +62,56 @@ func (ws *Workspace) SteadyStateGS(qt *CSR, dst []float64) (sweeps int, err erro
 // FailDeadline} when the context dies, so a stalled solve times out
 // instead of hanging its worker. A nil context never checks.
 func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float64) (sweeps int, err error) {
+	sweeps, _, err = ws.SteadyStateGSSeededCtx(ctx, qt, dst, nil)
+	return sweeps, err
+}
+
+// SteadyStateGSSeededCtx is SteadyStateGSCtx with an optional warm-start
+// initial guess: when seed passes ApplySeed (right length, finite,
+// non-negative, positive mass) the sweeps start from its normalized copy
+// instead of the uniform vector, and warm reports that the seed was used.
+// The convergence criterion, validation guards, and failure taxonomy are
+// identical either way — a seed only moves the starting point of an
+// iteration that contracts onto the same stationary vector, so warm and
+// cold solves agree to the solver tolerance. A nil or unusable seed
+// reproduces the cold solve bit for bit.
+func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, seed []float64) (sweeps int, warm bool, err error) {
 	rows, cols := qt.Dims()
 	if rows != cols {
-		return 0, ErrDimensionMismatch
+		return 0, false, ErrDimensionMismatch
 	}
 	n := rows
 	if len(dst) != n {
-		return 0, ErrDimensionMismatch
+		return 0, false, ErrDimensionMismatch
 	}
 	if err := ValidateGeneratorCSR("linalg.gs", qt); err != nil {
 		metGSRejected.Inc()
-		return 0, err
+		return 0, false, err
 	}
 	metGSSolves.Inc()
 	if n == 1 {
 		dst[0] = 1
-		return 0, nil
+		return 0, false, nil
 	}
-	for i := range dst {
-		dst[i] = 1 / float64(n)
+	if !ApplySeed(dst, seed) {
+		for i := range dst {
+			dst[i] = 1 / float64(n)
+		}
+	} else {
+		warm = true
 	}
 	prev := math.Inf(1)
 	stall := 0
 	for sweep := 0; sweep < gsMaxSweeps; sweep++ {
 		if sweep&63 == 0 {
 			if err := CtxError("linalg.gs", ctx); err != nil {
-				return sweep, err
+				return sweep, warm, err
 			}
 		}
 		if faultinject.Enabled() {
 			fiKernelPanic.Panic()
 			if fiGSStall.Fire() {
-				return sweep, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
+				return sweep, warm, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
 					Err: fmt.Errorf("%w: injected Gauss-Seidel stall at sweep %d", ErrNotConverged, sweep)}
 			}
 			if fiGSPoison.Fire() {
@@ -112,7 +130,7 @@ func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float6
 				s += qt.Vals[k] * dst[c]
 			}
 			if diag >= 0 {
-				return sweep, &SolveError{Site: "linalg.gs", Kind: FailGenerator, Index: j, Value: diag,
+				return sweep, warm, &SolveError{Site: "linalg.gs", Kind: FailGenerator, Index: j, Value: diag,
 					Err: fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", j)}
 			}
 			v := s / -diag
@@ -130,18 +148,18 @@ func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float6
 		// of spinning to the budget with a poisoned vector.
 		if math.IsNaN(delta) || math.IsNaN(norm) || math.IsInf(norm, 0) {
 			metGSRejected.Inc()
-			return sweep + 1, &SolveError{Site: "linalg.gs", Kind: FailNaN, Index: -1,
+			return sweep + 1, warm, &SolveError{Site: "linalg.gs", Kind: FailNaN, Index: -1,
 				Err: fmt.Errorf("linalg: Gauss-Seidel iterate went non-finite at sweep %d", sweep)}
 		}
 		if norm <= 0 {
-			return sweep + 1, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
+			return sweep + 1, warm, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
 				Err: fmt.Errorf("linalg: Gauss-Seidel iterate vanished at sweep %d", sweep)}
 		}
 		normalize(dst)
 		if delta <= gsTol*norm {
 			metGSConverged.Inc()
 			metGSResidual.Set(delta / norm)
-			return sweep + 1, nil
+			return sweep + 1, warm, nil
 		}
 		// Stalled at the rounding floor: the iterate stopped improving but
 		// sits below the acceptance band, which is as converged as float64
@@ -150,7 +168,7 @@ func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float6
 			if stall++; stall >= 10 && delta <= gsStallTol*norm {
 				metGSStalled.Inc()
 				metGSResidual.Set(delta / norm)
-				return sweep + 1, nil
+				return sweep + 1, warm, nil
 			}
 		} else {
 			stall = 0
@@ -158,7 +176,7 @@ func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float6
 		prev = delta
 	}
 	metGSExhausted.Inc()
-	return gsMaxSweeps, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1, Residual: prev,
+	return gsMaxSweeps, warm, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1, Residual: prev,
 		Err: fmt.Errorf("%w: Gauss-Seidel after %d sweeps", ErrNotConverged, gsMaxSweeps)}
 }
 

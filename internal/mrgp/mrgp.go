@@ -55,6 +55,14 @@ type Solution struct {
 
 	// Delay is the clock period tau.
 	Delay float64
+
+	// Cycles is the number of embedded-chain power cycles the sparse
+	// solver ran (0 on the dense direct path, which has no iteration).
+	Cycles int
+
+	// Warm reports whether the sparse solver started from an accepted
+	// warm-start seed instead of the uniform vector.
+	Warm bool
 }
 
 const truncationEpsilon = 1e-12
@@ -104,6 +112,16 @@ func isDeadline(err error) bool {
 // that followed a sparse failure, so observability can tell "small model,
 // dense by design" apart from "sparse path failed and was rescued".
 func SolveCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	return SolveSeededCtxWS(ctx, ws, g, nil)
+}
+
+// SolveSeededCtxWS is SolveCtxWS with an optional warm-start seed for the
+// embedded-chain stationary vector (a previous Solution's Embedded from a
+// Restamp sibling of g). Only the first sparse rung consumes the seed; the
+// dense fallback and the dense-by-size route ignore it entirely, so chain
+// semantics and the direct paths are untouched and a nil seed reproduces
+// SolveCtxWS bit for bit.
+func SolveSeededCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph, seed []float64) (*Solution, error) {
 	ctx, sp := obs.StartSpan(ctx, "mrgp.solve")
 	defer sp.End()
 	sp.Int("states", int64(g.NumStates()))
@@ -114,8 +132,10 @@ func SolveCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Sol
 	if g.NumStates() >= linalg.SparseThreshold {
 		metRoutedSparse.Inc()
 		sp.Str("routed", "sparse")
-		sol, err := solveSparseGuarded(ctx, ws, g)
+		sol, err := solveSparseGuarded(ctx, ws, g, seed)
 		if err == nil {
+			sp.Int("cycles", int64(sol.Cycles)).
+				Str("seeded", map[bool]string{false: "cold", true: "warm"}[sol.Warm])
 			return sol, nil
 		}
 		if isStructuralErr(err) || isDeadline(err) {
@@ -141,7 +161,7 @@ func SolveCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Sol
 
 // solveSparseGuarded runs one sparse attempt with panic recovery and
 // result guards on both output distributions.
-func solveSparseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (sol *Solution, err error) {
+func solveSparseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph, seed []float64) (sol *Solution, err error) {
 	ctx, sp := obs.StartSpan(ctx, "mrgp.rung.sparse")
 	defer func() {
 		sp.Err(err)
@@ -152,7 +172,7 @@ func solveSparseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Grap
 			sol, err = nil, linalg.NewPanicError("mrgp.solve.sparse", r)
 		}
 	}()
-	sol, err = SolveSparseCtxWS(ctx, ws, g)
+	sol, err = SolveSparseSeededCtxWS(ctx, ws, g, seed)
 	if err == nil {
 		if verr := validateSolution("mrgp.solve.sparse", sol); verr != nil {
 			return nil, verr

@@ -49,6 +49,20 @@ func SolveSparseWS(ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
 // per check is negligible) and returns a typed SolveError{Kind:
 // FailDeadline} when the context dies. A nil context never checks.
 func SolveSparseCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph) (*Solution, error) {
+	return SolveSparseSeededCtxWS(ctx, ws, g, nil)
+}
+
+// SolveSparseSeededCtxWS is SolveSparseCtxWS with an optional warm-start
+// seed for the embedded-chain power iteration: a seed accepted by
+// linalg.ApplySeed (right length, finite, non-negative, positive mass)
+// replaces the uniform starting vector — typically the Embedded vector of
+// a neighboring parameter point on the same topology. The iteration
+// contracts onto the stationary vector of the unique closed class of
+// P = e^{Q tau} D from any starting distribution with mass on it, and any
+// mass a stale seed puts on epoch-transient states decays geometrically,
+// so the fixed point is independent of the seed; only the cycle count
+// changes. A nil or rejected seed reproduces the cold solve bit for bit.
+func SolveSparseSeededCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph, seed []float64) (*Solution, error) {
 	n := g.NumStates()
 	if n == 0 {
 		return nil, petri.ErrNoStates
@@ -76,8 +90,11 @@ func SolveSparseCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph)
 	defer ws.PutVec(v)
 	defer ws.PutVec(moved)
 	defer ws.PutVec(next)
-	for i := range v {
-		v[i] = 1 / float64(n)
+	warm := linalg.ApplySeed(v, seed)
+	if !warm {
+		for i := range v {
+			v[i] = 1 / float64(n)
+		}
 	}
 
 	converged := false
@@ -178,5 +195,5 @@ func SolveSparseCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph)
 	}
 	linalg.Normalize(occupancy)
 
-	return &Solution{Pi: occupancy, Embedded: sigma, Delay: delay}, nil
+	return &Solution{Pi: occupancy, Embedded: sigma, Delay: delay, Cycles: cycles, Warm: warm}, nil
 }

@@ -363,15 +363,39 @@ func (m *Model) SolverKind() string {
 // fallback attempts). The Markov-regenerative architectures have no
 // per-rung diagnostics struct; they report only the state count.
 func (m *Model) SolveDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, petri.SolveDiag, error) {
+	pi, _, diag, err := m.solveSeededDiagCtxWS(ctx, ws, nil)
+	return pi, diag, err
+}
+
+// SolveSeededDiagCtxWS is SolveDiagCtxWS with an optional warm-start seed.
+// What the seed means depends on the routed solver: the previous stationary
+// distribution pi for the CTMC architecture, the previous embedded-chain
+// vector for the clock-synchronous Markov-regenerative path. The general
+// (waits-for-wave) solver ignores seeds. A nil seed reproduces
+// SolveDiagCtxWS bit for bit; callers normally go through
+// WarmRegistry.SolveDiagCtxWS, which pairs each solve with the matching
+// iterate automatically.
+func (m *Model) SolveSeededDiagCtxWS(ctx context.Context, ws *linalg.Workspace, seed []float64) ([]float64, petri.SolveDiag, error) {
+	pi, _, diag, err := m.solveSeededDiagCtxWS(ctx, ws, seed)
+	return pi, diag, err
+}
+
+// solveSeededDiagCtxWS additionally returns the iterate vector a future
+// warm start should begin from — pi itself on the CTMC path, the embedded
+// vector on the Markov-regenerative path, nil where seeding is
+// unsupported.
+func (m *Model) solveSeededDiagCtxWS(ctx context.Context, ws *linalg.Workspace, seed []float64) ([]float64, []float64, petri.SolveDiag, error) {
 	ctx, sp := obs.StartSpan(ctx, "nvp.solve")
 	sp.Str("arch", m.Arch.String()).Str("solver", m.SolverKind())
 	var (
-		pi   []float64
-		diag petri.SolveDiag
-		err  error
+		pi      []float64
+		iterate []float64
+		diag    petri.SolveDiag
+		err     error
 	)
 	if m.Arch != WithRejuvenation {
-		pi, diag, err = m.Graph.SteadyStateDiagCtxWS(ctx, ws)
+		pi, diag, err = m.Graph.SteadyStateSeededDiagCtxWS(ctx, ws, seed)
+		iterate = pi
 	} else if m.Params.Clock == ClockWaitsForWave {
 		diag = petri.SolveDiag{States: m.Graph.NumStates()}
 		var sol *mrgp.Solution
@@ -382,15 +406,21 @@ func (m *Model) SolveDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]flo
 	} else {
 		diag = petri.SolveDiag{States: m.Graph.NumStates()}
 		var sol *mrgp.Solution
-		sol, err = mrgp.SolveCtxWS(ctx, ws, m.Graph)
+		sol, err = mrgp.SolveSeededCtxWS(ctx, ws, m.Graph, seed)
 		if sol != nil {
 			pi = sol.Pi
+			iterate = sol.Embedded
+			// The embedded power cycles are this path's iterative work;
+			// surface them in the power slot so SolveDiag.Iterations()
+			// measures both architectures uniformly.
+			diag.PowerIters = sol.Cycles
+			diag.Seeded = sol.Warm
 		}
 	}
 	if err != nil {
 		sp.Err(err)
 		sp.End()
-		return nil, diag, err
+		return nil, nil, diag, err
 	}
 	if faultinject.Enabled() && fiResultNaN.Fire() && len(pi) > 0 {
 		pi[0] = math.NaN()
@@ -398,11 +428,11 @@ func (m *Model) SolveDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]flo
 	if err := linalg.ValidateDistribution("nvp.solve", pi); err != nil {
 		sp.Err(err)
 		sp.End()
-		return nil, diag, err
+		return nil, nil, diag, err
 	}
 	sp.Int("states", int64(diag.States))
 	sp.End()
-	return pi, diag, nil
+	return pi, iterate, diag, nil
 }
 
 // StateDistribution aggregates the steady state into module-population

@@ -38,28 +38,44 @@ var (
 	metItemFailed     = obs.CounterFor("parallel.item.failed")
 )
 
-// forEachNObserved wraps the core pool loop with busy/wall accounting.
-func forEachNObserved(workers, n int, fn func(i int) error) error {
+// nowNS is a monotonic-clock sample for busy-time accounting.
+func nowNS() int64 { return int64(time.Since(poolEpoch)) }
+
+var poolEpoch = time.Now()
+
+// beginPoolRun records the start of one pool run and returns the closure
+// that books its wall/busy/idle split once the run's summed busy
+// nanoseconds are known. Shared by every instrumented pool front-end
+// (ForEachN, ForEachRes).
+func beginPoolRun(workers, n int) (finish func(busyNS int64)) {
 	metPoolRuns.Inc()
 	metPoolTasks.Add(int64(n))
 	metPoolWorkers.Set(float64(workers))
-	var busy atomic.Int64
 	start := time.Now()
-	err := forEachN(workers, n, func(i int) error {
-		t0 := time.Now()
-		e := fn(i)
-		busy.Add(int64(time.Since(t0)))
-		return e
-	})
-	wall := int64(time.Since(start))
-	if wall > 0 {
-		b := busy.Load()
+	return func(busyNS int64) {
+		wall := int64(time.Since(start))
+		if wall <= 0 {
+			return
+		}
 		metPoolWallNS.Add(wall)
-		metPoolBusyNS.Add(b)
-		if idle := wall*int64(workers) - b; idle > 0 {
+		metPoolBusyNS.Add(busyNS)
+		if idle := wall*int64(workers) - busyNS; idle > 0 {
 			metPoolIdleNS.Add(idle)
 		}
-		metPoolUtilization.Set(float64(b) / (float64(wall) * float64(workers)))
+		metPoolUtilization.Set(float64(busyNS) / (float64(wall) * float64(workers)))
 	}
+}
+
+// forEachNObserved wraps the core pool loop with busy/wall accounting.
+func forEachNObserved(workers, n int, fn func(i int) error) error {
+	finish := beginPoolRun(workers, n)
+	var busy atomic.Int64
+	err := forEachN(workers, n, func(i int) error {
+		t0 := nowNS()
+		e := fn(i)
+		busy.Add(nowNS() - t0)
+		return e
+	})
+	finish(busy.Load())
 	return err
 }

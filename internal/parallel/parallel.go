@@ -157,6 +157,85 @@ func forEachN(workers, n int, fn func(i int) error) error {
 	return firstErr
 }
 
+// ForEachRes runs fn(res, 0..n-1) on EffectiveWorkers(n) goroutines,
+// handing each worker one resource for its entire run: acquire is called
+// once per worker on that worker's goroutine and release once when it
+// exits. Use it to share a workspace arena across the pool — one
+// checkout per worker instead of one per item. Ordering and error
+// semantics match ForEach: indices are claimed in increasing order and
+// the error of the lowest failing index is returned. One configured
+// worker degenerates to a plain loop over a single resource, and a
+// parallel run is bit-identical to that loop whenever fn is.
+func ForEachRes[R any](n int, acquire func() R, release func(R), fn func(res R, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := EffectiveWorkers(n)
+	if workers > n {
+		workers = n
+	}
+	if !obs.Enabled() {
+		return forEachResN(workers, n, acquire, release, fn)
+	}
+	finish := beginPoolRun(workers, n)
+	var busy atomic.Int64
+	err := forEachResN(workers, n, acquire, release, func(res R, i int) error {
+		t0 := nowNS()
+		e := fn(res, i)
+		busy.Add(nowNS() - t0)
+		return e
+	})
+	finish(busy.Load())
+	return err
+}
+
+// forEachResN is the worker-scoped-resource pool core; workers is already
+// clamped to [1, n] and n is positive.
+func forEachResN[R any](workers, n int, acquire func() R, release func(R), fn func(res R, i int) error) error {
+	if workers <= 1 {
+		res := acquire()
+		defer release(res)
+		for i := 0; i < n; i++ {
+			if err := fn(res, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := acquire()
+			defer release(res)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := fn(res, i); err != nil {
+					errMu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					stopped.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Map evaluates fn over 0..n-1 on EffectiveWorkers(n) goroutines and
 // returns the results in index order. On error the slice is nil and the
 // error is the one of the lowest failing index.

@@ -148,6 +148,35 @@ type SolveDiag struct {
 	GSSweeps int
 	Fallback error
 	Attempts []Attempt
+
+	// PowerIters is the iteration count of the uniformized power rung when
+	// it produced the result (zero when power never ran or failed; failed
+	// power attempts record their count in Attempts).
+	PowerIters int
+
+	// Seeded reports whether the iterative kernel that produced the result
+	// started from an accepted warm-start seed. A seed consumed by a rung
+	// that then fell back does not count: fallback rungs always restart
+	// from uniform.
+	Seeded bool
+
+	// SeedSource describes where an accepted seed came from (set by the
+	// warm-start registry layer; empty for cold solves).
+	SeedSource string
+}
+
+// Iterations is the total iterative-kernel work of the solve: Gauss-Seidel
+// sweeps plus power iterations, including the sweeps of failed attempts
+// (GSSweeps already counts a failed GS rung; failed power rungs record
+// their iterations in Attempts and are added here).
+func (d SolveDiag) Iterations() int {
+	total := d.GSSweeps + d.PowerIters
+	for _, a := range d.Attempts {
+		if a.Solver == "power" {
+			total += a.Sweeps
+		}
+	}
+	return total
 }
 
 // SteadyStateDiagWS computes the stationary distribution like
@@ -172,18 +201,32 @@ func isDeadline(err error) bool {
 // either recovers on a later rung or surfaces as a typed
 // *linalg.SolveError — never a silently wrong vector.
 func (g *Graph) SteadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+	return g.SteadyStateSeededDiagCtxWS(ctx, ws, nil)
+}
+
+// SteadyStateSeededDiagCtxWS is SteadyStateDiagCtxWS with an optional
+// warm-start seed: a previous stationary vector from a Restamp sibling of
+// this graph. Only the first Gauss-Seidel rung consumes the seed — the
+// dense GTH route and every fallback rung restart from their usual
+// initialization, so chain semantics and the direct paths are unchanged
+// and a nil seed reproduces SteadyStateDiagCtxWS bit for bit. The
+// returned diag reports whether the producing kernel actually started
+// warm (Seeded) alongside the usual path and iteration counts.
+func (g *Graph) SteadyStateSeededDiagCtxWS(ctx context.Context, ws *linalg.Workspace, seed []float64) ([]float64, SolveDiag, error) {
 	ctx, sp := obs.StartSpan(ctx, "petri.solve")
-	pi, diag, err := g.steadyStateDiagCtxWS(ctx, ws)
+	pi, diag, err := g.steadyStateDiagCtxWS(ctx, ws, seed)
 	sp.Int("states", int64(diag.States)).
 		Str("path", diag.Path.String()).
 		Int("gs_sweeps", int64(diag.GSSweeps)).
+		Int("power_iters", int64(diag.PowerIters)).
 		Int("fallbacks", int64(len(diag.Attempts))).
+		Str("seeded", map[bool]string{false: "cold", true: "warm"}[diag.Seeded]).
 		Err(err)
 	sp.End()
 	return pi, diag, err
 }
 
-func (g *Graph) steadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+func (g *Graph) steadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace, seed []float64) ([]float64, SolveDiag, error) {
 	if g.HasDeterministic() {
 		return nil, SolveDiag{}, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
 	}
@@ -191,7 +234,7 @@ func (g *Graph) steadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) 
 		return nil, SolveDiag{States: g.NumStates()}, err
 	}
 	if g.NumStates() >= linalg.SparseThreshold {
-		return g.steadyStateSparseDiagCtxWS(ctx, ws)
+		return g.steadyStateSparseDiagCtxWS(ctx, ws, seed)
 	}
 	metSolveDense.Inc()
 	diag := SolveDiag{States: g.NumStates(), Path: PathDense}
@@ -213,6 +256,7 @@ func (g *Graph) steadyStateDiagCtxWS(ctx context.Context, ws *linalg.Workspace) 
 		metSolveFailed.Inc()
 		return nil, diag, perr
 	}
+	diag.PowerIters = iters
 	metSolveRecovered.Inc()
 	return pi, diag, nil
 }
@@ -233,17 +277,18 @@ func (g *Graph) SteadyStateDenseWS(ws *linalg.Workspace) ([]float64, error) {
 // sweeps over the transposed CSR generator, never materializing a dense
 // matrix. If the iteration does not converge it falls back to dense GTH.
 func (g *Graph) SteadyStateSparseWS(ws *linalg.Workspace) ([]float64, error) {
-	pi, _, err := g.steadyStateSparseDiagCtxWS(nil, ws)
+	pi, _, err := g.steadyStateSparseDiagCtxWS(nil, ws, nil)
 	return pi, err
 }
 
-func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Workspace) ([]float64, SolveDiag, error) {
+func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Workspace, seed []float64) ([]float64, SolveDiag, error) {
 	metSolveSparse.Inc()
 	diag := SolveDiag{States: g.NumStates(), Path: PathSparse}
 	pi := make([]float64, g.NumStates())
-	sweeps, err := g.sparseGSGuarded(ctx, ws, pi)
+	sweeps, warm, err := g.sparseGSGuarded(ctx, ws, pi, seed)
 	diag.GSSweeps = sweeps
 	if err == nil {
+		diag.Seeded = warm
 		return pi, diag, nil
 	}
 	diag.Fallback = err
@@ -276,6 +321,7 @@ func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Works
 		metSolveFailed.Inc()
 		return nil, diag, perr
 	}
+	diag.PowerIters = iters
 	metSolveRecovered.Inc()
 	return ppi, diag, nil
 }
@@ -285,7 +331,7 @@ func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Works
 // covers generator stamping plus validation; the nested kernel span
 // isolates the Gauss-Seidel iteration itself (the kernel stays
 // span-free internally so its NoAlloc guarantees are untouched).
-func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi []float64) (sweeps int, err error) {
+func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi, seed []float64) (sweeps int, warm bool, err error) {
 	ctx, sp := obs.StartSpan(ctx, "petri.rung.gs")
 	defer func() {
 		sp.Int("sweeps", int64(sweeps)).Err(err)
@@ -298,17 +344,17 @@ func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi []
 	}()
 	qt, err := g.GeneratorCSRTranspose(ws)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	_, ksp := obs.StartSpan(ctx, "linalg.gs")
-	sweeps, err = ws.SteadyStateGSCtx(ctx, qt, pi)
+	sweeps, warm, err = ws.SteadyStateGSSeededCtx(ctx, qt, pi, seed)
 	ksp.Int("sweeps", int64(sweeps)).Int("nnz", int64(qt.NNZ())).Err(err)
 	ksp.End()
 	ws.PutCSR(qt)
 	if err == nil {
 		err = linalg.ValidateDistribution("petri.solve.gs", pi)
 	}
-	return sweeps, err
+	return sweeps, warm, err
 }
 
 // steadyStateDenseGuarded runs one dense GTH attempt with panic recovery

@@ -1,0 +1,171 @@
+// Package warmstart holds already-solved stationary vectors keyed by model
+// topology, so an iterative solve at a nearby parameter point can start
+// from its nearest solved neighbor's solution instead of the uniform
+// vector. A registry is a cache of hints, never of answers: every vector
+// it hands out is re-validated by linalg.ApplySeed and only moves the
+// starting point of an iteration that contracts onto the same fixed point,
+// so a stale, mismatched, or corrupted seed can cost iterations but never
+// change a result.
+//
+// Keys are opaque topology identities (petri.Graph.TopologyKey — the
+// pointer shared by Restamp siblings), so seeds can only ever flow between
+// graphs with the identical state enumeration. Within a topology, entries
+// carry the parameter signature (petri.Graph.RateSignature) of the point
+// they were solved at; Lookup returns the entry with the smallest relative
+// L1 distance to the query signature.
+package warmstart
+
+import (
+	"sync"
+
+	"nvrel/internal/faultinject"
+	"nvrel/internal/obs"
+)
+
+var (
+	metLookupHit  = obs.CounterFor("warmstart.lookup.hit")
+	metLookupMiss = obs.CounterFor("warmstart.lookup.miss")
+	metInserts    = obs.CounterFor("warmstart.insert")
+
+	// fiSeedCorrupt corrupts the seed vector handed out by Lookup (on a
+	// copy — registry storage is never mutated), modeling a torn or
+	// poisoned cache read. ApplySeed downstream must reject the vector and
+	// degrade to the uniform cold start.
+	fiSeedCorrupt = faultinject.SiteFor("warmstart.seed.corrupt")
+)
+
+// maxEntriesPerKey bounds the solved-neighbor memory per topology. Sweep
+// drivers move through parameter space smoothly, so a handful of recent
+// points always contains a near neighbor; more entries would only slow the
+// linear nearest-neighbor scan.
+const maxEntriesPerKey = 8
+
+type entry struct {
+	sig  []float64
+	vec  []float64
+	seq  uint64 // insertion order, for oldest-first eviction
+	dist float64
+}
+
+// Registry is a concurrency-safe warm-start seed store. The zero value is
+// not usable; construct with NewRegistry. A nil *Registry is inert: Lookup
+// misses and Insert drops, so callers can thread an optional registry
+// without nil checks.
+type Registry struct {
+	mu    sync.Mutex
+	seq   uint64
+	byKey map[any][]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[any][]entry)}
+}
+
+// Insert records a solved iterate vec for topology key at parameter point
+// sig. Both slices are copied, so the caller may keep mutating its
+// buffers. A nil key (graph without a shared topology) or empty vector is
+// ignored. When the per-key bound is reached the oldest entry is evicted —
+// sweeps visit parameter space in order, so old points are the far ones.
+func (r *Registry) Insert(key any, sig, vec []float64) {
+	if r == nil || key == nil || len(vec) == 0 {
+		return
+	}
+	e := entry{
+		sig: append([]float64(nil), sig...),
+		vec: append([]float64(nil), vec...),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.seq = r.seq
+	entries := r.byKey[key]
+	if len(entries) >= maxEntriesPerKey {
+		oldest := 0
+		for i := 1; i < len(entries); i++ {
+			if entries[i].seq < entries[oldest].seq {
+				oldest = i
+			}
+		}
+		entries[oldest] = e
+	} else {
+		entries = append(entries, e)
+	}
+	r.byKey[key] = entries
+	metInserts.Inc()
+}
+
+// Lookup returns a copy of the stored iterate nearest to sig under the
+// relative L1 metric (sum |a-b| / (1 + sum |b|)), or nil when the registry
+// holds nothing for key. The copy is the caller's to keep; registry
+// storage is never aliased, so a downstream corruption (including the
+// warmstart.seed.corrupt chaos site, which fires here on the copy) cannot
+// poison later lookups.
+func (r *Registry) Lookup(key any, sig []float64) []float64 {
+	if r == nil || key == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var best *entry
+	for i := range r.byKey[key] {
+		e := &r.byKey[key][i]
+		d, ok := relL1(sig, e.sig)
+		if !ok {
+			continue
+		}
+		e.dist = d
+		if best == nil || d < best.dist {
+			best = e
+		}
+	}
+	var out []float64
+	if best != nil {
+		out = append([]float64(nil), best.vec...)
+	}
+	r.mu.Unlock()
+	if out == nil {
+		metLookupMiss.Inc()
+		return nil
+	}
+	metLookupHit.Inc()
+	if faultinject.Enabled() {
+		fiSeedCorrupt.Corrupt(out)
+	}
+	return out
+}
+
+// Len reports the number of stored entries for key (diagnostics/tests).
+func (r *Registry) Len(key any) int {
+	if r == nil || key == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byKey[key])
+}
+
+// relL1 is the L1 distance from query signature a to candidate b, scaled
+// by the query's own norm; ok is false on length mismatch (signatures
+// from a different builder layout are never comparable). Normalizing by
+// the query — constant across the candidates of one Lookup — keeps the
+// ranking identical to plain L1 nearest-neighbor while making the
+// magnitude comparable across parameter scales.
+func relL1(a, b []float64) (d float64, ok bool) {
+	if len(a) != len(b) {
+		return 0, false
+	}
+	var diff, norm float64
+	for i := range a {
+		v := a[i] - b[i]
+		if v < 0 {
+			v = -v
+		}
+		diff += v
+		w := a[i]
+		if w < 0 {
+			w = -w
+		}
+		norm += w
+	}
+	return diff / (1 + norm), true
+}

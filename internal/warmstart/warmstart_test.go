@@ -1,0 +1,152 @@
+package warmstart
+
+import "testing"
+
+type key struct{ id int }
+
+func TestRegistryNearestNeighbor(t *testing.T) {
+	r := NewRegistry()
+	k := &key{1}
+	for i := 0; i < 4; i++ {
+		sig := []float64{float64(10 * i)}
+		r.Insert(k, sig, []float64{float64(i)})
+	}
+	got := r.Lookup(k, []float64{21})
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Lookup(21) = %v, want the sig=20 entry's vector [2]", got)
+	}
+	got = r.Lookup(k, []float64{-3})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Lookup(-3) = %v, want the sig=0 entry's vector [0]", got)
+	}
+}
+
+func TestRegistryKeyIsolation(t *testing.T) {
+	r := NewRegistry()
+	k1, k2 := &key{1}, &key{2}
+	r.Insert(k1, []float64{1}, []float64{42})
+	if got := r.Lookup(k2, []float64{1}); got != nil {
+		t.Fatalf("Lookup on a different topology key returned %v", got)
+	}
+	if got := r.Lookup(k1, []float64{1}); got == nil {
+		t.Fatal("Lookup on the inserting key missed")
+	}
+}
+
+func TestRegistrySignatureLengthMismatch(t *testing.T) {
+	r := NewRegistry()
+	k := &key{1}
+	r.Insert(k, []float64{1, 2}, []float64{0.5})
+	if got := r.Lookup(k, []float64{1}); got != nil {
+		t.Fatalf("Lookup with mismatched signature length returned %v", got)
+	}
+}
+
+func TestRegistryEvictsOldest(t *testing.T) {
+	r := NewRegistry()
+	k := &key{1}
+	for i := 0; i < maxEntriesPerKey+3; i++ {
+		r.Insert(k, []float64{float64(i)}, []float64{float64(i)})
+	}
+	if got := r.Len(k); got != maxEntriesPerKey {
+		t.Fatalf("Len = %d, want the %d-entry bound", got, maxEntriesPerKey)
+	}
+	// The three oldest points (sigs 0, 1, 2) are gone: a query at sig=0
+	// must resolve to the oldest survivor, sig=3.
+	got := r.Lookup(k, []float64{0})
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Lookup(0) after eviction = %v, want [3]", got)
+	}
+}
+
+func TestRegistryLookupReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	k := &key{1}
+	r.Insert(k, []float64{1}, []float64{0.25, 0.75})
+	first := r.Lookup(k, []float64{1})
+	first[0] = -1 // caller corrupts its copy
+	second := r.Lookup(k, []float64{1})
+	if second[0] != 0.25 {
+		t.Fatalf("registry storage was aliased: second lookup sees %v", second)
+	}
+}
+
+func TestRegistryNilAndDegenerate(t *testing.T) {
+	var r *Registry
+	r.Insert(&key{1}, []float64{1}, []float64{1}) // must not panic
+	if got := r.Lookup(&key{1}, []float64{1}); got != nil {
+		t.Fatalf("nil registry Lookup = %v", got)
+	}
+	if got := r.Len(&key{1}); got != 0 {
+		t.Fatalf("nil registry Len = %d", got)
+	}
+	live := NewRegistry()
+	live.Insert(nil, []float64{1}, []float64{1})
+	live.Insert(&key{1}, []float64{1}, nil)
+	if got := live.Lookup(nil, []float64{1}); got != nil {
+		t.Fatalf("nil-key Lookup = %v", got)
+	}
+	if got := live.Len(&key{1}); got != 0 {
+		t.Fatalf("degenerate inserts were stored: Len = %d", got)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	k := &key{1}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sig := []float64{float64(w*1000 + i)}
+				r.Insert(k, sig, []float64{1})
+				r.Lookup(k, sig)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := r.Len(k); got != maxEntriesPerKey {
+		t.Fatalf("Len = %d after concurrent churn, want %d", got, maxEntriesPerKey)
+	}
+}
+
+func TestRelL1(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+		ok   bool
+	}{
+		{[]float64{1, 2}, []float64{1, 2}, 0, true},
+		{[]float64{2, 2}, []float64{1, 2}, 1.0 / 5, true},
+		{[]float64{1}, []float64{1, 2}, 0, false},
+		{nil, nil, 0, true},
+	}
+	for i, c := range cases {
+		d, ok := relL1(c.a, c.b)
+		if ok != c.ok || d != c.want {
+			t.Fatalf("case %d: relL1(%v, %v) = (%v, %v), want (%v, %v)",
+				i, c.a, c.b, d, ok, c.want, c.ok)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := NewRegistry()
+	k := &key{1}
+	sig := make([]float64, 64)
+	vec := make([]float64, 300)
+	for i := 0; i < maxEntriesPerKey; i++ {
+		sig[0] = float64(i)
+		r.Insert(k, sig, vec)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sig[0] = float64(i % 10)
+		if r.Lookup(k, sig) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -90,6 +90,16 @@ type ModelCache = nvp.ModelCache
 // NewModelCache returns an empty model cache.
 func NewModelCache() *ModelCache { return nvp.NewModelCache() }
 
+// WarmRegistry seeds each iterative solve with the nearest already-solved
+// neighbor's iterate on the same model topology; dense-routed (paper-
+// scale) models pass through bit-identical to cold solves. Use one
+// registry per sweep or serving process. Safe for concurrent use; a nil
+// registry solves cold.
+type WarmRegistry = nvp.WarmRegistry
+
+// NewWarmRegistry returns an empty warm-start registry.
+func NewWarmRegistry() *WarmRegistry { return nvp.NewWarmRegistry() }
+
 // SetWorkers overrides the worker count used by the parallel sweep and
 // replication engines and returns the previous override (0 when none was
 // set). Passing 0 restores the automatic choice (NVREL_WORKERS or the CPU

@@ -54,6 +54,24 @@ echo "== bench regression gate vs checked-in baseline"
 go run ./cmd/nvrel bench -compare -time-ratio 25 -alloc-ratio 1.5 \
     BENCH_sweeps.json artifacts/BENCH_ci.json | tee artifacts/bench_compare.txt
 
+echo "== warm-start gate: iteration reduction + cold/warm agreement"
+# The command exits non-zero unless the reference sweep's warm pass needs
+# <= 0.6x the cold iterations and every warm distribution agrees with its
+# cold counterpart to 1e-12 (see DESIGN.md section 10).
+go run ./cmd/nvrel -metrics artifacts/metrics_warmstart.json \
+    bench -warmstart -o artifacts/BENCH_warmstart.json
+# The engine must actually have warmed: registry hits and accepted seeds.
+for metric in warmstart.lookup.hit warmstart.insert linalg.seed.warm; do
+    if ! grep -q "\"$metric\":" artifacts/metrics_warmstart.json; then
+        echo "warmstart gate: $metric missing from metrics" >&2
+        exit 1
+    fi
+    if grep -Eq "\"$metric\": 0,?$" artifacts/metrics_warmstart.json; then
+        echo "warmstart gate: $metric is zero" >&2
+        exit 1
+    fi
+done
+
 echo "== serve daemon smoke test"
 ./scripts/serve_smoke.sh
 
