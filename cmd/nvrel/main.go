@@ -68,6 +68,8 @@ func dispatch(args []string, out io.Writer) error {
 		return cmdChaos(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "loadgen":
+		return cmdLoadgen(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -93,7 +95,12 @@ commands:
   chaos                      run the sweeps under a fault-injection plan and
                              assert every fault is recovered or surfaced typed
   serve                      run the live-telemetry HTTP daemon (/metrics
-                             Prometheus, /metrics.json, /traces, POST /solve)
+                             Prometheus, /metrics.json, /traces, POST /solve,
+                             POST /solve/batch; -peers for sharded serving)
+  loadgen                    drive a serve daemon with a repeat/neighbor/cold
+                             request mix and report latency percentiles, error
+                             rate, and cache-hit rate (gates: -max-p99,
+                             -max-error-rate, -min-hit-rate, -min-p50-speedup)
   help                       show this message
 
 global flags (before the command):

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"nvrel/internal/linalg"
 	"nvrel/internal/obs"
 	"nvrel/internal/parallel"
+	"nvrel/internal/servecache"
 )
 
 // `nvrel serve` turns the batch solver into a long-running telemetry
@@ -27,9 +30,15 @@ import (
 // /metrics.json, ring-buffer spans as Chrome trace-event JSON on
 // /traces), and /solve accepts model specs over POST, solving them
 // through the hardened pool — panic containment, worker rejuvenation,
-// per-request deadline — under a concurrency limit. The daemon's own
-// request counters and latency histograms feed the registry it exports,
-// so a scrape sees the scraping too.
+// per-request deadline — under a concurrency limit.
+//
+// The serving-scale layer (DESIGN.md §11) sits in front of the solver:
+// every /solve answer is cached under the canonical parameter-signature
+// key (internal/servecache: bounded LRU + TTL, copy-on-read), identical
+// in-flight requests coalesce onto one solve, /solve/batch amortizes
+// graph work across requests sharing a topology, and a -peers ring
+// partitions the key space across daemons, proxying non-owned keys to
+// their owner so peer caches stop duplicating each other.
 
 // Serve-layer metrics, following the <package>.<area>.<event> convention.
 var (
@@ -41,7 +50,27 @@ var (
 	srvMetSolveErrors   = obs.CounterFor("serve.solve.error")
 	srvMetSolveRejected = obs.CounterFor("serve.solve.rejected_busy")
 	srvMetSolveTiming   = obs.TimingFor("serve.solve")
+	srvMetSolveCompute  = obs.CounterFor("serve.solve.compute")
+	srvMetBatch         = obs.CounterFor("serve.batch")
+	srvMetBatchItems    = obs.CounterFor("serve.batch.items")
+	srvMetBatchGroups   = obs.CounterFor("serve.batch.groups")
+	srvMetProxy         = obs.CounterFor("serve.proxy")
+	srvMetProxyErrors   = obs.CounterFor("serve.proxy.error")
 )
+
+// Peer-forwarding headers: Forwarded marks a request that already crossed
+// the ring once (the receiver serves it locally, whatever the ring says,
+// so two instances with disagreeing peer lists can never bounce a request
+// forever), and Served-By names the instance whose solver/cache actually
+// answered.
+const (
+	forwardHeader  = "X-Nvrel-Forwarded"
+	servedByHeader = "X-Nvrel-Served-By"
+)
+
+// errBusy marks an admission-control rejection inside the cache compute
+// path so the handler can map it to 429 rather than 422.
+var errBusy = errors.New("solver at max concurrency")
 
 // serveConfig is the flag-settable daemon shape.
 type serveConfig struct {
@@ -50,6 +79,10 @@ type serveConfig struct {
 	solveTimeout    time.Duration
 	shutdownTimeout time.Duration
 	traceRing       int
+	cacheSize       int
+	cacheTTL        time.Duration
+	peers           string // comma-separated peer base URLs ("" = no sharding)
+	self            string // this instance's own URL within -peers
 }
 
 // server is the daemon state: the model cache shared by every request
@@ -58,16 +91,23 @@ type serveConfig struct {
 // solve borrows its own; the arena tops out at max-concurrency
 // workspaces and never loses them to GC), the warm-start registry that
 // seeds cache-miss solves from the nearest already-served neighbor, the
-// solve-concurrency semaphore, and the readiness latch the warm-up solve
-// flips.
+// solve-result cache with singleflight coalescing, the consistent-hash
+// ring when peers are configured, the solve-concurrency semaphore, the
+// readiness latch the warm-up solve flips, and the draining latch the
+// shutdown path flips so load balancers stop routing before the drain.
 type server struct {
-	cfg     serveConfig
-	cache   *nvrel.ModelCache
-	warmReg *nvrel.WarmRegistry
-	arena   *linalg.Arena
-	sem     chan struct{}
-	ready   atomic.Bool
-	start   time.Time
+	cfg      serveConfig
+	cache    *nvrel.ModelCache
+	warmReg  *nvrel.WarmRegistry
+	arena    *linalg.Arena
+	scache   *servecache.Cache[solveResult]
+	ring     *servecache.Ring
+	self     string
+	httpc    *http.Client
+	sem      chan struct{}
+	ready    atomic.Bool
+	draining atomic.Bool
+	start    time.Time
 }
 
 func newServer(cfg serveConfig) *server {
@@ -79,9 +119,50 @@ func newServer(cfg serveConfig) *server {
 		cache:   nvrel.NewModelCache(),
 		warmReg: nvrel.NewWarmRegistry(),
 		arena:   linalg.NewArena(),
+		scache:  servecache.New(cfg.cacheSize, cfg.cacheTTL, cloneSolveResult),
+		httpc:   &http.Client{},
 		sem:     make(chan struct{}, cfg.maxConcurrent),
 		start:   time.Now(),
 	}
+}
+
+// configureRing validates the -peers/-self pair and installs the
+// consistent-hash ring. Every peer must be given the identical peer set
+// (order-free) for the instances to agree on ownership.
+func (s *server) configureRing(peers, self string) error {
+	if peers == "" {
+		if strings.TrimSpace(self) != "" {
+			return fmt.Errorf("-self %q given without -peers", self)
+		}
+		return nil
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/"))
+		if p != "" {
+			list = append(list, p)
+		}
+	}
+	ring, err := servecache.NewRing(list)
+	if err != nil {
+		return err
+	}
+	self = strings.TrimSuffix(strings.TrimSpace(self), "/")
+	if self == "" {
+		return fmt.Errorf("-peers requires -self (this instance's own URL within the peer list)")
+	}
+	found := false
+	for _, p := range list {
+		if p == self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("-self %q is not in -peers %q", self, peers)
+	}
+	s.ring = ring
+	s.self = self
+	return nil
 }
 
 // statusWriter captures the response code for the request metrics.
@@ -118,6 +199,14 @@ func (s *server) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Draining wins over ready: the drain path flips this latch before
+		// http.Server.Shutdown so load balancers stop routing new work while
+		// in-flight requests finish, instead of racing the listener close.
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		if !s.ready.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "warming up")
@@ -147,8 +236,12 @@ func (s *server) handler() http.Handler {
 		obs.WriteTraceEvents(w)
 	})
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /solve/batch", s.handleBatch)
 	return s.instrument(mux)
 }
+
+// beginDrain flips /readyz to 503 ahead of connection draining.
+func (s *server) beginDrain() { s.draining.Store(true) }
 
 // solveRequest is the POST /solve body. Pointer fields distinguish
 // "absent" from zero so the defaults mirror the solve subcommand exactly:
@@ -214,6 +307,28 @@ func (req *solveRequest) params() (nvrel.Params, string, error) {
 	return p, arch, nil
 }
 
+// solveSignature is the normalized parameter signature of a resolved
+// request: every solver input as a float64, in a fixed layout. It plays
+// the same role the rate signature plays inside internal/warmstart —
+// there compared by L1 distance to rank neighbors, here rendered exactly
+// (servecache.Key) so only bit-identical parameter points share a cache
+// slot. N/F/R and the reliability mix are included because they enter the
+// reliability function even when they leave the rates untouched.
+func solveSignature(p nvrel.Params) []float64 {
+	return []float64{
+		float64(p.N), float64(p.F), float64(p.R),
+		p.Alpha, p.P, p.PPrime,
+		p.MeanTimeToCompromise, p.MeanTimeToFailure, p.MeanTimeToRepair,
+		p.MeanTimeToRejuvenate, p.RejuvenationInterval,
+		float64(p.Semantics), float64(p.Clock),
+	}
+}
+
+// solveKey is the canonical cache/ring key of a resolved request.
+func solveKey(arch string, p nvrel.Params) string {
+	return servecache.Key(arch, solveSignature(p))
+}
+
 // attemptJSON is one failed fallback rung in the response diagnostics.
 type attemptJSON struct {
 	Solver string `json:"solver"`
@@ -233,12 +348,38 @@ type solveDiagJSON struct {
 	Attempts   []attemptJSON `json:"attempts,omitempty"`
 }
 
-// solveResponse is the POST /solve reply.
+// solveResult is the cacheable core of a solve: everything about the
+// answer, nothing about the request that produced it (elapsed time, trace
+// and cache status are per-request and attached at response time).
+type solveResult struct {
+	arch        string
+	solver      string
+	states      int
+	reliability float64
+	diag        *solveDiagJSON
+}
+
+// cloneSolveResult deep-copies the result so servecache storage is never
+// aliased by a response writer.
+func cloneSolveResult(v solveResult) solveResult {
+	if v.diag != nil {
+		d := *v.diag
+		d.Attempts = append([]attemptJSON(nil), v.diag.Attempts...)
+		v.diag = &d
+	}
+	return v
+}
+
+// solveResponse is the POST /solve reply. Cache says how the serving
+// layer answered: "miss" (this request solved), "hit" (served from the
+// result cache without entering the solver — hence no Trace), or
+// "coalesced" (shared an identical in-flight solve).
 type solveResponse struct {
 	Arch           string            `json:"arch"`
 	Solver         string            `json:"solver"`
 	States         int               `json:"states"`
 	Reliability    float64           `json:"reliability"`
+	Cache          string            `json:"cache,omitempty"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	Diag           *solveDiagJSON    `json:"diag,omitempty"`
 	Trace          []obs.SpanSummary `json:"trace,omitempty"`
@@ -256,113 +397,225 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	// Admission control: never queue more solves than the semaphore
-	// allows — a busy daemon answers 429 immediately rather than
-	// accumulating goroutines until memory runs out.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
-		srvMetSolveRejected.Inc()
-		httpError(w, http.StatusTooManyRequests, "solver at max concurrency (%d in flight)", s.cfg.maxConcurrent)
+	p, arch, err := req.params()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	key := solveKey(arch, p)
+	// Ring ownership: a non-owned key is proxied to its owner (once — the
+	// forward header stops a second hop), so the peers' caches partition
+	// the model space instead of each holding a copy of everything.
+	if s.ring != nil && r.Header.Get(forwardHeader) == "" {
+		if owner := s.ring.Owner(key); owner != s.self {
+			s.proxyJSON(w, r, owner, "/solve", &req)
+			return
+		}
 	}
 	timeout := s.cfg.solveTimeout
 	if req.TimeoutSeconds > 0 {
 		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
 	}
-	resp, code, err := s.solve(r.Context(), &req, timeout)
+	resp, code, err := s.solveCached(r.Context(), key, arch, p, timeout)
 	if err != nil {
 		srvMetSolveErrors.Inc()
 		httpError(w, code, "%v", err)
 		return
 	}
 	srvMetSolveOK.Inc()
+	if s.self != "" {
+		w.Header().Set(servedByHeader, s.self)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
 }
 
-// solve runs one request through the hardened pool with a per-request
-// deadline. The result matches the batch `nvrel solve` output
+// proxyJSON forwards body to owner's path and relays the answer verbatim,
+// including the downstream Served-By header so a client (or the smoke
+// test) can see which instance's cache answered.
+func (s *server) proxyJSON(w http.ResponseWriter, r *http.Request, owner, path string, body any) {
+	srvMetProxy.Inc()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		srvMetProxyErrors.Inc()
+		httpError(w, http.StatusInternalServerError, "proxy encode: %v", err)
+		return
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+path, bytes.NewReader(buf))
+	if err != nil {
+		srvMetProxyErrors.Inc()
+		httpError(w, http.StatusInternalServerError, "proxy request: %v", err)
+		return
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardHeader, s.self)
+	resp, err := s.httpc.Do(preq)
+	if err != nil {
+		srvMetProxyErrors.Inc()
+		httpError(w, http.StatusBadGateway, "proxy to %s: %v", owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	if sb := resp.Header.Get(servedByHeader); sb != "" {
+		w.Header().Set(servedByHeader, sb)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// solveCached answers one resolved request through the result cache: a
+// hit returns the stored answer without touching the solver, an identical
+// in-flight solve is joined, and only an actual miss runs the solver —
+// behind admission control, so cache hits are never 429'd. The solve runs
+// detached from the requesting client's cancellation (coalesced waiters
+// may outlive the leader's connection) but still under the per-request
+// deadline.
+func (s *server) solveCached(ctx context.Context, key, arch string, p nvrel.Params, timeout time.Duration) (*solveResponse, int, error) {
+	t0 := time.Now()
+	var trace []obs.SpanSummary
+	res, st, err := s.scache.GetOrCompute(key, func() (solveResult, error) {
+		// Admission control: never queue more solves than the semaphore
+		// allows — a busy daemon answers 429 immediately rather than
+		// accumulating goroutines until memory runs out. Only real solves
+		// consume a slot.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			srvMetSolveRejected.Inc()
+			return solveResult{}, fmt.Errorf("%w (%d in flight)", errBusy, s.cfg.maxConcurrent)
+		}
+		defer func() { <-s.sem }()
+		r, tr, err := s.solveUncached(context.WithoutCancel(ctx), arch, p, timeout)
+		trace = tr
+		return r, err
+	})
+	elapsed := time.Since(t0)
+	srvMetSolveTiming.Record(elapsed)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, errBusy):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		}
+		return nil, code, err
+	}
+	resp := &solveResponse{
+		Arch:           res.arch,
+		Solver:         res.solver,
+		States:         res.states,
+		Reliability:    res.reliability,
+		Cache:          st.String(),
+		ElapsedSeconds: elapsed.Seconds(),
+		Diag:           res.diag,
+		Trace:          trace, // non-nil only for the flight leader
+	}
+	return resp, http.StatusOK, nil
+}
+
+// solveUncached runs one solve through the hardened pool with a
+// per-request deadline. The result matches the batch `nvrel solve` output
 // bit-for-bit: same model cache semantics, same solver routing, same
 // reliability summation order.
-func (s *server) solve(ctx context.Context, req *solveRequest, timeout time.Duration) (*solveResponse, int, error) {
-	p, arch, err := req.params()
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	t0 := time.Now()
+func (s *server) solveUncached(ctx context.Context, arch string, p nvrel.Params, timeout time.Duration) (solveResult, []obs.SpanSummary, error) {
+	srvMetSolveCompute.Inc()
 	sctx, sp := obs.StartSpan(ctx, "serve.solve")
 	sp.Str("arch", arch)
-	resp := &solveResponse{Arch: arch}
+	var res solveResult
 
 	// One item through the hardened pool: a panicking solver is recovered
 	// into a typed error (and the worker goroutine retired), and the
 	// ItemTimeout deadline bounds the solve even if a kernel wedges
 	// between context checks.
 	errs := parallel.ForEachHardened(sctx, 1, func(ictx context.Context, _ int) error {
-		var model *nvrel.Model
-		var berr error
-		if arch == "4v" {
-			model, berr = s.cache.BuildNoRejuvenation(p)
-		} else {
-			model, berr = s.cache.BuildWithRejuvenation(p)
-		}
-		if berr != nil {
-			return berr
-		}
 		ws := s.arena.Get()
 		defer s.arena.Put(ws)
-		pi, diag, serr := s.warmReg.SolveDiagCtxWS(ictx, model, ws)
-		if serr != nil {
-			return serr
+		r, err := s.solveModel(ictx, arch, p, ws)
+		if err != nil {
+			return err
 		}
-		rel, rerr := model.ExpectedPaperReliabilityFrom(pi)
-		if rerr != nil {
-			return rerr
-		}
-		resp.Solver = model.SolverKind()
-		resp.States = diag.States
-		resp.Reliability = rel
-		d := &solveDiagJSON{States: diag.States, Seeded: diag.Seeded, SeedSource: diag.SeedSource, PowerIters: diag.PowerIters}
-		if resp.Solver == "ctmc" {
-			d.Path = diag.Path.String()
-			d.GSSweeps = diag.GSSweeps
-			if diag.Fallback != nil {
-				d.Fallback = diag.Fallback.Error()
-			}
-			for _, a := range diag.Attempts {
-				d.Attempts = append(d.Attempts, attemptJSON{Solver: a.Solver, Sweeps: a.Sweeps, Error: a.Err.Error()})
-			}
-		}
-		resp.Diag = d
+		res = r
 		return nil
 	}, parallel.HardenedOptions{Workers: 1, MaxAttempts: 2, ItemTimeout: timeout})
 	sp.Err(errs[0])
 	sp.End()
-	resp.ElapsedSeconds = time.Since(t0).Seconds()
-	srvMetSolveTiming.Record(time.Since(t0))
 	if errs[0] != nil {
-		code := http.StatusUnprocessableEntity
-		if errors.Is(errs[0], context.DeadlineExceeded) {
-			code = http.StatusGatewayTimeout
-		}
-		return nil, code, errs[0]
+		return solveResult{}, nil, errs[0]
 	}
+	var trace []obs.SpanSummary
 	if root := sp.Root(); root != 0 {
-		resp.Trace = obs.SummarizeTrace(obs.CollectTrace(root))
+		trace = obs.SummarizeTrace(obs.CollectTrace(root))
 	}
-	return resp, http.StatusOK, nil
+	return res, trace, nil
+}
+
+// solveModel builds and solves one parameter point on the caller's
+// workspace: model-cache graph reuse, warm-start seeding from the
+// nearest already-served neighbor, paper reliability summation. Both the
+// single-solve path and the batch group loop land here.
+func (s *server) solveModel(ctx context.Context, arch string, p nvrel.Params, ws *linalg.Workspace) (solveResult, error) {
+	var (
+		model *nvrel.Model
+		err   error
+	)
+	if arch == "4v" {
+		model, err = s.cache.BuildNoRejuvenation(p)
+	} else {
+		model, err = s.cache.BuildWithRejuvenation(p)
+	}
+	if err != nil {
+		return solveResult{}, err
+	}
+	return s.solveBuilt(ctx, arch, model, ws)
+}
+
+// solveBuilt solves an already-built model (the batch path restamps and
+// groups models before solving).
+func (s *server) solveBuilt(ctx context.Context, arch string, model *nvrel.Model, ws *linalg.Workspace) (solveResult, error) {
+	pi, diag, err := s.warmReg.SolveDiagCtxWS(ctx, model, ws)
+	if err != nil {
+		return solveResult{}, err
+	}
+	rel, err := model.ExpectedPaperReliabilityFrom(pi)
+	if err != nil {
+		return solveResult{}, err
+	}
+	res := solveResult{
+		arch:        arch,
+		solver:      model.SolverKind(),
+		states:      diag.States,
+		reliability: rel,
+	}
+	d := &solveDiagJSON{States: diag.States, Seeded: diag.Seeded, SeedSource: diag.SeedSource, PowerIters: diag.PowerIters}
+	if res.solver == "ctmc" {
+		d.Path = diag.Path.String()
+		d.GSSweeps = diag.GSSweeps
+		if diag.Fallback != nil {
+			d.Fallback = diag.Fallback.Error()
+		}
+		for _, a := range diag.Attempts {
+			d.Attempts = append(d.Attempts, attemptJSON{Solver: a.Solver, Sweeps: a.Sweeps, Error: a.Err.Error()})
+		}
+	}
+	res.diag = d
+	return res, nil
 }
 
 // warmUp solves the default six-version model once so the first real
-// request doesn't pay exploration cost, then flips readiness. A failing
-// warm-up leaves the daemon not-ready (and loudly logged) rather than
-// dead: /metrics and /healthz stay useful for diagnosis.
+// request doesn't pay exploration cost (and the result cache opens with
+// its most popular entry), then flips readiness. A failing warm-up leaves
+// the daemon not-ready (and loudly logged) rather than dead: /metrics and
+// /healthz stay useful for diagnosis.
 func (s *server) warmUp(out io.Writer) {
-	_, _, err := s.solve(context.Background(), &solveRequest{Arch: "6v"}, s.cfg.solveTimeout)
+	req := solveRequest{Arch: "6v"}
+	p, arch, err := req.params()
+	if err == nil {
+		_, _, err = s.solveCached(context.Background(), solveKey(arch, p), arch, p, s.cfg.solveTimeout)
+	}
 	if err != nil {
 		fmt.Fprintf(out, "nvrel serve: warm-up solve failed: %v\n", err)
 		return
@@ -379,6 +632,10 @@ func cmdServe(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.solveTimeout, "solve-timeout", 30*time.Second, "default per-request solve deadline")
 	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
 	fs.IntVar(&cfg.traceRing, "trace-ring", obs.DefaultTraceCapacity, "span ring-buffer capacity")
+	fs.IntVar(&cfg.cacheSize, "cache-size", 4096, "solve-result cache capacity in entries (0 = unbounded)")
+	fs.DurationVar(&cfg.cacheTTL, "cache-ttl", 15*time.Minute, "solve-result cache entry lifetime (0 = never expires)")
+	fs.StringVar(&cfg.peers, "peers", "", "comma-separated peer base URLs for consistent-hash sharding (include this instance)")
+	fs.StringVar(&cfg.self, "self", "", "this instance's own base URL within -peers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -396,6 +653,13 @@ func cmdServe(args []string, out io.Writer) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	s := newServer(cfg)
+	if err := s.configureRing(cfg.peers, cfg.self); err != nil {
+		ln.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+	if s.ring != nil {
+		fmt.Fprintf(out, "nvrel serve: sharding across %d peers as %s\n", len(s.ring.Peers()), s.self)
+	}
 	srv := &http.Server{
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -416,6 +680,10 @@ func cmdServe(args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip /readyz before draining: load balancers and health checkers see
+	// not-ready while in-flight requests complete, instead of only after
+	// the listener is already gone.
+	s.beginDrain()
 	fmt.Fprintln(out, "nvrel serve: shutting down, draining in-flight requests")
 	shCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 	defer cancel()

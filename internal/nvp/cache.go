@@ -1,6 +1,7 @@
 package nvp
 
 import (
+	"container/list"
 	"sync"
 
 	"nvrel/internal/petri"
@@ -22,8 +23,16 @@ import (
 //
 // A ModelCache is safe for concurrent use. A nil *ModelCache is valid and
 // simply builds from scratch every time.
+//
+// The cache is bounded: under serve's parameter-mix traffic every distinct
+// (architecture, N, R, clock, semantics) shape is a new exploration, and an
+// unbounded map would grow for the life of the daemon. Least-recently-used
+// shapes are evicted past the bound (nvp.cache.evict counts them); an
+// evicted shape is simply re-explored on its next request.
 type ModelCache struct {
 	mu      sync.Mutex
+	max     int
+	order   *list.List // of cacheKey; front = most recently used
 	entries map[cacheKey]*cacheEntry
 }
 
@@ -38,11 +47,25 @@ type cacheEntry struct {
 	once  sync.Once
 	graph *petri.Graph
 	err   error
+	elem  *list.Element
 }
 
-// NewModelCache returns an empty cache.
+// defaultModelCacheLimit bounds NewModelCache. Each entry is one explored
+// reachability graph — the big ones are hundreds of thousands of states —
+// so 64 live structural shapes is already far beyond any sweep while
+// keeping a worst-case daemon footprint bounded.
+const defaultModelCacheLimit = 64
+
+// NewModelCache returns an empty cache holding at most 64 explored
+// topologies.
 func NewModelCache() *ModelCache {
-	return &ModelCache{entries: make(map[cacheKey]*cacheEntry)}
+	return NewModelCacheBound(defaultModelCacheLimit)
+}
+
+// NewModelCacheBound returns an empty cache holding at most max explored
+// topologies (max <= 0 means unbounded).
+func NewModelCacheBound(max int) *ModelCache {
+	return &ModelCache{max: max, order: list.New(), entries: make(map[cacheKey]*cacheEntry)}
 }
 
 // BuildNoRejuvenation is the caching equivalent of the package-level
@@ -100,9 +123,18 @@ func (c *ModelCache) BuildWithRejuvenation(p Params) (*Model, error) {
 func (c *ModelCache) graphFor(key cacheKey, net *petri.Net) (*petri.Graph, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
-	if !ok {
+	if ok {
+		c.order.MoveToFront(e.elem)
+	} else {
 		e = &cacheEntry{}
+		e.elem = c.order.PushFront(key)
 		c.entries[key] = e
+		for c.max > 0 && c.order.Len() > c.max {
+			back := c.order.Back()
+			c.order.Remove(back)
+			delete(c.entries, back.Value.(cacheKey))
+			metCacheEvicts.Inc()
+		}
 	}
 	c.mu.Unlock()
 	explored := false

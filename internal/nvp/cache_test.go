@@ -3,6 +3,8 @@ package nvp
 import (
 	"sync"
 	"testing"
+
+	"nvrel/internal/obs"
 )
 
 // TestCacheMatchesDirectBuild: sweeping the timing parameters through a
@@ -159,5 +161,77 @@ func TestCacheConcurrent(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("tau=%g: concurrent cached = %v, direct = %v", taus[i], got[i], want[i])
 		}
+	}
+}
+
+// TestCacheLRUEviction: the cache must stay within its structural-shape
+// bound under parameter-mix traffic, evicting least-recently-used shapes
+// (counted by nvp.cache.evict) and rebuilding them correctly on re-request.
+func TestCacheLRUEviction(t *testing.T) {
+	prev := obs.Enable()
+	defer obs.SetEnabled(prev)
+	evict0 := metCacheEvicts.Value()
+	miss0 := metCacheMisses.Value()
+
+	cache := NewModelCacheBound(2)
+	build := func(n int) {
+		t.Helper()
+		p := DefaultFourVersion()
+		p.N = n
+		if _, err := cache.BuildNoRejuvenation(p); err != nil {
+			t.Fatalf("build N=%d: %v", n, err)
+		}
+	}
+	build(4) // explore shape N=4
+	build(5) // explore shape N=5
+	build(4) // touch N=4 so N=5 is the LRU victim
+	build(6) // explore shape N=6, evicting N=5
+	if got := metCacheEvicts.Value() - evict0; got != 1 {
+		t.Errorf("nvp.cache.evict delta = %d, want 1", got)
+	}
+	build(4) // still cached: no new exploration
+	missesBefore := metCacheMisses.Value()
+	build(5) // evicted: must re-explore (a miss), and still solve correctly
+	if got := metCacheMisses.Value() - missesBefore; got != 1 {
+		t.Errorf("re-request of evicted shape cost %d explorations, want 1", got)
+	}
+	if total := metCacheMisses.Value() - miss0; total != 4 {
+		t.Errorf("total explorations = %d, want 4 (N=4,5,6 + re-explored 5)", total)
+	}
+
+	// Eviction must never change results: the rebuilt shape matches the
+	// direct build bit-for-bit.
+	p := DefaultFourVersion()
+	p.N = 5
+	direct, err := BuildNoRejuvenation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := cache.BuildNoRejuvenation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := direct.ExpectedPaperReliability()
+	got, _ := cached.ExpectedPaperReliability()
+	if got != want {
+		t.Errorf("post-eviction rebuild = %v, direct = %v", got, want)
+	}
+}
+
+// TestCacheUnboundedWhenMaxZero: NewModelCacheBound(0) must never evict.
+func TestCacheUnboundedWhenMaxZero(t *testing.T) {
+	prev := obs.Enable()
+	defer obs.SetEnabled(prev)
+	evict0 := metCacheEvicts.Value()
+	cache := NewModelCacheBound(0)
+	for n := 4; n <= 8; n++ {
+		p := DefaultFourVersion()
+		p.N = n
+		if _, err := cache.BuildNoRejuvenation(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := metCacheEvicts.Value() - evict0; got != 0 {
+		t.Errorf("unbounded cache evicted %d entries", got)
 	}
 }

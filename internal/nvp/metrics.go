@@ -10,4 +10,5 @@ var (
 	// rates when the net instance differs).
 	metCacheHits   = obs.CounterFor("nvp.cache.hit")
 	metCacheMisses = obs.CounterFor("nvp.cache.miss")
+	metCacheEvicts = obs.CounterFor("nvp.cache.evict")
 )

@@ -218,3 +218,30 @@ func BenchmarkObsEnabledNoAlloc(b *testing.B) {
 		sp.End()
 	}
 }
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3} // unsorted on purpose; input must not be mutated
+	orig := append([]float64(nil), samples...)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.8, 4}, {0.9, 5}, {0.95, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.q); got != c.want {
+			t.Errorf("Percentile(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	for i := range samples {
+		if samples[i] != orig[i] {
+			t.Fatalf("Percentile mutated its input: %v", samples)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(empty) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("Percentile(single, 0.99) = %g, want 7", got)
+	}
+}

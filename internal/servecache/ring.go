@@ -1,0 +1,93 @@
+package servecache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual nodes per peer. 64 vnodes keep the
+// per-peer share of the key space within a few percent of even for the
+// 2-16 peer deployments the -peers flag targets, while the whole ring
+// stays a one-page sorted slice that a binary search answers in ~10 steps.
+const ringReplicas = 64
+
+// Ring is a consistent-hash partition of the cache key space across a
+// fixed set of peer daemons. Every peer builds the identical ring from the
+// identical -peers list (the hash is position-independent FNV-64a over the
+// peer URL, so list order does not matter), which is what lets any
+// instance answer "who owns this key" locally and proxy accordingly: the
+// peers' caches partition the model space instead of duplicating it.
+//
+// A nil *Ring means "no sharding": Owner returns "" and callers serve
+// everything locally.
+type Ring struct {
+	vnodes []vnode
+	peers  []string
+}
+
+type vnode struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring for peers (base URLs, e.g. "http://10.0.0.7:8077").
+// Duplicate peers are rejected — a doubled entry would silently double that
+// peer's key share.
+func NewRing(peers []string) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("servecache: ring needs at least one peer")
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{vnodes: make([]vnode, 0, len(peers)*ringReplicas)}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("servecache: empty peer URL in ring")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("servecache: duplicate peer %q in ring", p)
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for i := 0; i < ringReplicas; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: ringHash(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		// Hash ties (astronomically rare) break by peer name so every
+		// instance still agrees on the owner.
+		return r.vnodes[i].peer < r.vnodes[j].peer
+	})
+	return r, nil
+}
+
+// Owner returns the peer owning key: the first virtual node clockwise from
+// the key's hash, wrapping at the top of the ring.
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.vnodes) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].peer
+}
+
+// Peers returns the ring membership in insertion order.
+func (r *Ring) Peers() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.peers...)
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

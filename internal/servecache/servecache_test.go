@@ -1,0 +1,255 @@
+package servecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+func withObs(t *testing.T) {
+	t.Helper()
+	prev := obs.Enable()
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+func TestCacheHitReturnsClone(t *testing.T) {
+	withObs(t)
+	c := New(4, 0, func(v []float64) []float64 { return append([]float64(nil), v...) })
+	stored := []float64{1, 2, 3}
+	if _, st, err := c.GetOrCompute("k", func() ([]float64, error) { return stored, nil }); err != nil || st != StatusMiss {
+		t.Fatalf("first GetOrCompute = %v, %v; want miss, nil", st, err)
+	}
+	got, st, err := c.GetOrCompute("k", func() ([]float64, error) {
+		t.Fatal("hit path entered the compute function")
+		return nil, nil
+	})
+	if err != nil || st != StatusHit {
+		t.Fatalf("second GetOrCompute = %v, %v; want hit, nil", st, err)
+	}
+	got[0] = 99 // mutating the returned copy must not poison the cache
+	again, ok := c.Get("k")
+	if !ok || again[0] != 1 {
+		t.Errorf("cache storage corrupted through a returned clone: %v", again)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	withObs(t)
+	evict0 := metEvict.Value()
+	c := New[int](2, 0, nil)
+	c.GetOrCompute("a", func() (int, error) { return 1, nil })
+	c.GetOrCompute("b", func() (int, error) { return 2, nil })
+	c.Get("a") // touch a so b is the LRU victim
+	c.GetOrCompute("c", func() (int, error) { return 3, nil })
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU victim b still cached")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used a evicted")
+	}
+	if got := metEvict.Value() - evict0; got != 1 {
+		t.Errorf("servecache.evict delta = %d, want 1", got)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	withObs(t)
+	expire0 := metExpire.Value()
+	c := New[int](4, time.Minute, nil)
+	now := time.Unix(1000, 0)
+	c.setNow(func() time.Time { return now })
+	c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Error("stale entry still served after TTL")
+	}
+	if got := metExpire.Value() - expire0; got != 1 {
+		t.Errorf("servecache.expire delta = %d, want 1", got)
+	}
+	// The expired slot must be recomputable.
+	if _, st, _ := c.GetOrCompute("k", func() (int, error) { return 8, nil }); st != StatusMiss {
+		t.Errorf("post-expiry GetOrCompute = %v, want miss", st)
+	}
+}
+
+// TestCacheSingleflightCoalesces is the core acceptance property: M
+// concurrent identical requests perform exactly one compute.
+func TestCacheSingleflightCoalesces(t *testing.T) {
+	withObs(t)
+	const m = 32
+	c := New[int](4, 0, nil)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	statuses := make([]Status, m)
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, st, err := c.GetOrCompute("same", func() (int, error) {
+				<-gate // hold the flight open until all goroutines are launched
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("GetOrCompute = %d, %v", v, err)
+			}
+			statuses[i] = st
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d computes, want exactly 1", m, n)
+	}
+	var miss, other int
+	for _, st := range statuses {
+		if st == StatusMiss {
+			miss++
+		} else {
+			other++
+		}
+	}
+	if miss != 1 || other != m-1 {
+		t.Errorf("status split = %d miss / %d shared, want 1 / %d", miss, other, m-1)
+	}
+}
+
+func TestCacheErrorsNotCachedAndShared(t *testing.T) {
+	withObs(t)
+	c := New[int](4, 0, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("failed compute was cached")
+	}
+	if v, st, err := c.GetOrCompute("k", func() (int, error) { return 5, nil }); err != nil || v != 5 || st != StatusMiss {
+		t.Errorf("retry after error = %d, %v, %v", v, st, err)
+	}
+}
+
+func TestCachePanicResolvesFlight(t *testing.T) {
+	withObs(t)
+	c := New[int](4, 0, nil)
+	started := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		c.GetOrCompute("k", func() (int, error) {
+			close(started)
+			time.Sleep(10 * time.Millisecond) // let the waiter coalesce
+			panic("kernel wedged")
+		})
+	}()
+	<-started
+	go func() {
+		_, _, err := c.GetOrCompute("k", func() (int, error) { return 1, nil })
+		errs <- err
+	}()
+	select {
+	case err := <-errs:
+		// Either the waiter coalesced onto the panicked flight (error) or it
+		// arrived after resolution and computed fresh (nil). Both are fine —
+		// what must not happen is a hang.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on a panicked flight")
+	}
+}
+
+func TestNilCacheComputes(t *testing.T) {
+	var c *Cache[int]
+	v, st, err := c.GetOrCompute("k", func() (int, error) { return 9, nil })
+	if v != 9 || st != StatusMiss || err != nil {
+		t.Errorf("nil cache GetOrCompute = %d, %v, %v", v, st, err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache claims a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache Len != 0")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := Key("6v", []float64{1, 2.5, 1523})
+	b := Key("6v", []float64{1, 2.5, 1523})
+	if a != b {
+		t.Errorf("identical signatures render different keys: %q vs %q", a, b)
+	}
+	if c := Key("4v", []float64{1, 2.5, 1523}); c == a {
+		t.Error("prefix ignored in key")
+	}
+	if c := Key("6v", []float64{1, 2.5, 1523.0000000000002}); c == a {
+		t.Error("one-ulp parameter change collides")
+	}
+	// Distinguishable floats that print identically at low precision must
+	// still produce distinct keys (hex rendering is exact).
+	x, y := 0.1, 0.1+1e-17
+	if x != y && Key("p", []float64{x}) == Key("p", []float64{y}) {
+		t.Error("distinct float64s collide")
+	}
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, err := NewRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order-independence: every instance builds the same ring from its own
+	// flag ordering.
+	r2, err := NewRing([]string{"http://c:3", "http://a:1", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r1.Owner(key), r2.Owner(key)
+		if o1 != o2 {
+			t.Fatalf("ring disagreement for %q: %q vs %q", key, o1, o2)
+		}
+		counts[o1]++
+	}
+	for _, p := range peers {
+		if counts[p] < 300 {
+			t.Errorf("peer %s owns only %d/3000 keys — ring badly unbalanced: %v", p, counts[p], counts)
+		}
+	}
+}
+
+func TestRingRejectsBadPeers(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", "http://a:1"}); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{""}); err == nil {
+		t.Error("empty peer URL accepted")
+	}
+}
+
+func TestNilRingOwnsNothing(t *testing.T) {
+	var r *Ring
+	if r.Owner("k") != "" {
+		t.Error("nil ring claims an owner")
+	}
+	if r.Peers() != nil {
+		t.Error("nil ring has peers")
+	}
+}

@@ -75,6 +75,19 @@ done
 echo "== serve daemon smoke test"
 ./scripts/serve_smoke.sh
 
+echo "== loadgen gate: serving latency, cache hit rate, hit/miss speedup"
+# A repeat-heavy mix against a self-served daemon: cached answers must be
+# at least 10x faster than cold solves at the median, with zero errors.
+# The p99 bound is a cross-machine sanity ceiling (like -time-ratio
+# above), not a percent-level SLO.
+go run ./cmd/nvrel loadgen -self-serve -duration 5s -concurrency 3 \
+    -mix 0.9,0.07,0.03 -max-p99 5s -max-error-rate 0 -min-hit-rate 0.5 \
+    -min-p50-speedup 10 -o artifacts/loadgen.json
+if ! grep -q '"hit_speedup_p50"' artifacts/loadgen.json; then
+    echo "loadgen gate: artifact missing hit_speedup_p50" >&2
+    exit 1
+fi
+
 echo "== chaos gate: fault plan over the standard sweeps"
 go run ./cmd/nvrel chaos -steps 2 -o artifacts/chaos.json
 # The command already exits non-zero when a fault escapes containment;

@@ -59,6 +59,26 @@ if ! grep -q '"reliability"' artifacts/solve.json; then
     exit 1
 fi
 
+echo "== serve smoke: POST /solve/batch"
+batch_body='{"requests":[{"arch":"6v"},{"arch":"4v"},{"arch":"6v"}]}'
+curl -fsS -X POST -d "$batch_body" "$base_url/solve/batch" >artifacts/solve_batch.json
+if [[ "$(grep -c '"reliability"' artifacts/solve_batch.json)" -lt 3 ]]; then
+    echo "serve smoke: batch response carries fewer than 3 reliabilities" >&2
+    cat artifacts/solve_batch.json >&2
+    exit 1
+fi
+if ! grep -q '"unique_solves"' artifacts/solve_batch.json; then
+    echo "serve smoke: batch response missing unique_solves" >&2
+    exit 1
+fi
+# The same batch again must be answered from the result cache.
+curl -fsS -X POST -d "$batch_body" "$base_url/solve/batch" >artifacts/solve_batch2.json
+if [[ "$(grep -c '"cache": "hit"' artifacts/solve_batch2.json)" -lt 3 ]]; then
+    echo "serve smoke: repeated batch was not served from cache" >&2
+    cat artifacts/solve_batch2.json >&2
+    exit 1
+fi
+
 echo "== serve smoke: scrape /metrics"
 curl -fsS "$base_url/metrics" >artifacts/metrics.prom
 # The scrape must show the daemon's own request counter already moving:
@@ -79,6 +99,80 @@ if ! grep -q '"serve.solve"' artifacts/trace.json; then
     echo "serve smoke: trace carries no serve.solve span" >&2
     exit 1
 fi
+
+echo "== serve smoke: 2-peer sharded pair"
+# Sharding needs the peer URLs up front, so ephemeral :0 ports won't do:
+# grab two currently-free ports and boot a pair joined into one ring.
+read -r port_a port_b < <(python3 - <<'EOF'
+import socket
+socks = []
+for _ in range(2):
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    socks.append(s)
+print(socks[0].getsockname()[1], socks[1].getsockname()[1])
+for s in socks:
+    s.close()
+EOF
+)
+url_a="http://127.0.0.1:$port_a"
+url_b="http://127.0.0.1:$port_b"
+peers="$url_a,$url_b"
+artifacts/nvrel serve -addr "127.0.0.1:$port_a" -peers "$peers" -self "$url_a" >artifacts/serve_peer_a.log 2>&1 &
+peer_a_pid=$!
+artifacts/nvrel serve -addr "127.0.0.1:$port_b" -peers "$peers" -self "$url_b" >artifacts/serve_peer_b.log 2>&1 &
+peer_b_pid=$!
+cleanup_pair() {
+    kill "$peer_a_pid" "$peer_b_pid" 2>/dev/null || true
+    wait "$peer_a_pid" "$peer_b_pid" 2>/dev/null || true
+}
+trap 'cleanup; cleanup_pair' EXIT
+for url in "$url_a" "$url_b"; do
+    pair_ready=0
+    for _ in $(seq 1 100); do
+        if curl -fsS -o /dev/null "$url/readyz" 2>/dev/null; then
+            pair_ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [[ "$pair_ready" != 1 ]]; then
+        echo "serve smoke: sharded peer $url never turned ready" >&2
+        cat artifacts/serve_peer_a.log artifacts/serve_peer_b.log >&2
+        exit 1
+    fi
+done
+# The same request through either entry point must be answered by the
+# ring owner of its key: both X-Nvrel-Served-By headers agree, the
+# reliabilities are identical, and the non-owner's proxy counter moved.
+body='{"arch":"4v","n":7}'
+served_a=$(curl -fsS -D - -o artifacts/solve_peer_a.json -X POST -d "$body" "$url_a/solve" |
+    tr -d '\r' | awk -F': ' 'tolower($1) == "x-nvrel-served-by" { print $2 }')
+served_b=$(curl -fsS -D - -o artifacts/solve_peer_b.json -X POST -d "$body" "$url_b/solve" |
+    tr -d '\r' | awk -F': ' 'tolower($1) == "x-nvrel-served-by" { print $2 }')
+if [[ -z "$served_a" || "$served_a" != "$served_b" ]]; then
+    echo "serve smoke: sharded entries disagree on the owner ('$served_a' vs '$served_b')" >&2
+    exit 1
+fi
+rel_a=$(grep -o '"reliability": [0-9.e+-]*' artifacts/solve_peer_a.json | head -1)
+rel_b=$(grep -o '"reliability": [0-9.e+-]*' artifacts/solve_peer_b.json | head -1)
+if [[ -z "$rel_a" || "$rel_a" != "$rel_b" ]]; then
+    echo "serve smoke: sharded reliabilities differ ('$rel_a' vs '$rel_b')" >&2
+    exit 1
+fi
+proxied=0
+for url in "$url_a" "$url_b"; do
+    if curl -fsS "$url/metrics" | awk '$1 == "serve_proxy" { if ($2 + 0 > 0) found = 1 } END { exit !found }'; then
+        proxied=1
+    fi
+done
+if [[ "$proxied" != 1 ]]; then
+    echo "serve smoke: no serve_proxy count moved on either peer" >&2
+    exit 1
+fi
+echo "   owner $served_a answered both entry points ($rel_a)"
+cleanup_pair
+trap cleanup EXIT
 
 echo "== serve smoke: graceful shutdown on SIGTERM"
 kill -TERM "$serve_pid"
