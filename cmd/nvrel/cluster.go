@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"nvrel/internal/obs"
+)
+
+// localPeerName labels this instance's own snapshot when no peer ring is
+// configured (a one-instance "fleet" still answers /cluster/metrics).
+const localPeerName = "local"
+
+// clusterDoc is the fleet-level metrics artifact: every peer's own
+// snapshot for attribution, plus the MergeSnapshots fold (counters
+// summed, histograms merged bucket-wise, gauges/timings keyed per peer).
+// Served by GET /cluster/metrics.json and written by `nvrel fleet`.
+type clusterDoc struct {
+	Manifest obs.Manifest            `json:"manifest"`
+	Peers    []string                `json:"peers"`
+	Errors   map[string]string       `json:"errors,omitempty"`
+	PerPeer  map[string]obs.Snapshot `json:"per_peer"`
+	Merged   obs.Snapshot            `json:"merged"`
+}
+
+// scrapeCluster fetches /metrics.json from every peer concurrently and
+// merges the snapshots. localPeer (when it appears in peers) is read
+// straight from the in-process registry instead of over HTTP — the
+// daemon scraping its own listener would deadlock a one-connection
+// client and skew its own request metrics. Unreachable peers land in
+// Errors rather than failing the scrape: a fleet view that dies when one
+// peer does would be useless exactly when it matters.
+func scrapeCluster(ctx context.Context, httpc *http.Client, peers []string, localPeer string) clusterDoc {
+	doc := clusterDoc{
+		Manifest: obs.NewManifest(),
+		Peers:    append([]string(nil), peers...),
+		Errors:   map[string]string{},
+		PerPeer:  make(map[string]obs.Snapshot, len(peers)),
+	}
+	sort.Strings(doc.Peers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, peer := range doc.Peers {
+		if peer == localPeer {
+			mu.Lock()
+			doc.PerPeer[peer] = obs.Capture()
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			snap, err := scrapePeerMetrics(ctx, httpc, peer)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				doc.Errors[peer] = err.Error()
+				return
+			}
+			doc.PerPeer[peer] = snap
+		}(peer)
+	}
+	wg.Wait()
+	if len(doc.Errors) == 0 {
+		doc.Errors = nil
+	}
+	doc.Merged = obs.MergeSnapshots(doc.PerPeer)
+	return doc
+}
+
+// scrapePeerMetrics fetches one peer's /metrics.json snapshot. The
+// forward header marks the request as having crossed the ring, keeping
+// the one-hop guard airtight even if a future endpoint scrapes
+// recursively.
+func scrapePeerMetrics(ctx context.Context, httpc *http.Client, peer string) (obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/metrics.json", nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	req.Header.Set(forwardHeader, "cluster-scrape")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var doc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return doc.Metrics, nil
+}

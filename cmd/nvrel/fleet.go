@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+// `nvrel fleet` is the operator's fleet snapshot: scrape every peer's
+// /metrics.json, fold the snapshots with obs.MergeSnapshots, and write
+// one clusterDoc artifact with per-peer attribution — the same document
+// the daemons serve at /cluster/metrics.json, but collected from outside
+// the fleet so it works even when one peer is wedged. With -trace it
+// also fetches every peer's /traces and stitches them into a single
+// Chrome/Perfetto timeline (cross-peer spans share a trace ID, so a
+// proxied solve renders as one request).
+func cmdFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		peers    = fs.String("peers", "", "comma-separated peer base URLs to scrape (required)")
+		outPath  = fs.String("o", "", "write the merged clusterDoc JSON here (\"\" = stdout summary only)")
+		trace    = fs.String("trace", "", "also fetch every peer's /traces and write one stitched Chrome trace here")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-scrape HTTP timeout")
+		strictly = fs.Bool("strict", false, "fail (exit non-zero) if any peer is unreachable")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var list []string
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p != "" {
+			list = append(list, p)
+		}
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("fleet: -peers is required")
+	}
+
+	httpc := &http.Client{Timeout: *timeout}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout*time.Duration(len(list)))
+	defer cancel()
+	doc := scrapeCluster(ctx, httpc, list, "" /* everything over HTTP */)
+	doc.Manifest.Command = "fleet"
+
+	for _, peer := range doc.Peers {
+		if msg, bad := doc.Errors[peer]; bad {
+			fmt.Fprintf(out, "nvrel fleet: %-28s UNREACHABLE (%s)\n", peer, msg)
+			continue
+		}
+		snap := doc.PerPeer[peer]
+		fmt.Fprintf(out, "nvrel fleet: %-28s serve_request=%d serve_proxy=%d\n",
+			peer, snap.Counters["serve.request"], snap.Counters["serve.proxy"])
+	}
+	fmt.Fprintf(out, "nvrel fleet: merged %d/%d peers: serve_request=%d serve_solve_compute=%d\n",
+		len(doc.PerPeer), len(doc.Peers), doc.Merged.Counters["serve.request"], doc.Merged.Counters["serve.solve.compute"])
+
+	if *outPath != "" {
+		if err := writeFleetDoc(*outPath, doc); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		fmt.Fprintf(out, "nvrel fleet: wrote %s\n", *outPath)
+	}
+	if *trace != "" {
+		if err := writeFleetTrace(ctx, httpc, *trace, list); err != nil {
+			return fmt.Errorf("fleet: stitch traces: %w", err)
+		}
+		fmt.Fprintf(out, "nvrel fleet: wrote stitched trace %s\n", *trace)
+	}
+	if *strictly && len(doc.Errors) > 0 {
+		return fmt.Errorf("fleet: %d of %d peers unreachable", len(doc.Errors), len(doc.Peers))
+	}
+	return nil
+}
+
+func writeFleetDoc(path string, doc clusterDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFleetTrace fetches every peer's Chrome trace doc and merges them
+// into one time-sorted timeline at path.
+func writeFleetTrace(ctx context.Context, httpc *http.Client, path string, peers []string) error {
+	var docs []io.Reader
+	for _, peer := range peers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/traces", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", peer, err)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", peer, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", peer, resp.StatusCode)
+		}
+		docs = append(docs, strings.NewReader(string(body)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.MergeTraceEvents(f, docs...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

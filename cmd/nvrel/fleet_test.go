@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvrel/internal/obs"
+)
+
+// fleetTestPeer is a canned daemon: fixed /metrics.json counters and a
+// fixed /traces doc, enough for cmdFleet to scrape and stitch.
+func fleetTestPeer(t *testing.T, requests int64, traceTS float64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardHeader) == "" {
+			t.Error("fleet scrape missing the one-hop forward header")
+		}
+		doc := metricsDoc{
+			Manifest: obs.NewManifest(),
+			Metrics: obs.Snapshot{
+				Counters: map[string]int64{"serve.request": requests, "serve.proxy": 1},
+			},
+		}
+		json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"traceEvents":[{"name":"serve.request","ph":"X","ts":%v,"dur":5,"pid":1,"tid":171,"args":{"trace_id":"00000000000000ab"}}]}`, traceTS)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFleetWritesMergedDocAndStitchedTrace(t *testing.T) {
+	p1 := fleetTestPeer(t, 7, 2000)
+	p2 := fleetTestPeer(t, 5, 1000)
+
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "fleet.json")
+	tracePath := filepath.Join(dir, "fleet_trace.json")
+	var buf bytes.Buffer
+	err := cmdFleet([]string{
+		"-peers", p1.URL + "," + p2.URL,
+		"-o", outPath,
+		"-trace", tracePath,
+		"-strict",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("cmdFleet: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc clusterDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Peers) != 2 || len(doc.Errors) != 0 {
+		t.Fatalf("peers=%v errors=%v", doc.Peers, doc.Errors)
+	}
+	if doc.Manifest.Command != "fleet" {
+		t.Errorf("manifest command = %q", doc.Manifest.Command)
+	}
+	var sum int64
+	for peer, snap := range doc.PerPeer {
+		if snap.Counters["serve.request"] == 0 {
+			t.Errorf("peer %s has no serve.request count", peer)
+		}
+		sum += snap.Counters["serve.request"]
+	}
+	if got := doc.Merged.Counters["serve.request"]; got != 12 || got != sum {
+		t.Errorf("merged serve.request = %d, want 12 (= per-peer sum %d)", got, sum)
+	}
+	if got := doc.Merged.Counters["serve.proxy"]; got != 2 {
+		t.Errorf("merged serve.proxy = %d, want 2", got)
+	}
+
+	// The stitched timeline holds both peers' spans, sorted by ts.
+	tdata, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tdoc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tdata, &tdoc); err != nil {
+		t.Fatalf("stitched trace is not valid Chrome JSON: %v", err)
+	}
+	if len(tdoc.TraceEvents) != 2 {
+		t.Fatalf("stitched trace has %d events, want 2", len(tdoc.TraceEvents))
+	}
+	for i := 1; i < len(tdoc.TraceEvents); i++ {
+		if tdoc.TraceEvents[i].TS < tdoc.TraceEvents[i-1].TS {
+			t.Errorf("stitched trace out of order: ts[%d]=%v < ts[%d]=%v",
+				i, tdoc.TraceEvents[i].TS, i-1, tdoc.TraceEvents[i-1].TS)
+		}
+	}
+
+	// The human summary attributes counts per peer and reports the fold.
+	if !strings.Contains(buf.String(), "merged 2/2 peers: serve_request=12") {
+		t.Errorf("summary missing merged line:\n%s", buf.String())
+	}
+}
+
+func TestFleetToleratesDownPeerUnlessStrict(t *testing.T) {
+	up := fleetTestPeer(t, 3, 100)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	down.Close() // connection refused from here on
+
+	outPath := filepath.Join(t.TempDir(), "fleet.json")
+	var buf bytes.Buffer
+	err := cmdFleet([]string{"-peers", up.URL + "," + down.URL, "-o", outPath}, &buf)
+	if err != nil {
+		t.Fatalf("lenient fleet failed on a down peer: %v", err)
+	}
+	var doc clusterDoc
+	data, _ := os.ReadFile(outPath)
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Errors) != 1 || doc.Errors[down.URL] == "" {
+		t.Errorf("errors = %v, want the down peer attributed", doc.Errors)
+	}
+	if doc.Merged.Counters["serve.request"] != 3 {
+		t.Errorf("merged over reachable peers = %d, want 3", doc.Merged.Counters["serve.request"])
+	}
+	if !strings.Contains(buf.String(), "UNREACHABLE") {
+		t.Errorf("summary does not flag the down peer:\n%s", buf.String())
+	}
+
+	err = cmdFleet([]string{"-peers", up.URL + "," + down.URL, "-strict"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("-strict with a down peer: err = %v", err)
+	}
+}
+
+func TestFleetRequiresPeers(t *testing.T) {
+	for _, args := range [][]string{{}, {"-peers", " , "}} {
+		if err := cmdFleet(args, io.Discard); err == nil || !strings.Contains(err.Error(), "-peers is required") {
+			t.Errorf("cmdFleet(%v) err = %v", args, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,14 +51,21 @@ type loadgenConfig struct {
 	maxErrorRate float64
 	minHitRate   float64
 	minSpeedup   float64
+
+	// SLO burn-rate gates: the run fails when the observed error rate
+	// (or tail-latency fraction) spends the declared error budget at
+	// >= 1x — i.e. the fleet as driven would violate the objective.
+	sloAvailability float64       // 0 = off
+	sloP99          time.Duration // 0 = off
 }
 
 // lgSample is one completed request as the client saw it.
 type lgSample struct {
-	seconds float64
-	status  int    // HTTP status (0 = transport error)
-	cache   string // "hit" | "miss" | "coalesced" | "" on error
-	class   string // "repeat" | "neighbor" | "cold"
+	seconds  float64
+	status   int    // HTTP status (0 = transport error)
+	cache    string // "hit" | "miss" | "coalesced" | "proxied" | "" on error
+	class    string // "repeat" | "neighbor" | "cold"
+	servedBy string // X-Nvrel-Served-By answer attribution ("" unsharded)
 }
 
 // lgLatency is the exact latency summary of one sample subset.
@@ -90,6 +98,19 @@ type lgReport struct {
 	HitLatency      lgLatency      `json:"hit_latency"`
 	MissLatency     lgLatency      `json:"miss_latency"`
 	HitSpeedupP50   float64        `json:"hit_speedup_p50"`
+	ServedBy        map[string]int `json:"served_by,omitempty"`
+	SLO             *lgSLO         `json:"slo,omitempty"`
+}
+
+// lgSLO is the client-side error-budget accounting of one run, computed
+// from the exact per-request samples (not the daemon's histograms), so
+// the gates are deterministic for a deterministic run.
+type lgSLO struct {
+	AvailabilityObjective   float64 `json:"availability_objective,omitempty"`
+	AvailabilityBurnRate    float64 `json:"availability_burn_rate,omitempty"`
+	LatencyObjectiveSeconds float64 `json:"latency_objective_seconds,omitempty"`
+	SlowFraction            float64 `json:"slow_fraction,omitempty"`
+	LatencyBurnRate         float64 `json:"latency_burn_rate,omitempty"`
 }
 
 func summarizeLatency(samples []float64) lgLatency {
@@ -178,6 +199,8 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.maxErrorRate, "max-error-rate", -1, "gate: fail when error rate exceeds this (negative = off)")
 	fs.Float64Var(&cfg.minHitRate, "min-hit-rate", -1, "gate: fail when cache hit rate falls below this (negative = off)")
 	fs.Float64Var(&cfg.minSpeedup, "min-p50-speedup", 0, "gate: fail when miss-p50/hit-p50 falls below this (0 = off)")
+	fs.Float64Var(&cfg.sloAvailability, "slo-availability", 0, "SLO gate: fail when the availability error budget burns at >= 1x (e.g. 0.999; 0 = off)")
+	fs.DurationVar(&cfg.sloP99, "slo-p99", 0, "SLO gate: fail when more than 1% of requests exceed this latency (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -338,6 +361,7 @@ func lgFire(ctx context.Context, client *http.Client, url, class string, body []
 	sample.seconds = time.Since(t0).Seconds()
 	sample.status = resp.StatusCode
 	sample.cache = sr.Cache
+	sample.servedBy = resp.Header.Get(servedByHeader)
 	return sample
 }
 
@@ -359,6 +383,12 @@ func buildReport(cfg *loadgenConfig, samples []lgSample, elapsed time.Duration) 
 	for _, s := range samples {
 		all = append(all, s.seconds)
 		report.ClassCounts[s.class]++
+		if s.servedBy != "" {
+			if report.ServedBy == nil {
+				report.ServedBy = map[string]int{}
+			}
+			report.ServedBy[s.servedBy]++
+		}
 		if s.status != http.StatusOK {
 			report.Errors++
 			continue
@@ -383,7 +413,35 @@ func buildReport(cfg *loadgenConfig, samples []lgSample, elapsed time.Duration) 
 	if report.HitLatency.P50 > 0 && report.MissLatency.P50 > 0 {
 		report.HitSpeedupP50 = report.MissLatency.P50 / report.HitLatency.P50
 	}
+	if cfg.sloAvailability > 0 || cfg.sloP99 > 0 {
+		report.SLO = buildSLO(cfg, report, samples)
+	}
 	return report
+}
+
+// buildSLO scores the run against the configured SLO gates. Objectives
+// are clamped just below 1 so the budget never divides by zero.
+func buildSLO(cfg *loadgenConfig, r *lgReport, samples []lgSample) *lgSLO {
+	slo := &lgSLO{}
+	if obj := cfg.sloAvailability; obj > 0 {
+		if obj >= 1 {
+			obj = 0.9999999
+		}
+		slo.AvailabilityObjective = obj
+		slo.AvailabilityBurnRate = r.ErrorRate / (1 - obj)
+	}
+	if cfg.sloP99 > 0 {
+		slo.LatencyObjectiveSeconds = cfg.sloP99.Seconds()
+		var slow int
+		for _, s := range samples {
+			if s.seconds > slo.LatencyObjectiveSeconds {
+				slow++
+			}
+		}
+		slo.SlowFraction = float64(slow) / float64(len(samples))
+		slo.LatencyBurnRate = slo.SlowFraction / 0.01 // p99 => a 1% budget
+	}
+	return slo
 }
 
 func writeLoadgenSummary(out io.Writer, r *lgReport) {
@@ -397,6 +455,26 @@ func writeLoadgenSummary(out io.Writer, r *lgReport) {
 		fmt.Fprintf(out, "  hit p50 %.3fms vs miss p50 %.3fms = %.1fx speedup\n",
 			1000*r.HitLatency.P50, 1000*r.MissLatency.P50, r.HitSpeedupP50)
 	}
+	if len(r.ServedBy) > 0 {
+		fmt.Fprint(out, "  served by")
+		for _, peer := range sortedPeers(r.ServedBy) {
+			fmt.Fprintf(out, "  %s=%d", peer, r.ServedBy[peer])
+		}
+		fmt.Fprintln(out)
+	}
+	if r.SLO != nil {
+		fmt.Fprintf(out, "  slo      availability burn %.2fx  latency burn %.2fx\n",
+			r.SLO.AvailabilityBurnRate, r.SLO.LatencyBurnRate)
+	}
+}
+
+func sortedPeers(m map[string]int) []string {
+	peers := make([]string, 0, len(m))
+	for p := range m {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	return peers
 }
 
 // checkGates turns threshold violations into a non-zero exit, mirroring
@@ -417,6 +495,16 @@ func checkGates(cfg *loadgenConfig, r *lgReport) error {
 			failures = append(failures, "no hit/miss latency split to judge -min-p50-speedup")
 		} else if r.HitSpeedupP50 < cfg.minSpeedup {
 			failures = append(failures, fmt.Sprintf("hit p50 speedup %.1fx below -min-p50-speedup %.1fx", r.HitSpeedupP50, cfg.minSpeedup))
+		}
+	}
+	if r.SLO != nil {
+		if cfg.sloAvailability > 0 && r.SLO.AvailabilityBurnRate >= 1 {
+			failures = append(failures, fmt.Sprintf("availability error budget exhausted: burn %.2fx against objective %v",
+				r.SLO.AvailabilityBurnRate, cfg.sloAvailability))
+		}
+		if cfg.sloP99 > 0 && r.SLO.LatencyBurnRate >= 1 {
+			failures = append(failures, fmt.Sprintf("latency error budget exhausted: %.2f%% of requests over -slo-p99 %v (burn %.2fx)",
+				100*r.SLO.SlowFraction, cfg.sloP99, r.SLO.LatencyBurnRate))
 		}
 	}
 	if len(failures) > 0 {

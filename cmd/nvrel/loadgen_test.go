@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -224,5 +226,113 @@ func TestLoadgenRejectsBadFlags(t *testing.T) {
 	}
 	if err := cmdLoadgen([]string{"-url", "http://x", "-self-serve"}, io.Discard); err == nil {
 		t.Fatal("-url with -self-serve accepted")
+	}
+}
+
+func TestLoadgenSLOGates(t *testing.T) {
+	samples := make([]lgSample, 100)
+	for i := range samples {
+		samples[i] = lgSample{seconds: 0.010, status: http.StatusOK, cache: "hit", class: "repeat"}
+	}
+	// 2 errors and 3 slow requests out of 100.
+	samples[0].status = http.StatusInternalServerError
+	samples[1].status = 0
+	for i := 2; i < 5; i++ {
+		samples[i].seconds = 2.0
+	}
+
+	// Budget-respecting objectives pass: 2% errors vs a 10% budget,
+	// 3% slow is under... no wait, 3% slow vs a 1% budget always burns.
+	cfg := &loadgenConfig{sloAvailability: 0.9, maxErrorRate: -1, minHitRate: -1}
+	r := buildReport(cfg, samples, time.Second)
+	if r.SLO == nil {
+		t.Fatal("SLO gates configured but report has no slo block")
+	}
+	if burn := r.SLO.AvailabilityBurnRate; burn < 0.19 || burn > 0.21 {
+		t.Errorf("availability burn = %v, want ~0.2 (2%% errors / 10%% budget)", burn)
+	}
+	if err := checkGates(cfg, r); err != nil {
+		t.Errorf("0.2x availability burn failed the gate: %v", err)
+	}
+
+	// A 0.999 objective cannot absorb 2% errors: burn 20x, gate fails.
+	cfg = &loadgenConfig{sloAvailability: 0.999, maxErrorRate: -1, minHitRate: -1}
+	r = buildReport(cfg, samples, time.Second)
+	err := checkGates(cfg, r)
+	if err == nil || !strings.Contains(err.Error(), "availability error budget") {
+		t.Errorf("availability burn 20x: err = %v", err)
+	}
+
+	// Latency gate: 3% of requests over 1s against a p99 objective burns
+	// at 3x; against a generous 10s objective nothing is slow.
+	cfg = &loadgenConfig{sloP99: time.Second, maxErrorRate: -1, minHitRate: -1}
+	r = buildReport(cfg, samples, time.Second)
+	if r.SLO.SlowFraction != 0.03 {
+		t.Errorf("slow fraction = %v, want 0.03", r.SLO.SlowFraction)
+	}
+	err = checkGates(cfg, r)
+	if err == nil || !strings.Contains(err.Error(), "latency error budget") {
+		t.Errorf("latency burn 3x: err = %v", err)
+	}
+	cfg = &loadgenConfig{sloP99: 10 * time.Second, maxErrorRate: -1, minHitRate: -1}
+	r = buildReport(cfg, samples, time.Second)
+	if err := checkGates(cfg, r); err != nil {
+		t.Errorf("10s objective with 2s worst case failed: %v", err)
+	}
+
+	// Gates off: no SLO block in the artifact.
+	cfg = &loadgenConfig{maxErrorRate: -1, minHitRate: -1}
+	if r := buildReport(cfg, samples, time.Second); r.SLO != nil {
+		t.Error("slo block present with gates off")
+	}
+}
+
+// TestLoadgenServedByDistribution: the report must attribute answers to
+// the peers that served them, as read from the response headers.
+func TestLoadgenServedByDistribution(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		peer := fmt.Sprintf("http://peer-%d:80", n.Add(1)%2)
+		w.Header().Set(servedByHeader, peer)
+		json.NewEncoder(w).Encode(map[string]any{"cache": "hit", "reliability": 0.9})
+	}))
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "loadgen.json")
+	err := cmdLoadgen([]string{
+		"-url", srv.URL,
+		"-duration", "200ms",
+		"-concurrency", "2",
+		"-o", out,
+		"-slo-availability", "0.99",
+		"-slo-p99", "30s",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("cmdLoadgen: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep lgReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var attributed int
+	for peer, c := range rep.ServedBy {
+		if !strings.HasPrefix(peer, "http://peer-") || c < 1 {
+			t.Errorf("served_by entry %q=%d", peer, c)
+		}
+		attributed += c
+	}
+	if attributed != rep.TotalRequests {
+		t.Errorf("served_by attributes %d of %d requests", attributed, rep.TotalRequests)
+	}
+	if len(rep.ServedBy) != 2 {
+		t.Errorf("served_by = %v, want both synthetic peers", rep.ServedBy)
+	}
+	if rep.SLO == nil || rep.SLO.AvailabilityBurnRate != 0 || rep.SLO.LatencyBurnRate != 0 {
+		t.Errorf("clean run slo = %+v, want zero burn", rep.SLO)
 	}
 }

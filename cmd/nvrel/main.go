@@ -70,6 +70,8 @@ func dispatch(args []string, out io.Writer) error {
 		return cmdServe(args[1:], out)
 	case "loadgen":
 		return cmdLoadgen(args[1:], out)
+	case "fleet":
+		return cmdFleet(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -95,12 +97,17 @@ commands:
   chaos                      run the sweeps under a fault-injection plan and
                              assert every fault is recovered or surfaced typed
   serve                      run the live-telemetry HTTP daemon (/metrics
-                             Prometheus, /metrics.json, /traces, POST /solve,
+                             Prometheus, /metrics.json, /traces, /events, /slo,
+                             /cluster/metrics{,.json}, POST /solve,
                              POST /solve/batch; -peers for sharded serving)
   loadgen                    drive a serve daemon with a repeat/neighbor/cold
                              request mix and report latency percentiles, error
                              rate, and cache-hit rate (gates: -max-p99,
-                             -max-error-rate, -min-hit-rate, -min-p50-speedup)
+                             -max-error-rate, -min-hit-rate, -min-p50-speedup,
+                             -slo-availability, -slo-p99)
+  fleet                      scrape every peer's /metrics.json and write one
+                             merged fleet snapshot (-peers, -o; -trace stitches
+                             the peers' span rings into one Chrome timeline)
   help                       show this message
 
 global flags (before the command):

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -62,10 +63,13 @@ var (
 // the ring once (the receiver serves it locally, whatever the ring says,
 // so two instances with disagreeing peer lists can never bounce a request
 // forever), and Served-By names the instance whose solver/cache actually
-// answered.
+// answered. Trace carries "<trace>-<span>" across the proxy hop so the
+// owner's spans join the requesting instance's trace (and is returned on
+// every response so clients can correlate with /traces).
 const (
 	forwardHeader  = "X-Nvrel-Forwarded"
 	servedByHeader = "X-Nvrel-Served-By"
+	traceHeader    = "X-Nvrel-Trace"
 )
 
 // errBusy marks an admission-control rejection inside the cache compute
@@ -83,6 +87,10 @@ type serveConfig struct {
 	cacheTTL        time.Duration
 	peers           string // comma-separated peer base URLs ("" = no sharding)
 	self            string // this instance's own URL within -peers
+	eventLog        string // JSON-lines request-event stream ("" = ring only)
+	sloWindow       time.Duration
+	sloAvailability float64
+	sloLatency      time.Duration
 }
 
 // server is the daemon state: the model cache shared by every request
@@ -105,6 +113,7 @@ type server struct {
 	self     string
 	httpc    *http.Client
 	sem      chan struct{}
+	slo      *obs.SLOTracker
 	ready    atomic.Bool
 	draining atomic.Bool
 	start    time.Time
@@ -122,7 +131,12 @@ func newServer(cfg serveConfig) *server {
 		scache:  servecache.New(cfg.cacheSize, cfg.cacheTTL, cloneSolveResult),
 		httpc:   &http.Client{},
 		sem:     make(chan struct{}, cfg.maxConcurrent),
-		start:   time.Now(),
+		slo: obs.NewSLOTracker(obs.SLOConfig{
+			Window:       cfg.sloWindow,
+			Availability: cfg.sloAvailability,
+			Latency:      cfg.sloLatency,
+		}),
+		start: time.Now(),
 	}
 }
 
@@ -177,16 +191,23 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the request counter and latency
-// histogram feeding the same registry the daemon exports.
+// histogram feeding the same registry the daemon exports, and scores
+// solve traffic against the SLO tracker — an availability violation is a
+// shed request (429) or a server-side failure (5xx), never a client
+// error (4xx means the request itself was wrong, not the service).
 func (s *server) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(sw, r)
+		elapsed := time.Since(t0)
 		srvMetRequests.Inc()
-		srvMetRequestSec.Observe(time.Since(t0).Seconds())
+		srvMetRequestSec.Observe(elapsed.Seconds())
 		if sw.status >= 400 {
 			srvMetRequestErrors.Inc()
+		}
+		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/solve") {
+			s.slo.Record(elapsed, sw.status == http.StatusTooManyRequests || sw.status >= 500)
 		}
 	})
 }
@@ -235,9 +256,56 @@ func (s *server) handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		obs.WriteTraceEvents(w)
 	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Events []obs.Event `json:"events"`
+		}{obs.EventsSnapshot()})
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.slo.Report())
+	})
+	mux.HandleFunc("GET /cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		doc := s.clusterSnapshot(r)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := doc.Merged.WritePrometheus(w); err != nil {
+			srvMetRequestErrors.Inc()
+		}
+	})
+	mux.HandleFunc("GET /cluster/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		doc := s.clusterSnapshot(r)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("POST /solve/batch", s.handleBatch)
 	return s.instrument(mux)
+}
+
+// clusterSnapshot scrapes the fleet (or just this instance when no ring
+// is configured, or when the request already crossed the ring once — the
+// same one-hop guard the solve proxy uses, so two peers can never scrape
+// each other forever).
+func (s *server) clusterSnapshot(r *http.Request) clusterDoc {
+	peers := []string{localPeerName}
+	local := localPeerName
+	if s.ring != nil {
+		peers = s.ring.Peers()
+		local = s.self
+	}
+	if r.Header.Get(forwardHeader) != "" || s.ring == nil {
+		peers = []string{local}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	return scrapeCluster(ctx, s.httpc, peers, local)
 }
 
 // beginDrain flips /readyz to 503 ahead of connection draining.
@@ -373,13 +441,16 @@ func cloneSolveResult(v solveResult) solveResult {
 // solveResponse is the POST /solve reply. Cache says how the serving
 // layer answered: "miss" (this request solved), "hit" (served from the
 // result cache without entering the solver — hence no Trace), or
-// "coalesced" (shared an identical in-flight solve).
+// "coalesced" (shared an identical in-flight solve). TraceID is this
+// request's own trace (set for every answer, hits and coalesced waiters
+// included), correlating the response with /traces and /events.
 type solveResponse struct {
 	Arch           string            `json:"arch"`
 	Solver         string            `json:"solver"`
 	States         int               `json:"states"`
 	Reliability    float64           `json:"reliability"`
 	Cache          string            `json:"cache,omitempty"`
+	TraceID        string            `json:"trace_id,omitempty"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	Diag           *solveDiagJSON    `json:"diag,omitempty"`
 	Trace          []obs.SpanSummary `json:"trace,omitempty"`
@@ -391,24 +462,62 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// remoteTraceCtx joins the request to an upstream trace when the proxy
+// hop carried one, so spans recorded here share the originating
+// instance's trace ID.
+func remoteTraceCtx(r *http.Request) context.Context {
+	ctx := r.Context()
+	if trace, span, ok := obs.ParseTraceHeader(r.Header.Get(traceHeader)); ok {
+		ctx = obs.ContextWithRemoteSpan(ctx, trace, span)
+	}
+	return ctx
+}
+
+// keyHash is the short stable digest of a cache key used in request
+// events: enough to correlate requests for the same parameter point
+// without reproducing the full parameter vector per event.
+func keyHash(key string) string {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	ctx, sp := obs.StartSpan(remoteTraceCtx(r), "serve.request")
+	defer sp.End()
+	sp.Str("endpoint", "/solve")
+	traceID := obs.FormatTraceID(sp.TraceID())
+	if traceID != "" {
+		w.Header().Set(traceHeader, traceID)
+	}
+	ev := obs.Event{Method: "solve", TraceID: traceID, Status: http.StatusOK}
+	defer func() {
+		ev.LatencySeconds = time.Since(t0).Seconds()
+		obs.RecordEvent(ev)
+	}()
+
 	var req solveRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		ev.Status, ev.Error = http.StatusBadRequest, err.Error()
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	p, arch, err := req.params()
 	if err != nil {
+		ev.Status, ev.Error = http.StatusBadRequest, err.Error()
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	key := solveKey(arch, p)
+	ev.Key = keyHash(key)
 	// Ring ownership: a non-owned key is proxied to its owner (once — the
 	// forward header stops a second hop), so the peers' caches partition
 	// the model space instead of each holding a copy of everything.
 	if s.ring != nil && r.Header.Get(forwardHeader) == "" {
 		if owner := s.ring.Owner(key); owner != s.self {
-			s.proxyJSON(w, r, owner, "/solve", &req)
+			ev.Cache = "proxied"
+			ev.ServedBy, ev.Status = s.proxyJSON(ctx, w, owner, "/solve", &req)
 			return
 		}
 	}
@@ -416,13 +525,19 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutSeconds > 0 {
 		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
 	}
-	resp, code, err := s.solveCached(r.Context(), key, arch, p, timeout)
+	resp, code, err := s.solveCached(ctx, key, arch, p, timeout)
 	if err != nil {
 		srvMetSolveErrors.Inc()
+		ev.Status, ev.Error = code, err.Error()
 		httpError(w, code, "%v", err)
 		return
 	}
 	srvMetSolveOK.Inc()
+	resp.TraceID = traceID
+	ev.Cache, ev.ServedBy = resp.Cache, s.self
+	if resp.Diag != nil {
+		ev.Path, ev.Seeded, ev.SeedSource = resp.Diag.Path, resp.Diag.Seeded, resp.Diag.SeedSource
+	}
 	if s.self != "" {
 		w.Header().Set(servedByHeader, s.self)
 	}
@@ -434,36 +549,46 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // proxyJSON forwards body to owner's path and relays the answer verbatim,
 // including the downstream Served-By header so a client (or the smoke
-// test) can see which instance's cache answered.
-func (s *server) proxyJSON(w http.ResponseWriter, r *http.Request, owner, path string, body any) {
+// test) can see which instance's cache answered. The current span rides
+// along in the trace header, so the owner's spans join this request's
+// trace and the two instances' /traces stitch into one timeline. Returns
+// who answered and with what status, for the request event.
+func (s *server) proxyJSON(ctx context.Context, w http.ResponseWriter, owner, path string, body any) (servedBy string, status int) {
 	srvMetProxy.Inc()
 	buf, err := json.Marshal(body)
 	if err != nil {
 		srvMetProxyErrors.Inc()
 		httpError(w, http.StatusInternalServerError, "proxy encode: %v", err)
-		return
+		return "", http.StatusInternalServerError
 	}
-	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+path, bytes.NewReader(buf))
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(buf))
 	if err != nil {
 		srvMetProxyErrors.Inc()
 		httpError(w, http.StatusInternalServerError, "proxy request: %v", err)
-		return
+		return "", http.StatusInternalServerError
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set(forwardHeader, s.self)
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		if h := obs.EncodeTraceHeader(sp.TraceID(), sp.ID()); h != "" {
+			preq.Header.Set(traceHeader, h)
+		}
+	}
 	resp, err := s.httpc.Do(preq)
 	if err != nil {
 		srvMetProxyErrors.Inc()
 		httpError(w, http.StatusBadGateway, "proxy to %s: %v", owner, err)
-		return
+		return "", http.StatusBadGateway
 	}
 	defer resp.Body.Close()
-	if sb := resp.Header.Get(servedByHeader); sb != "" {
-		w.Header().Set(servedByHeader, sb)
+	servedBy = resp.Header.Get(servedByHeader)
+	if servedBy != "" {
+		w.Header().Set(servedByHeader, servedBy)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	return servedBy, resp.StatusCode
 }
 
 // solveCached answers one resolved request through the result cache: a
@@ -547,8 +672,8 @@ func (s *server) solveUncached(ctx context.Context, arch string, p nvrel.Params,
 		return solveResult{}, nil, errs[0]
 	}
 	var trace []obs.SpanSummary
-	if root := sp.Root(); root != 0 {
-		trace = obs.SummarizeTrace(obs.CollectTrace(root))
+	if trid := sp.TraceID(); trid != 0 {
+		trace = obs.SummarizeTrace(obs.CollectTrace(trid))
 	}
 	return res, trace, nil
 }
@@ -636,17 +761,34 @@ func cmdServe(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.cacheTTL, "cache-ttl", 15*time.Minute, "solve-result cache entry lifetime (0 = never expires)")
 	fs.StringVar(&cfg.peers, "peers", "", "comma-separated peer base URLs for consistent-hash sharding (include this instance)")
 	fs.StringVar(&cfg.self, "self", "", "this instance's own base URL within -peers")
+	fs.StringVar(&cfg.eventLog, "event-log", "", "append request events as JSON lines to this file (\"\" = in-memory ring only)")
+	fs.DurationVar(&cfg.sloWindow, "slo-window", 5*time.Minute, "SLO rolling evaluation window")
+	fs.Float64Var(&cfg.sloAvailability, "slo-availability", 0.999, "availability objective scored at /slo")
+	fs.DurationVar(&cfg.sloLatency, "slo-latency", time.Second, "p99 latency objective scored at /slo")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	// A telemetry daemon with dark telemetry would be pointless: serve
-	// always collects metrics and spans, whatever the global flags say.
+	// always collects metrics, spans, and request events, whatever the
+	// global flags say.
 	obs.Enable()
 	if cfg.traceRing > 0 && cfg.traceRing != obs.DefaultTraceCapacity {
 		obs.SetTraceCapacity(cfg.traceRing)
 	}
 	obs.TraceEnable()
+	obs.EventsEnable()
+	if cfg.eventLog != "" {
+		f, err := os.OpenFile(cfg.eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("serve: -event-log: %w", err)
+		}
+		obs.SetEventSink(f)
+		defer func() {
+			obs.SetEventSink(nil)
+			f.Close()
+		}()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

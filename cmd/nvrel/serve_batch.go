@@ -60,6 +60,7 @@ type batchResponse struct {
 	Results        []batchItemJSON `json:"results"`
 	Groups         int             `json:"groups"`
 	UniqueSolves   int             `json:"unique_solves"`
+	TraceID        string          `json:"trace_id,omitempty"`
 	ElapsedSeconds float64         `json:"elapsed_seconds"`
 }
 
@@ -75,24 +76,38 @@ type batchItem struct {
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	sctx, sp := obs.StartSpan(remoteTraceCtx(r), "serve.batch")
+	defer sp.End()
+	traceID := obs.FormatTraceID(sp.TraceID())
+	if traceID != "" {
+		w.Header().Set(traceHeader, traceID)
+	}
+	ev := obs.Event{Method: "batch", TraceID: traceID, Status: http.StatusOK}
+	defer func() {
+		ev.LatencySeconds = time.Since(t0).Seconds()
+		obs.RecordEvent(ev)
+	}()
+
 	var breq batchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&breq); err != nil {
+		ev.Status, ev.Error = http.StatusBadRequest, err.Error()
 		httpError(w, http.StatusBadRequest, "bad batch body: %v", err)
 		return
 	}
+	ev.Items = len(breq.Requests)
 	if len(breq.Requests) == 0 {
+		ev.Status, ev.Error = http.StatusBadRequest, "empty batch"
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
 	if len(breq.Requests) > maxBatchItems {
+		ev.Status, ev.Error = http.StatusBadRequest, "batch too large"
 		httpError(w, http.StatusBadRequest, "batch of %d items exceeds the %d-item bound", len(breq.Requests), maxBatchItems)
 		return
 	}
 	srvMetBatch.Inc()
 	srvMetBatchItems.Add(int64(len(breq.Requests)))
-
-	t0 := time.Now()
-	sctx, sp := obs.StartSpan(r.Context(), "serve.batch")
 	sp.Int("items", int64(len(breq.Requests)))
 
 	items := make([]batchItem, len(breq.Requests))
@@ -109,15 +124,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// sub-batches and forwarded in one round trip per peer; already
 	// forwarded batches are served locally whatever the ring says.
 	if s.ring != nil && r.Header.Get(forwardHeader) == "" {
-		s.forwardBatchSlices(r.Context(), items)
+		s.forwardBatchSlices(sctx, items)
 	}
 
 	groups := s.solveBatchLocal(sctx, items)
 	sp.Int("groups", int64(groups))
-	sp.End()
 
 	unique := make(map[string]bool)
-	resp := batchResponse{Results: make([]batchItemJSON, len(items)), Groups: groups}
+	resp := batchResponse{Results: make([]batchItemJSON, len(items)), Groups: groups, TraceID: traceID}
 	for i := range items {
 		it := &items[i]
 		switch {
@@ -139,6 +153,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.UniqueSolves = len(unique)
 	resp.ElapsedSeconds = time.Since(t0).Seconds()
+	ev.ServedBy = s.self
 	if s.self != "" {
 		w.Header().Set(servedByHeader, s.self)
 	}
@@ -216,6 +231,11 @@ func (s *server) postBatch(ctx context.Context, owner string, sub *batchRequest)
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set(forwardHeader, s.self)
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		if h := obs.EncodeTraceHeader(sp.TraceID(), sp.ID()); h != "" {
+			preq.Header.Set(traceHeader, h)
+		}
+	}
 	resp, err := s.httpc.Do(preq)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -436,5 +437,142 @@ func TestServeCacheStatusValues(t *testing.T) {
 	}
 	if fmt.Sprintf("%v", servecache.StatusMiss) != "miss" {
 		t.Error("Status does not format as its wire string")
+	}
+}
+
+// TestServeShardedPairStitchedTrace: a solve proxied between two peers
+// must come back with the entry instance's trace ID, and the owner's
+// spans must join that same trace (the cross-peer stitching the fleet
+// trace artifact relies on). The peers also have to agree on the fleet
+// view: /cluster/metrics.json merged counters must equal the per-peer
+// sums.
+func TestServeShardedPairStitchedTrace(t *testing.T) {
+	prevObs := obs.Enable()
+	prevTrace := obs.TraceEnable()
+	obs.TraceReset()
+	t.Cleanup(func() {
+		obs.SetEnabled(prevObs)
+		obs.SetTraceEnabled(prevTrace)
+	})
+
+	mk := func() (*server, *httptest.Server) {
+		s := newServer(serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second})
+		ts := httptest.NewServer(s.handler())
+		t.Cleanup(ts.Close)
+		return s, ts
+	}
+	s1, ts1 := mk()
+	s2, ts2 := mk()
+	peers := ts1.URL + "," + ts2.URL
+	if err := s1.configureRing(peers, ts1.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.configureRing(peers, ts2.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	req := solveRequest{Arch: "4v"}
+	p, arch, err := req.params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := s1.ring.Owner(solveKey(arch, p))
+	entry := ts1.URL
+	if owner == ts1.URL {
+		entry = ts2.URL
+	}
+
+	// Solve through the NON-owner, forcing a proxy hop.
+	resp, err := http.Post(entry+"/solve", "application/json", strings.NewReader(`{"arch":"4v"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.Cache != "miss" {
+		t.Fatalf("proxied solve cache = %q, want miss", sr.Cache)
+	}
+	if sr.TraceID == "" {
+		t.Fatal("proxied solve has no trace_id")
+	}
+	if got := resp.Header.Get(traceHeader); got != sr.TraceID {
+		t.Errorf("trace header %q != envelope %q", got, sr.TraceID)
+	}
+	trace, perr := strconv.ParseUint(sr.TraceID, 16, 64)
+	if perr != nil {
+		t.Fatalf("trace_id %q is not hex: %v", sr.TraceID, perr)
+	}
+
+	// Both instances share this process's span ring, so one collect sees
+	// the full stitched trace: the entry's serve.request, the owner's
+	// serve.request (joined via the proxy's trace header), and the
+	// owner's serve.solve underneath.
+	recs := obs.CollectTrace(trace)
+	names := map[string]int{}
+	for _, r := range recs {
+		names[r.Name]++
+		if r.Trace != trace {
+			t.Errorf("span %q trace = %x, want %x", r.Name, r.Trace, trace)
+		}
+	}
+	if names["serve.request"] != 2 {
+		t.Errorf("stitched trace has %d serve.request spans, want 2 (both peers): %v", names["serve.request"], names)
+	}
+	if names["serve.solve"] != 1 {
+		t.Errorf("stitched trace has %d serve.solve spans, want 1: %v", names["serve.solve"], names)
+	}
+
+	// Fleet merge: the cluster endpoint on either peer must report
+	// counters equal to the per-peer sum.
+	cresp, err := http.Get(ts1.URL + "/cluster/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc clusterDoc
+	err = json.NewDecoder(cresp.Body).Decode(&doc)
+	cresp.Body.Close()
+	if err != nil {
+		t.Fatalf("/cluster/metrics.json: %v", err)
+	}
+	if len(doc.Peers) != 2 || len(doc.Errors) != 0 {
+		t.Fatalf("cluster doc peers = %v errors = %v", doc.Peers, doc.Errors)
+	}
+	var sum int64
+	for peer, snap := range doc.PerPeer {
+		if snap.Counters["serve.request"] < 1 {
+			t.Errorf("peer %s reports serve.request = %d", peer, snap.Counters["serve.request"])
+		}
+		sum += snap.Counters["serve.request"]
+	}
+	if doc.Merged.Counters["serve.request"] != sum {
+		t.Errorf("merged serve.request = %d, per-peer sum = %d", doc.Merged.Counters["serve.request"], sum)
+	}
+	h := doc.Merged.Histograms["serve.request.seconds"]
+	var hsum int64
+	for _, snap := range doc.PerPeer {
+		hsum += snap.Histograms["serve.request.seconds"].Count
+	}
+	if h.Count != hsum {
+		t.Errorf("merged latency histogram count = %d, per-peer sum = %d", h.Count, hsum)
+	}
+
+	// The one-hop guard: a scrape marked as forwarded stays local.
+	greq, _ := http.NewRequest(http.MethodGet, ts2.URL+"/cluster/metrics.json", nil)
+	greq.Header.Set(forwardHeader, "test")
+	gresp, err := http.DefaultClient.Do(greq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local clusterDoc
+	err = json.NewDecoder(gresp.Body).Decode(&local)
+	gresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Peers) != 1 || local.Peers[0] != ts2.URL {
+		t.Errorf("forwarded cluster scrape fanned out to %v, want just %s", local.Peers, ts2.URL)
 	}
 }

@@ -22,9 +22,12 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	prevObs := obs.Enable()
 	prevTrace := obs.TraceEnable()
 	obs.TraceReset()
+	prevEvents := obs.EventsEnable()
+	obs.EventsReset()
 	t.Cleanup(func() {
 		obs.SetEnabled(prevObs)
 		obs.SetTraceEnabled(prevTrace)
+		obs.SetEventsEnabled(prevEvents)
 	})
 	s := newServer(serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second})
 	ts := httptest.NewServer(s.handler())
@@ -302,5 +305,222 @@ func TestServeUsageListsCommand(t *testing.T) {
 	usage(&buf)
 	if !strings.Contains(buf.String(), "serve") {
 		t.Error("usage does not mention serve")
+	}
+}
+
+func TestServeSolveReturnsTraceID(t *testing.T) {
+	_, ts := newTestServer(t)
+	solve := func() (*http.Response, solveResponse) {
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"6v"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr solveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, sr
+	}
+	resp, miss := solve()
+	if miss.TraceID == "" {
+		t.Fatal("miss response has no trace_id")
+	}
+	if got := resp.Header.Get(traceHeader); got != miss.TraceID {
+		t.Errorf("%s header = %q, envelope trace_id = %q", traceHeader, got, miss.TraceID)
+	}
+	// The cache hit never enters the solver, but still gets its own
+	// request trace ID (satellite: trace_id for hits and coalesced
+	// waiters too, not just flight leaders).
+	resp2, hit := solve()
+	if hit.Cache != "hit" {
+		t.Fatalf("second solve cache = %q, want hit", hit.Cache)
+	}
+	if hit.TraceID == "" || hit.TraceID == miss.TraceID {
+		t.Errorf("hit trace_id = %q (miss was %q); want fresh nonempty ID", hit.TraceID, miss.TraceID)
+	}
+	if got := resp2.Header.Get(traceHeader); got != hit.TraceID {
+		t.Errorf("hit %s header = %q, want %q", traceHeader, got, hit.TraceID)
+	}
+}
+
+func TestServeSolveJoinsUpstreamTrace(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/solve", strings.NewReader(`{"arch":"6v"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traceHeader, "00000000000000aa-00000000000000bb")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.TraceID != "00000000000000aa" {
+		t.Errorf("trace_id = %q, want the upstream trace 00000000000000aa", sr.TraceID)
+	}
+	// The joined spans must be collectible under the upstream trace ID.
+	recs := obs.CollectTrace(0xaa)
+	found := false
+	for _, r := range recs {
+		if r.Name == "serve.solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("upstream trace holds %d spans, none named serve.solve", len(recs))
+	}
+}
+
+func TestServeBatchReturnsTraceID(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/solve/batch", "application/json",
+		strings.NewReader(`{"requests":[{"arch":"6v"},{"arch":"4v"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if br.TraceID == "" {
+		t.Fatal("batch envelope has no trace_id")
+	}
+	if got := resp.Header.Get(traceHeader); got != br.TraceID {
+		t.Errorf("%s header = %q, envelope = %q", traceHeader, got, br.TraceID)
+	}
+}
+
+func TestServeEventsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	obs.EventsReset()
+	// 4v routes through the ctmc solver, whose diag carries a solve path.
+	if resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"4v"}`)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if resp, err := http.Post(ts.URL+"/solve/batch", "application/json",
+		strings.NewReader(`{"requests":[{"arch":"6v"}]}`)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []obs.Event `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/events: %v", err)
+	}
+	if len(doc.Events) != 2 {
+		t.Fatalf("/events has %d events, want 2", len(doc.Events))
+	}
+	solveEv, batchEv := doc.Events[0], doc.Events[1]
+	if solveEv.Method != "solve" || batchEv.Method != "batch" {
+		t.Fatalf("event methods = %q,%q", solveEv.Method, batchEv.Method)
+	}
+	if solveEv.Cache != "miss" || solveEv.Key == "" || solveEv.TraceID == "" {
+		t.Errorf("solve event = %+v, want cache=miss with key hash and trace", solveEv)
+	}
+	if solveEv.Status != http.StatusOK || solveEv.LatencySeconds <= 0 {
+		t.Errorf("solve event status/latency = %d/%v", solveEv.Status, solveEv.LatencySeconds)
+	}
+	if solveEv.Path == "" {
+		t.Errorf("solve event missing SolveDiag path: %+v", solveEv)
+	}
+	if batchEv.Items != 1 || batchEv.TraceID == "" {
+		t.Errorf("batch event = %+v", batchEv)
+	}
+}
+
+func TestServeSLOEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"6v"}`)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.SLOReport
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/slo: %v", err)
+	}
+	if rep.Requests < 1 {
+		t.Errorf("/slo requests = %d, want >= 1 after a solve", rep.Requests)
+	}
+	if !rep.Healthy || rep.Errors != 0 {
+		t.Errorf("/slo report = %+v, want healthy with zero errors", rep)
+	}
+	if rep.AvailabilityObjective != 0.999 || rep.LatencyObjectiveSeconds != 1 {
+		t.Errorf("/slo default objectives = %v/%v", rep.AvailabilityObjective, rep.LatencyObjectiveSeconds)
+	}
+}
+
+func TestServeClusterMetricsUnsharded(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(`{"arch":"6v"}`)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/cluster/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc clusterDoc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/cluster/metrics.json: %v", err)
+	}
+	if len(doc.Peers) != 1 || doc.Peers[0] != localPeerName {
+		t.Errorf("unsharded cluster peers = %v, want [%s]", doc.Peers, localPeerName)
+	}
+	if doc.Merged.Counters["serve.request"] < 1 {
+		t.Errorf("merged serve.request = %d, want >= 1", doc.Merged.Counters["serve.request"])
+	}
+	if doc.PerPeer[localPeerName].Counters["serve.request"] != doc.Merged.Counters["serve.request"] {
+		t.Error("single-peer merge does not equal the peer's own counters")
+	}
+
+	presp, err := http.Get(ts.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if !strings.Contains(string(body), "serve_request") {
+		t.Errorf("/cluster/metrics missing serve_request:\n%.300s", body)
+	}
+}
+
+func TestServeReadyzDrainingWins(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.warmUp(io.Discard)
+	s.beginDrain()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("/readyz drain body = %q, want \"draining\"", body)
 	}
 }

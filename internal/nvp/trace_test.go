@@ -21,7 +21,7 @@ func collectSolveTrace(t *testing.T, m *Model) []obs.SpanRecord {
 	if len(all) == 0 {
 		t.Fatal("solve recorded no spans")
 	}
-	return obs.CollectTrace(all[0].Root)
+	return obs.CollectTrace(all[0].Trace)
 }
 
 // byName indexes a span set, failing on duplicates so the assertions

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured per-request record: enough to answer "what
+// happened to this request" without grepping logs — how it was served
+// (cache hit, miss, coalesced wait, or proxied to the owning peer),
+// where, how long it took, and which trace to pull for the full span
+// tree. Field names are stable JSON contract for /events consumers.
+type Event struct {
+	Time           time.Time `json:"time"`
+	Method         string    `json:"method"`                    // "solve" | "batch"
+	Key            string    `json:"params_key_hash,omitempty"` // FNV-64a of the cache key
+	Cache          string    `json:"cache,omitempty"`           // hit | miss | coalesced | proxied
+	ServedBy       string    `json:"served_by,omitempty"`       // peer that computed the result
+	Status         int       `json:"status"`                    // HTTP status
+	LatencySeconds float64   `json:"latency_seconds"`
+	Path           string    `json:"solve_path,omitempty"`  // SolveDiag path (sparse/dense/...)
+	Seeded         bool      `json:"seeded,omitempty"`      // warm-start provenance
+	SeedSource     string    `json:"seed_source,omitempty"` //
+	TraceID        string    `json:"trace_id,omitempty"`    // hex, correlates with /traces
+	Items          int       `json:"items,omitempty"`       // batch size (method=batch)
+	Error          string    `json:"error,omitempty"`
+}
+
+// eventRing is a bounded MPMC ring with the same slot-claim discipline
+// as the trace ring: writers claim a slot with one atomic add and hold
+// only that slot's mutex while copying the event in, so concurrent
+// requests never contend on a shared lock. Oldest events are
+// overwritten once the ring wraps.
+type eventRing struct {
+	enabled atomic.Bool
+	head    atomic.Uint64
+	slots   []eventSlot
+
+	sinkMu sync.Mutex
+	sink   io.Writer
+	senc   *json.Encoder
+}
+
+type eventSlot struct {
+	mu  sync.Mutex
+	seq uint64 // 1-based claim number; 0 = never written
+	ev  Event
+}
+
+// DefaultEventCapacity is the size of the package-level event ring.
+const DefaultEventCapacity = 2048
+
+var defEvents atomic.Pointer[eventRing]
+
+func init() {
+	defEvents.Store(newEventRing(DefaultEventCapacity))
+}
+
+func newEventRing(capacity int) *eventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventRing{slots: make([]eventSlot, capacity)}
+}
+
+// EventsEnable turns request-event recording on, returning the previous
+// state.
+func EventsEnable() bool { return defEvents.Load().enabled.Swap(true) }
+
+// EventsDisable turns request-event recording off, returning the
+// previous state.
+func EventsDisable() bool { return defEvents.Load().enabled.Swap(false) }
+
+// SetEventsEnabled restores a previous enabled state.
+func SetEventsEnabled(on bool) { defEvents.Load().enabled.Store(on) }
+
+// EventsEnabled reports whether request events are being recorded.
+func EventsEnabled() bool { return defEvents.Load().enabled.Load() }
+
+// SetEventCapacity replaces the ring with an empty one of the given
+// capacity, preserving the enabled state and sink.
+func SetEventCapacity(capacity int) {
+	old := defEvents.Load()
+	r := newEventRing(capacity)
+	r.enabled.Store(old.enabled.Load())
+	old.sinkMu.Lock()
+	r.sink, r.senc = old.sink, old.senc
+	old.sinkMu.Unlock()
+	defEvents.Store(r)
+}
+
+// EventsReset drops all recorded events, keeping capacity, enabled
+// state, and sink.
+func EventsReset() { SetEventCapacity(len(defEvents.Load().slots)) }
+
+// SetEventSink streams every recorded event to w as one JSON object per
+// line, in addition to the in-memory ring. nil disables streaming.
+// Writes are serialized under an internal mutex; sink errors are
+// dropped (observability must not fail requests).
+func SetEventSink(w io.Writer) {
+	r := defEvents.Load()
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	r.sink = w
+	if w == nil {
+		r.senc = nil
+	} else {
+		r.senc = json.NewEncoder(w)
+	}
+}
+
+// RecordEvent appends one request event to the ring (and the sink, if
+// set). No-op while disabled; the disabled path takes no locks and
+// allocates nothing.
+func RecordEvent(ev Event) {
+	r := defEvents.Load()
+	if !r.enabled.Load() {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	seq := r.head.Add(1)
+	slot := &r.slots[(seq-1)%uint64(len(r.slots))]
+	slot.mu.Lock()
+	slot.seq = seq
+	slot.ev = ev
+	slot.mu.Unlock()
+	r.sinkMu.Lock()
+	if r.senc != nil {
+		_ = r.senc.Encode(ev) // best-effort; see SetEventSink
+	}
+	r.sinkMu.Unlock()
+}
+
+// EventsSnapshot returns a copy of the retained events ordered by time
+// (claim order breaking ties), oldest first.
+func EventsSnapshot() []Event {
+	r := defEvents.Load()
+	type seqEvent struct {
+		seq uint64
+		ev  Event
+	}
+	got := make([]seqEvent, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			got = append(got, seqEvent{s.seq, s.ev})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if !got[i].ev.Time.Equal(got[j].ev.Time) {
+			return got[i].ev.Time.Before(got[j].ev.Time)
+		}
+		return got[i].seq < got[j].seq
+	})
+	out := make([]Event, len(got))
+	for i, g := range got {
+		out[i] = g.ev
+	}
+	return out
+}

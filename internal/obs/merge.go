@@ -1,0 +1,76 @@
+package obs
+
+// MergeSnapshots folds per-peer metric snapshots into one fleet-level
+// view:
+//
+//   - counters sum under their plain name — `serve_request` across the
+//     fleet is the sum of every peer's `serve_request`;
+//   - histograms with identical bounds merge bucket-wise (counts, count,
+//     sum all add), so fleet latency distributions stay exact rather
+//     than quantile-averaged; a histogram whose bounds differ from an
+//     already-merged one falls back to a per-peer `name@peer` key
+//     instead of silently mixing incompatible layouts;
+//   - gauges and timings are point-in-time or pre-quantiled per process
+//     and cannot be summed meaningfully, so they keep per-peer
+//     attribution under `name@peer`.
+//
+// Peers are visited in sorted-key order, so merging is deterministic
+// regardless of map iteration.
+func MergeSnapshots(peers map[string]Snapshot) Snapshot {
+	m := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Timings:    map[string]TimingSnapshot{},
+	}
+	for _, peer := range sortedKeys(peers) {
+		s := peers[peer]
+		for name, v := range s.Counters {
+			m.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			m.Gauges[name+"@"+peer] = v
+		}
+		for name, h := range s.Histograms {
+			prev, ok := m.Histograms[name]
+			if !ok {
+				m.Histograms[name] = cloneHistogram(h)
+				continue
+			}
+			if !sameBounds(prev.Bounds, h.Bounds) {
+				m.Histograms[name+"@"+peer] = cloneHistogram(h)
+				continue
+			}
+			for i := range prev.Counts {
+				if i < len(h.Counts) {
+					prev.Counts[i] += h.Counts[i]
+				}
+			}
+			prev.Count += h.Count
+			prev.Sum += h.Sum
+			m.Histograms[name] = prev
+		}
+		for name, t := range s.Timings {
+			m.Timings[name+"@"+peer] = t
+		}
+	}
+	return m
+}
+
+func cloneHistogram(h HistogramSnapshot) HistogramSnapshot {
+	h.Bounds = append([]float64(nil), h.Bounds...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package obs
+
+import "testing"
+
+func TestMergeSnapshotsSumsCounters(t *testing.T) {
+	m := MergeSnapshots(map[string]Snapshot{
+		"a:1": {Counters: map[string]int64{"serve_request": 3, "serve_proxy": 1}},
+		"b:2": {Counters: map[string]int64{"serve_request": 5}},
+	})
+	if m.Counters["serve_request"] != 8 {
+		t.Errorf("serve_request = %d, want 8", m.Counters["serve_request"])
+	}
+	if m.Counters["serve_proxy"] != 1 {
+		t.Errorf("serve_proxy = %d, want 1", m.Counters["serve_proxy"])
+	}
+}
+
+func TestMergeSnapshotsHistogramsBucketwise(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	m := MergeSnapshots(map[string]Snapshot{
+		"a": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: bounds, Counts: []int64{1, 2, 3, 4}, Count: 10, Sum: 55},
+		}},
+		"b": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: bounds, Counts: []int64{10, 20, 30, 40}, Count: 100, Sum: 500},
+		}},
+	})
+	h := m.Histograms["iters"]
+	want := []int64{11, 22, 33, 44}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Count != 110 || h.Sum != 555 {
+		t.Errorf("count/sum = %d/%v, want 110/555", h.Count, h.Sum)
+	}
+}
+
+func TestMergeSnapshotsMismatchedBoundsKeyPerPeer(t *testing.T) {
+	m := MergeSnapshots(map[string]Snapshot{
+		"a": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: []float64{1, 2}, Counts: []int64{1, 1, 1}, Count: 3},
+		}},
+		"b": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: []float64{1, 2, 3}, Counts: []int64{2, 2, 2, 2}, Count: 8},
+		}},
+	})
+	if m.Histograms["iters"].Count != 3 {
+		t.Errorf("first peer's histogram mangled: %+v", m.Histograms["iters"])
+	}
+	if m.Histograms["iters@b"].Count != 8 {
+		t.Errorf("mismatched-bounds histogram not keyed per peer: %v", sortedKeys(m.Histograms))
+	}
+}
+
+func TestMergeSnapshotsGaugesAndTimingsPerPeer(t *testing.T) {
+	m := MergeSnapshots(map[string]Snapshot{
+		"a:1": {
+			Gauges:  map[string]float64{"inflight": 2},
+			Timings: map[string]TimingSnapshot{"solve": {Count: 7}},
+		},
+		"b:2": {
+			Gauges: map[string]float64{"inflight": 5},
+		},
+	})
+	if m.Gauges["inflight@a:1"] != 2 || m.Gauges["inflight@b:2"] != 5 {
+		t.Errorf("gauges = %+v", m.Gauges)
+	}
+	if _, ok := m.Gauges["inflight"]; ok {
+		t.Error("gauge merged under plain name; gauges must not sum")
+	}
+	if m.Timings["solve@a:1"].Count != 7 {
+		t.Errorf("timings = %+v", m.Timings)
+	}
+}
+
+func TestMergeSnapshotsDoesNotAliasInputs(t *testing.T) {
+	src := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{4, 5}, Count: 9}
+	m := MergeSnapshots(map[string]Snapshot{
+		"a": {Histograms: map[string]HistogramSnapshot{"h": src}},
+		"b": {Histograms: map[string]HistogramSnapshot{"h": {Bounds: []float64{1}, Counts: []int64{1, 1}, Count: 2}}},
+	})
+	if src.Counts[0] != 4 {
+		t.Errorf("input histogram mutated: %+v", src)
+	}
+	if m.Histograms["h"].Count != 11 {
+		t.Errorf("merged count = %d, want 11", m.Histograms["h"].Count)
+	}
+}

@@ -324,8 +324,15 @@ func (t *Timing) Quantile(q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
+	return time.Duration(log2Quantile(&counts, n, q, float64(t.max.Load())))
+}
+
+// log2Quantile estimates the q-quantile in nanoseconds from a log2-ns
+// bucket array holding n samples, interpolating linearly within the
+// containing octave and clamping to maxNS when positive. Shared by
+// Timing.Quantile and the SLO tracker's windowed histograms.
+func log2Quantile(counts *[latencyBuckets]int64, n int64, q float64, maxNS float64) float64 {
 	rank := q * float64(n)
-	maxNS := float64(t.max.Load())
 	var cum int64
 	for b, c := range counts {
 		if c == 0 {
@@ -347,9 +354,9 @@ func (t *Timing) Quantile(q float64) time.Duration {
 		if maxNS > 0 && est > maxNS {
 			est = maxNS
 		}
-		return time.Duration(est)
+		return est
 	}
-	return time.Duration(maxNS)
+	return maxNS
 }
 
 // Reset zeroes every registered metric (counts, gauges, histograms,

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naivePercentile is the oracle: sort, take the 1-based nearest rank
+// ceil(q*n), clamped to [1, n].
+func naivePercentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty samples should return 0")
+	}
+	one := []float64{42}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Percentile(one, q); got != 42 {
+			t.Errorf("Percentile([42], %v) = %v", q, got)
+		}
+	}
+	s := []float64{3, 1, 2}
+	if got := Percentile(s, 0); got != 1 {
+		t.Errorf("q=0 = %v, want min", got)
+	}
+	if got := Percentile(s, 1); got != 3 {
+		t.Errorf("q=1 = %v, want max", got)
+	}
+	if got := Percentile(s, -0.5); got != 1 {
+		t.Errorf("q<0 = %v, want min", got)
+	}
+	if got := Percentile(s, 1.5); got != 3 {
+		t.Errorf("q>1 = %v, want max", got)
+	}
+	if s[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileFuzzAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fixedQ := []float64{0, 0.5, 0.95, 0.99, 1}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		samples := make([]float64, n)
+		for i := range samples {
+			switch rng.Intn(3) {
+			case 0: // uniform
+				samples[i] = rng.Float64() * 1000
+			case 1: // heavy tail
+				samples[i] = math.Exp(rng.NormFloat64() * 3)
+			default: // lots of ties
+				samples[i] = float64(rng.Intn(5))
+			}
+		}
+		qs := append(append([]float64(nil), fixedQ...), rng.Float64(), rng.Float64())
+		for _, q := range qs {
+			got := Percentile(samples, q)
+			want := naivePercentile(samples, q)
+			if got != want {
+				t.Fatalf("trial %d n=%d q=%v: Percentile=%v oracle=%v", trial, n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestPercentileMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	samples := make([]float64, 257)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := Percentile(samples, q)
+		if v < prev {
+			t.Fatalf("Percentile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -2,9 +2,14 @@ package obs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,11 +80,44 @@ func (a Attr) Value() any {
 type SpanRecord struct {
 	ID     uint64
 	Parent uint64 // zero for root spans
-	Root   uint64 // ID of the outermost enclosing span (== ID for roots)
+	Root   uint64 // ID of the outermost LOCAL enclosing span (== ID for roots)
+	Trace  uint64 // per-request trace ID, shared across peer processes
 	Name   string
 	Start  time.Time
 	Dur    time.Duration
 	Attrs  []Attr
+}
+
+// idRng is the process-global splitmix64 state behind trace IDs and the
+// per-tracer span-ID bases. Seeded from crypto/rand at init (clock
+// fallback), it makes identifiers unique across peer processes with
+// overwhelming probability — which is what lets spans recorded on two
+// daemons stitch into one fleet trace without any coordination.
+var idRng atomic.Uint64
+
+func seedIDRng() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idRng.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idRng.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// newID draws the next nonzero identifier from the process-global
+// splitmix64 stream. Lock-free and allocation-free.
+func newID() uint64 {
+	for {
+		x := idRng.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
 }
 
 // ringSlot is one ring cell. Each slot has its own mutex so concurrent
@@ -97,22 +135,27 @@ type ringSlot struct {
 // default tracer via StartSpan/TraceEnable.
 type Tracer struct {
 	enabled atomic.Bool
+	idBase  uint64 // random per-tracer offset; keeps span IDs process-unique
 	ids     atomic.Uint64
 	head    atomic.Uint64
 	slots   []ringSlot
 }
 
-// NewTracer returns a disabled tracer with the given ring capacity.
+// NewTracer returns a disabled tracer with the given ring capacity. Span
+// IDs are sequential above a random per-tracer base, so they stay
+// monotone in claim order locally while never colliding with another
+// process's spans in a stitched fleet trace.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{slots: make([]ringSlot, capacity)}
+	return &Tracer{idBase: newID(), slots: make([]ringSlot, capacity)}
 }
 
 var defTracer atomic.Pointer[Tracer]
 
 func init() {
+	seedIDRng()
 	defTracer.Store(NewTracer(DefaultTraceCapacity))
 }
 
@@ -157,6 +200,41 @@ func (t *Tracer) Reset() {
 // spanCtxKey carries the active span through a context.
 type spanCtxKey struct{}
 
+// remoteSpanKey carries a remote parent (trace ID + span ID received in
+// an X-Nvrel-Trace header) through a context, so the first local span of
+// a proxied request joins the originating peer's trace instead of
+// minting its own.
+type remoteSpanKey struct{}
+
+type remoteSpan struct {
+	trace uint64
+	span  uint64
+}
+
+// ContextWithRemoteSpan returns a context under which the next StartSpan
+// joins an in-flight trace from another process: the new span adopts the
+// given trace ID and records the remote span as its parent. A zero trace
+// leaves ctx unchanged.
+func ContextWithRemoteSpan(ctx context.Context, trace, span uint64) context.Context {
+	if trace == 0 {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, remoteSpanKey{}, remoteSpan{trace: trace, span: span})
+}
+
+// SpanFromContext returns the span carried by ctx, or nil (which is a
+// valid, inert span) when there is none.
+func SpanFromContext(ctx context.Context) *TraceSpan {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*TraceSpan)
+	return sp
+}
+
 // TraceSpan is an in-flight span. A nil *TraceSpan (returned whenever
 // tracing is disabled) is valid and inert, so instrumentation sites never
 // branch on the enabled state themselves.
@@ -165,6 +243,7 @@ type TraceSpan struct {
 	id     uint64
 	parent uint64
 	root   uint64
+	trace  uint64
 	name   string
 	start  time.Time
 	attrs  [maxSpanAttrs]Attr
@@ -189,12 +268,20 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sp := &TraceSpan{tr: t, id: t.ids.Add(1), name: name, start: time.Now()}
+	sp := &TraceSpan{tr: t, id: t.idBase + t.ids.Add(1), name: name, start: time.Now()}
 	if parent, ok := ctx.Value(spanCtxKey{}).(*TraceSpan); ok && parent != nil {
 		sp.parent = parent.id
 		sp.root = parent.root
+		sp.trace = parent.trace
+	} else if rp, ok := ctx.Value(remoteSpanKey{}).(remoteSpan); ok && rp.trace != 0 {
+		// A proxied request: adopt the originating peer's trace ID and hang
+		// off its span, so the two rings stitch into one timeline.
+		sp.root = sp.id
+		sp.trace = rp.trace
+		sp.parent = rp.span
 	} else {
 		sp.root = sp.id
+		sp.trace = newID()
 	}
 	return context.WithValue(ctx, spanCtxKey{}, sp), sp
 }
@@ -207,12 +294,59 @@ func (s *TraceSpan) ID() uint64 {
 	return s.id
 }
 
-// Root returns the identifier of the span's outermost ancestor.
+// Root returns the identifier of the span's outermost local ancestor.
 func (s *TraceSpan) Root() uint64 {
 	if s == nil {
 		return 0
 	}
 	return s.root
+}
+
+// TraceID returns the per-request trace identifier the span belongs to
+// (zero for the nil span). Spans of one request share it across every
+// peer the request touched.
+func (s *TraceSpan) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// FormatTraceID renders a trace (or span) ID as fixed-width hex; the
+// zero ID renders as "" so disabled-tracing paths can omit the field.
+func FormatTraceID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", id)
+}
+
+// EncodeTraceHeader renders a trace/span pair in the X-Nvrel-Trace wire
+// form "<trace>-<span>" (zero-padded hex). Empty when trace is zero.
+func EncodeTraceHeader(trace, span uint64) string {
+	if trace == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x-%016x", trace, span)
+}
+
+// ParseTraceHeader decodes the X-Nvrel-Trace wire form produced by
+// EncodeTraceHeader. ok is false for anything malformed or zero-trace,
+// so a garbage header degrades to "mint a fresh trace", never an error.
+func ParseTraceHeader(h string) (trace, span uint64, ok bool) {
+	t, s, found := strings.Cut(strings.TrimSpace(h), "-")
+	if !found {
+		return 0, 0, false
+	}
+	trace, err := strconv.ParseUint(t, 16, 64)
+	if err != nil || trace == 0 {
+		return 0, 0, false
+	}
+	span, err = strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return trace, span, true
 }
 
 func (s *TraceSpan) attr(a Attr) *TraceSpan {
@@ -262,7 +396,7 @@ func (s *TraceSpan) End() {
 	slot := &t.slots[(t.head.Add(1)-1)%uint64(len(t.slots))]
 	slot.mu.Lock()
 	slot.valid = true
-	slot.rec = SpanRecord{ID: s.id, Parent: s.parent, Root: s.root, Name: s.name, Start: s.start, Dur: dur}
+	slot.rec = SpanRecord{ID: s.id, Parent: s.parent, Root: s.root, Trace: s.trace, Name: s.name, Start: s.start, Dur: dur}
 	slot.attrs = s.attrs
 	slot.n = s.n
 	slot.mu.Unlock()
@@ -299,13 +433,13 @@ func (t *Tracer) Snapshot() []SpanRecord {
 }
 
 // CollectTrace returns the recorded spans belonging to one trace (all
-// spans whose Root matches), ordered by start time. Best-effort: spans
-// evicted by ring wrap-around are absent.
-func CollectTrace(root uint64) []SpanRecord {
+// spans whose Trace ID matches), ordered by start time. Best-effort:
+// spans evicted by ring wrap-around are absent.
+func CollectTrace(trace uint64) []SpanRecord {
 	all := TraceSnapshot()
 	out := make([]SpanRecord, 0, 8)
 	for _, r := range all {
-		if r.Root == root {
+		if r.Trace == trace {
 			out = append(out, r)
 		}
 	}
@@ -333,28 +467,38 @@ type traceDoc struct {
 }
 
 // WriteTraceEvents encodes the default tracer's ring as Chrome
-// trace-event JSON: one complete ("X") event per span, timestamps
-// relative to the earliest recorded span, one track (tid) per trace root.
-// The output loads in Perfetto and chrome://tracing.
+// trace-event JSON: one complete ("X") event per span in start-time
+// order, timestamps in absolute microseconds since the Unix epoch, one
+// track (tid) per trace ID. Absolute timestamps and trace-keyed tracks
+// are what make two peers' exports stitch: concatenating the event lists
+// (see MergeTraceEvents) puts every span of one proxied request on one
+// shared track, correctly interleaved. The output loads in Perfetto and
+// chrome://tracing (both render relative to the earliest event).
 func WriteTraceEvents(w io.Writer) error {
 	return EncodeTraceEvents(w, TraceSnapshot())
 }
 
 // EncodeTraceEvents encodes an explicit span set as Chrome trace-event
-// JSON; see WriteTraceEvents.
+// JSON; see WriteTraceEvents. Records are sorted by start time (ties by
+// span ID) whatever order the caller supplies, so exports are stable and
+// monotonically ordered.
 func EncodeTraceEvents(w io.Writer, records []SpanRecord) error {
-	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(records)), DisplayTimeUnit: "ms"}
-	var base time.Time
-	for i, r := range records {
-		if i == 0 || r.Start.Before(base) {
-			base = r.Start
+	sorted := append([]SpanRecord(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
 		}
-	}
-	for _, r := range records {
-		args := make(map[string]any, len(r.Attrs)+2)
+		return sorted[i].ID < sorted[j].ID
+	})
+	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(sorted)), DisplayTimeUnit: "ms"}
+	for _, r := range sorted {
+		args := make(map[string]any, len(r.Attrs)+3)
 		args["span_id"] = r.ID
 		if r.Parent != 0 {
 			args["parent_id"] = r.Parent
+		}
+		if r.Trace != 0 {
+			args["trace_id"] = FormatTraceID(r.Trace)
 		}
 		for _, a := range r.Attrs {
 			args[a.Key] = a.Value()
@@ -363,15 +507,35 @@ func EncodeTraceEvents(w io.Writer, records []SpanRecord) error {
 			Name: r.Name,
 			Cat:  "solve",
 			Ph:   "X",
-			TS:   float64(r.Start.Sub(base).Nanoseconds()) / 1e3,
+			TS:   float64(r.Start.UnixNano()) / 1e3,
 			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
 			PID:  1,
-			TID:  r.Root,
+			TID:  r.Trace,
 			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
+}
+
+// MergeTraceEvents decodes several Chrome trace-event documents (as
+// served by each peer's /traces endpoint) and re-encodes them as one,
+// events sorted by timestamp. Because every export uses absolute
+// epoch-based timestamps and trace-ID tracks, spans recorded on
+// different peers for one proxied request land on one coherent timeline.
+func MergeTraceEvents(w io.Writer, docs ...io.Reader) error {
+	merged := traceDoc{DisplayTimeUnit: "ms"}
+	for i, r := range docs {
+		var doc traceDoc
+		if err := json.NewDecoder(r).Decode(&doc); err != nil {
+			return fmt.Errorf("obs: merge traces: document %d: %w", i, err)
+		}
+		merged.TraceEvents = append(merged.TraceEvents, doc.TraceEvents...)
+	}
+	sort.SliceStable(merged.TraceEvents, func(i, j int) bool {
+		return merged.TraceEvents[i].TS < merged.TraceEvents[j].TS
+	})
+	return json.NewEncoder(w).Encode(merged)
 }
 
 // SpanSummary is one row of the compact per-solve summary: the span, its

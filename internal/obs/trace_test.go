@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -50,7 +51,7 @@ func TestSpanNestingThroughContext(t *testing.T) {
 		child.End()
 		root.End()
 
-		recs := CollectTrace(root.Root())
+		recs := CollectTrace(root.TraceID())
 		if len(recs) != 3 {
 			t.Fatalf("collected %d spans, want 3", len(recs))
 		}
@@ -88,8 +89,11 @@ func TestSiblingTracesGetDistinctRoots(t *testing.T) {
 		if a.Root() == b.Root() {
 			t.Error("independent root spans share a trace root")
 		}
-		if len(CollectTrace(a.Root())) != 1 || len(CollectTrace(b.Root())) != 1 {
-			t.Error("CollectTrace mixed spans across roots")
+		if a.TraceID() == b.TraceID() || a.TraceID() == 0 {
+			t.Errorf("independent root spans share trace ID %d", a.TraceID())
+		}
+		if len(CollectTrace(a.TraceID())) != 1 || len(CollectTrace(b.TraceID())) != 1 {
+			t.Error("CollectTrace mixed spans across traces")
 		}
 	})
 }
@@ -97,17 +101,24 @@ func TestSiblingTracesGetDistinctRoots(t *testing.T) {
 func TestRingWrapEvictsOldest(t *testing.T) {
 	tr := NewTracer(4)
 	tr.enabled.Store(true)
+	var ids []uint64
 	for i := 0; i < 10; i++ {
 		_, sp := tr.StartSpan(nil, "wrap")
+		ids = append(ids, sp.ID())
 		sp.End()
 	}
 	recs := tr.Snapshot()
 	if len(recs) != 4 {
 		t.Fatalf("ring holds %d spans, want 4", len(recs))
 	}
+	// The survivors must be exactly the 4 most recently ended spans.
+	want := map[uint64]bool{}
+	for _, id := range ids[len(ids)-4:] {
+		want[id] = true
+	}
 	for _, r := range recs {
-		if r.ID <= 6 {
-			t.Errorf("span %d survived wrap; oldest retained should be 7", r.ID)
+		if !want[r.ID] {
+			t.Errorf("span %d survived wrap; want only the last 4 of %v", r.ID, ids)
 		}
 	}
 }
@@ -119,7 +130,7 @@ func TestAttrOverflowDropsExtras(t *testing.T) {
 			sp.Int("k", int64(i))
 		}
 		sp.End()
-		recs := CollectTrace(sp.Root())
+		recs := CollectTrace(sp.TraceID())
 		if len(recs) != 1 || len(recs[0].Attrs) != maxSpanAttrs {
 			t.Fatalf("attr overflow: got %d attrs, want %d", len(recs[0].Attrs), maxSpanAttrs)
 		}
@@ -134,12 +145,12 @@ func TestErrAttachesOnlyOnError(t *testing.T) {
 		_, bad := StartSpan(nil, "bad")
 		bad.Err(context.DeadlineExceeded)
 		bad.End()
-		for _, r := range CollectTrace(ok.Root()) {
+		for _, r := range CollectTrace(ok.TraceID()) {
 			if len(r.Attrs) != 0 {
 				t.Errorf("Err(nil) attached attrs: %+v", r.Attrs)
 			}
 		}
-		recs := CollectTrace(bad.Root())
+		recs := CollectTrace(bad.TraceID())
 		if len(recs) != 1 || len(recs[0].Attrs) != 1 || recs[0].Attrs[0].Key != "error" {
 			t.Errorf("Err(err) did not attach error attr: %+v", recs)
 		}
@@ -156,7 +167,7 @@ func TestWriteTraceEventsIsChromeLoadable(t *testing.T) {
 		root.End()
 
 		var buf bytes.Buffer
-		if err := EncodeTraceEvents(&buf, CollectTrace(root.Root())); err != nil {
+		if err := EncodeTraceEvents(&buf, CollectTrace(root.TraceID())); err != nil {
 			t.Fatalf("encode: %v", err)
 		}
 		var doc struct {
@@ -179,8 +190,11 @@ func TestWriteTraceEventsIsChromeLoadable(t *testing.T) {
 			if ev.Ph != "X" {
 				t.Errorf("event %q phase = %q, want X", ev.Name, ev.Ph)
 			}
-			if ev.TID != root.Root() {
-				t.Errorf("event %q tid = %d, want root %d", ev.Name, ev.TID, root.Root())
+			if ev.TID != root.TraceID() {
+				t.Errorf("event %q tid = %d, want trace %d", ev.Name, ev.TID, root.TraceID())
+			}
+			if ev.Args["trace_id"] != FormatTraceID(root.TraceID()) {
+				t.Errorf("event %q trace_id arg = %v", ev.Name, ev.Args["trace_id"])
 			}
 			if ev.TS < 0 || ev.Dur < 0 {
 				t.Errorf("event %q has negative ts/dur: %v/%v", ev.Name, ev.TS, ev.Dur)
@@ -224,7 +238,7 @@ func TestSummarizeTraceDepths(t *testing.T) {
 		rung.End()
 		root.End()
 
-		rows := SummarizeTrace(CollectTrace(root.Root()))
+		rows := SummarizeTrace(CollectTrace(root.TraceID()))
 		if len(rows) != 3 {
 			t.Fatalf("summary has %d rows, want 3", len(rows))
 		}
@@ -315,5 +329,186 @@ func BenchmarkTraceDisabledNoAlloc(b *testing.B) {
 		_, child := StartSpan(ctx2, "bench.trace.child")
 		child.End()
 		sp.End()
+	}
+}
+
+func TestRemoteSpanJoinsTrace(t *testing.T) {
+	withTracing(t, func() {
+		// Peer A starts a request trace...
+		actx, a := StartSpan(nil, "serve.request")
+		trace, parent := a.TraceID(), a.ID()
+		a.End()
+		_ = actx
+
+		// ...and peer B (simulated: a remote-parent context, as built from
+		// the X-Nvrel-Trace header) continues it.
+		bctx := ContextWithRemoteSpan(context.Background(), trace, parent)
+		cctx, b := StartSpan(bctx, "serve.solve")
+		if b.TraceID() != trace {
+			t.Fatalf("remote-joined span trace = %d, want %d", b.TraceID(), trace)
+		}
+		_, c := StartSpan(cctx, "serve.solve.child")
+		c.End()
+		b.End()
+
+		recs := CollectTrace(trace)
+		if len(recs) != 3 {
+			t.Fatalf("CollectTrace(%d) = %d spans, want 3 across both 'peers'", trace, len(recs))
+		}
+		byName := map[string]SpanRecord{}
+		for _, r := range recs {
+			byName[r.Name] = r
+		}
+		if got := byName["serve.solve"].Parent; got != parent {
+			t.Errorf("remote-joined span parent = %d, want remote span %d", got, parent)
+		}
+		if got := byName["serve.solve.child"].Trace; got != trace {
+			t.Errorf("grandchild trace = %d, want %d", got, trace)
+		}
+	})
+}
+
+func TestRemoteSpanIgnoredUnderLocalParent(t *testing.T) {
+	withTracing(t, func() {
+		ctx, parent := StartSpan(nil, "local.parent")
+		ctx = ContextWithRemoteSpan(ctx, 42, 43)
+		_, child := StartSpan(ctx, "local.child")
+		if child.TraceID() != parent.TraceID() {
+			t.Errorf("local parent lost to remote hint: trace %d, want %d", child.TraceID(), parent.TraceID())
+		}
+		child.End()
+		parent.End()
+	})
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	h := EncodeTraceHeader(0xdeadbeef12345678, 0x42)
+	trace, span, ok := ParseTraceHeader(h)
+	if !ok || trace != 0xdeadbeef12345678 || span != 0x42 {
+		t.Fatalf("round trip of %q = %x/%x ok=%v", h, trace, span, ok)
+	}
+	if EncodeTraceHeader(0, 7) != "" {
+		t.Error("zero trace encoded non-empty")
+	}
+	for _, bad := range []string{"", "zzz", "12", "-", "0-1", "12-zz", "g-1"} {
+		if _, _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted", bad)
+		}
+	}
+	if FormatTraceID(0) != "" {
+		t.Error("FormatTraceID(0) not empty")
+	}
+	if got := FormatTraceID(0xab); got != "00000000000000ab" {
+		t.Errorf("FormatTraceID = %q", got)
+	}
+}
+
+// TestTraceExportsOrderedByStart is the ordering contract: both
+// TraceSnapshot (behind /traces) and EncodeTraceEvents emit spans in
+// stable, monotonically non-decreasing start order, even though the ring
+// stores them in claim (End) order.
+func TestTraceExportsOrderedByStart(t *testing.T) {
+	withTracing(t, func() {
+		// Start A before B, but end B first, so ring claim order is B, A.
+		_, a := StartSpan(nil, "first.started")
+		time.Sleep(time.Millisecond)
+		_, b := StartSpan(nil, "second.started")
+		b.End()
+		a.End()
+
+		recs := TraceSnapshot()
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Start.Before(recs[i-1].Start) {
+				t.Fatalf("snapshot out of start order at %d: %v after %v", i, recs[i].Start, recs[i-1].Start)
+			}
+		}
+		if len(recs) != 2 || recs[0].Name != "first.started" {
+			t.Fatalf("snapshot order = %+v, want first.started first", recs)
+		}
+
+		// Feed the encoder the records REVERSED; output must still be
+		// monotone in ts.
+		rev := []SpanRecord{recs[1], recs[0]}
+		var buf bytes.Buffer
+		if err := EncodeTraceEvents(&buf, rev); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string  `json:"name"`
+				TS   float64 `json:"ts"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].Name != "first.started" {
+			t.Fatalf("encoder did not re-sort: %+v", doc.TraceEvents)
+		}
+		for i := 1; i < len(doc.TraceEvents); i++ {
+			if doc.TraceEvents[i].TS < doc.TraceEvents[i-1].TS {
+				t.Fatalf("encoded ts not monotone at %d: %+v", i, doc.TraceEvents)
+			}
+		}
+	})
+}
+
+// TestMergeTraceEventsStitchesPeers simulates the fleet path: two
+// tracers ("peers") record halves of one proxied request, each exports
+// its own Chrome doc, and MergeTraceEvents folds them into one timeline
+// with the shared trace ID as the track.
+func TestMergeTraceEventsStitchesPeers(t *testing.T) {
+	peerA, peerB := NewTracer(16), NewTracer(16)
+	peerA.enabled.Store(true)
+	peerB.enabled.Store(true)
+
+	_, req := peerA.StartSpan(nil, "serve.request")
+	trace := req.TraceID()
+	time.Sleep(time.Millisecond)
+	rctx := ContextWithRemoteSpan(context.Background(), trace, req.ID())
+	_, solve := peerB.StartSpan(rctx, "serve.solve")
+	solve.End()
+	req.End()
+
+	var docA, docB, merged bytes.Buffer
+	if err := EncodeTraceEvents(&docA, peerA.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTraceEvents(&docB, peerB.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeTraceEvents(&merged, &docA, &docB); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			TS   float64        `json:"ts"`
+			TID  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(merged.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("merged doc has %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "serve.request" || doc.TraceEvents[1].Name != "serve.solve" {
+		t.Fatalf("merged events out of order: %+v", doc.TraceEvents)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.TID != trace {
+			t.Errorf("event %q tid = %d, want shared trace %d", ev.Name, ev.TID, trace)
+		}
+		if ev.Args["trace_id"] != FormatTraceID(trace) {
+			t.Errorf("event %q trace_id arg = %v", ev.Name, ev.Args["trace_id"])
+		}
+	}
+	if doc.TraceEvents[1].TS < doc.TraceEvents[0].TS {
+		t.Error("absolute timestamps lost cross-peer ordering")
+	}
+	if err := MergeTraceEvents(io.Discard, strings.NewReader("not json")); err == nil {
+		t.Error("malformed document accepted")
 	}
 }

@@ -72,19 +72,32 @@ for metric in warmstart.lookup.hit warmstart.insert linalg.seed.warm; do
     fi
 done
 
-echo "== serve daemon smoke test"
+echo "== serve daemon smoke test (incl. 2-peer fleet stage)"
 ./scripts/serve_smoke.sh
+# The smoke's fleet stage writes the merged-cluster artifacts CI uploads.
+for f in artifacts/fleet.json artifacts/fleet_trace.json; do
+    if [[ ! -s "$f" ]]; then
+        echo "serve smoke: expected fleet artifact $f missing or empty" >&2
+        exit 1
+    fi
+done
 
-echo "== loadgen gate: serving latency, cache hit rate, hit/miss speedup"
+echo "== loadgen gate: latency, cache hit rate, speedup, SLO burn"
 # A repeat-heavy mix against a self-served daemon: cached answers must be
 # at least 10x faster than cold solves at the median, with zero errors.
 # The p99 bound is a cross-machine sanity ceiling (like -time-ratio
-# above), not a percent-level SLO.
+# above), not a percent-level SLO; the SLO gates assert the burn-rate
+# math on a run that must have zero errors and nothing near 5s.
 go run ./cmd/nvrel loadgen -self-serve -duration 5s -concurrency 3 \
     -mix 0.9,0.07,0.03 -max-p99 5s -max-error-rate 0 -min-hit-rate 0.5 \
-    -min-p50-speedup 10 -o artifacts/loadgen.json
+    -min-p50-speedup 10 -slo-availability 0.999 -slo-p99 5s \
+    -o artifacts/loadgen.json
 if ! grep -q '"hit_speedup_p50"' artifacts/loadgen.json; then
     echo "loadgen gate: artifact missing hit_speedup_p50" >&2
+    exit 1
+fi
+if ! grep -q '"slo"' artifacts/loadgen.json; then
+    echo "loadgen gate: artifact missing slo block" >&2
     exit 1
 fi
 

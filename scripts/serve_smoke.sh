@@ -171,6 +171,78 @@ if [[ "$proxied" != 1 ]]; then
     exit 1
 fi
 echo "   owner $served_a answered both entry points ($rel_a)"
+
+echo "== serve smoke: cross-peer trace stitches on both rings"
+# The entry point that is NOT the owner proxied its solve, so that
+# request's trace ID must appear in BOTH peers' span rings.
+if [[ "$served_a" == "$url_a" ]]; then
+    proxied_resp=artifacts/solve_peer_b.json
+else
+    proxied_resp=artifacts/solve_peer_a.json
+fi
+trace_id=$(grep -o '"trace_id": "[0-9a-f]*"' "$proxied_resp" | head -1 | grep -o '[0-9a-f]\{16\}')
+if [[ -z "$trace_id" ]]; then
+    echo "serve smoke: proxied solve response carries no trace_id" >&2
+    cat "$proxied_resp" >&2
+    exit 1
+fi
+curl -fsS "$url_a/traces" >artifacts/trace_peer_a.json
+curl -fsS "$url_b/traces" >artifacts/trace_peer_b.json
+for f in artifacts/trace_peer_a.json artifacts/trace_peer_b.json; do
+    if ! grep -q "$trace_id" "$f"; then
+        echo "serve smoke: trace $trace_id missing from $f — proxied solve did not stitch" >&2
+        exit 1
+    fi
+done
+echo "   trace $trace_id present in both peers' rings"
+
+echo "== serve smoke: /cluster/metrics.json sums the fleet"
+curl -fsS "$url_a/cluster/metrics.json" >artifacts/cluster_metrics.json
+curl -fsS "$url_a/cluster/metrics" >artifacts/cluster_metrics.prom
+python3 - artifacts/cluster_metrics.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert not doc.get("errors"), f"cluster scrape had errors: {doc['errors']}"
+peers = doc["peers"]
+assert len(peers) == 2, f"expected 2 peers, got {peers}"
+per = doc["per_peer"]
+merged = doc["merged"]
+want = sum(per[p].get("counters", {}).get("serve.request", 0) for p in peers)
+got = merged["counters"]["serve.request"]
+assert got == want > 0, f"merged serve.request={got}, per-peer sum={want}"
+hname = "serve.request.seconds"
+hists = [per[p].get("histograms", {}).get(hname) for p in peers]
+if all(hists):
+    hsum = sum(h["count"] for h in hists)
+    hm = merged["histograms"][hname]
+    assert hm["count"] == hsum > 0, f"merged {hname} count={hm['count']}, sum={hsum}"
+    assert sum(hm["counts"]) == hsum, "merged histogram buckets do not sum to count"
+print(f"   merged serve.request={got} across {len(peers)} peers checks out")
+EOF
+if ! grep -q '^serve_request ' artifacts/cluster_metrics.prom; then
+    echo "serve smoke: /cluster/metrics Prometheus text missing serve_request" >&2
+    exit 1
+fi
+
+echo "== serve smoke: nvrel fleet snapshot"
+artifacts/nvrel fleet -peers "$peers" -strict \
+    -o artifacts/fleet.json -trace artifacts/fleet_trace.json
+python3 - artifacts/fleet.json artifacts/fleet_trace.json "$trace_id" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["manifest"]["command"] == "fleet"
+want = sum(p.get("counters", {}).get("serve.request", 0) for p in doc["per_peer"].values())
+assert doc["merged"]["counters"]["serve.request"] == want > 0
+trace = json.load(open(sys.argv[2]))
+events = trace["traceEvents"]
+assert events, "stitched fleet trace is empty"
+ts = [e["ts"] for e in events]
+assert ts == sorted(ts), "stitched fleet trace not time-ordered"
+stitched = [e for e in events if e.get("args", {}).get("trace_id") == sys.argv[3]]
+assert len(stitched) >= 2, f"proxied trace has {len(stitched)} spans in the fleet timeline, want >=2"
+print(f"   fleet.json + fleet_trace.json: {len(events)} spans, proxied trace spans={len(stitched)}")
+EOF
+
 cleanup_pair
 trap cleanup EXIT
 
