@@ -24,7 +24,11 @@ type clusterDoc struct {
 	Peers    []string                `json:"peers"`
 	Errors   map[string]string       `json:"errors,omitempty"`
 	PerPeer  map[string]obs.Snapshot `json:"per_peer"`
-	Merged   obs.Snapshot            `json:"merged"`
+	// Health maps each sharded peer to its own fleet-health view (its
+	// /healthz JSON: breaker position + probe history per tracked peer).
+	// Unsharded peers answer /healthz with plain "ok" and are omitted.
+	Health map[string]healthDoc `json:"health,omitempty"`
+	Merged obs.Snapshot         `json:"merged"`
 }
 
 // scrapeCluster fetches /metrics.json from every peer concurrently and
@@ -40,6 +44,7 @@ func scrapeCluster(ctx context.Context, httpc *http.Client, peers []string, loca
 		Peers:    append([]string(nil), peers...),
 		Errors:   map[string]string{},
 		PerPeer:  make(map[string]obs.Snapshot, len(peers)),
+		Health:   map[string]healthDoc{},
 	}
 	sort.Strings(doc.Peers)
 	var mu sync.Mutex
@@ -55,8 +60,12 @@ func scrapeCluster(ctx context.Context, httpc *http.Client, peers []string, loca
 		go func(peer string) {
 			defer wg.Done()
 			snap, err := scrapePeerMetrics(ctx, httpc, peer)
+			hd, hasHealth := scrapePeerHealth(ctx, httpc, peer)
 			mu.Lock()
 			defer mu.Unlock()
+			if hasHealth {
+				doc.Health[peer] = hd
+			}
 			if err != nil {
 				doc.Errors[peer] = err.Error()
 				return
@@ -67,6 +76,9 @@ func scrapeCluster(ctx context.Context, httpc *http.Client, peers []string, loca
 	wg.Wait()
 	if len(doc.Errors) == 0 {
 		doc.Errors = nil
+	}
+	if len(doc.Health) == 0 {
+		doc.Health = nil
 	}
 	doc.Merged = obs.MergeSnapshots(doc.PerPeer)
 	return doc
@@ -95,4 +107,28 @@ func scrapePeerMetrics(ctx context.Context, httpc *http.Client, peer string) (ob
 		return obs.Snapshot{}, err
 	}
 	return doc.Metrics, nil
+}
+
+// scrapePeerHealth fetches one peer's /healthz. Only sharded daemons
+// answer JSON (a fleet view); unsharded ones answer plain "ok", which
+// decodes to nothing and is reported as "no health view" — not an error.
+func scrapePeerHealth(ctx context.Context, httpc *http.Client, peer string) (healthDoc, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return healthDoc{}, false
+	}
+	req.Header.Set(forwardHeader, "cluster-scrape")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return healthDoc{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return healthDoc{}, false
+	}
+	var hd healthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&hd); err != nil {
+		return healthDoc{}, false
+	}
+	return hd, true
 }

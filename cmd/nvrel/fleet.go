@@ -58,8 +58,18 @@ func cmdFleet(args []string, out io.Writer) error {
 			continue
 		}
 		snap := doc.PerPeer[peer]
-		fmt.Fprintf(out, "nvrel fleet: %-28s serve_request=%d serve_proxy=%d\n",
-			peer, snap.Counters["serve.request"], snap.Counters["serve.proxy"])
+		fmt.Fprintf(out, "nvrel fleet: %-28s serve_request=%d serve_proxy=%d degraded=%d\n",
+			peer, snap.Counters["serve.request"], snap.Counters["serve.proxy"], snap.Counters["fleet.degraded.solve"])
+		// A sharded peer's /healthz carries its view of everyone else:
+		// breaker position plus probe history per tracked peer.
+		for _, ph := range doc.Health[peer].Peers {
+			health := "healthy"
+			if !ph.Healthy {
+				health = "UNHEALTHY"
+			}
+			fmt.Fprintf(out, "nvrel fleet: %-28s   -> %-24s breaker=%-9s %s probes=%d fails=%d\n",
+				peer, ph.Peer, ph.Breaker, health, ph.Probes, ph.ProbeFailures)
+		}
 	}
 	fmt.Fprintf(out, "nvrel fleet: merged %d/%d peers: serve_request=%d serve_solve_compute=%d\n",
 		len(doc.PerPeer), len(doc.Peers), doc.Merged.Counters["serve.request"], doc.Merged.Counters["serve.solve.compute"])

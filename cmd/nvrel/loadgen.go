@@ -66,6 +66,7 @@ type lgSample struct {
 	cache    string // "hit" | "miss" | "coalesced" | "proxied" | "" on error
 	class    string // "repeat" | "neighbor" | "cold"
 	servedBy string // X-Nvrel-Served-By answer attribution ("" unsharded)
+	degraded bool   // answered by a degraded-mode local solve (owner down)
 }
 
 // lgLatency is the exact latency summary of one sample subset.
@@ -90,6 +91,7 @@ type lgReport struct {
 	TotalRequests   int            `json:"total_requests"`
 	Errors          int            `json:"errors"`
 	ErrorRate       float64        `json:"error_rate"`
+	Degraded        int            `json:"degraded,omitempty"`
 	AchievedRPS     float64        `json:"achieved_rps"`
 	Latency         lgLatency      `json:"latency"`
 	CacheStatus     map[string]int `json:"cache_status"`
@@ -354,7 +356,8 @@ func lgFire(ctx context.Context, client *http.Client, url, class string, body []
 		return sample
 	}
 	var sr struct {
-		Cache string `json:"cache"`
+		Cache    string `json:"cache"`
+		Degraded bool   `json:"degraded"`
 	}
 	json.NewDecoder(resp.Body).Decode(&sr)
 	resp.Body.Close()
@@ -362,6 +365,7 @@ func lgFire(ctx context.Context, client *http.Client, url, class string, body []
 	sample.status = resp.StatusCode
 	sample.cache = sr.Cache
 	sample.servedBy = resp.Header.Get(servedByHeader)
+	sample.degraded = sr.Degraded
 	return sample
 }
 
@@ -392,6 +396,9 @@ func buildReport(cfg *loadgenConfig, samples []lgSample, elapsed time.Duration) 
 		if s.status != http.StatusOK {
 			report.Errors++
 			continue
+		}
+		if s.degraded {
+			report.Degraded++
 		}
 		report.CacheStatus[s.cache]++
 		switch s.cache {
@@ -447,6 +454,9 @@ func buildSLO(cfg *loadgenConfig, r *lgReport, samples []lgSample) *lgSLO {
 func writeLoadgenSummary(out io.Writer, r *lgReport) {
 	fmt.Fprintf(out, "loadgen: %d requests in %.1fs = %.1f req/s, %d errors (%.2f%%)\n",
 		r.TotalRequests, r.DurationSeconds, r.AchievedRPS, r.Errors, 100*r.ErrorRate)
+	if r.Degraded > 0 {
+		fmt.Fprintf(out, "  degraded %d answers served by a non-owner peer (owner down; results identical)\n", r.Degraded)
+	}
 	fmt.Fprintf(out, "  latency  p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n",
 		1000*r.Latency.P50, 1000*r.Latency.P95, 1000*r.Latency.P99, 1000*r.Latency.Max)
 	fmt.Fprintf(out, "  cache    hit %d  miss %d  coalesced %d  (hit rate %.1f%%)\n",

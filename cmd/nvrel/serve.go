@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,11 +13,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"nvrel"
+	"nvrel/internal/faultinject"
+	"nvrel/internal/fleethealth"
 	"nvrel/internal/linalg"
 	"nvrel/internal/obs"
 	"nvrel/internal/parallel"
@@ -91,6 +93,17 @@ type serveConfig struct {
 	sloWindow       time.Duration
 	sloAvailability float64
 	sloLatency      time.Duration
+
+	// Fleet resilience (DESIGN.md §13).
+	peerTimeout        time.Duration // per-hop proxy client timeout
+	peerRetries        int           // total attempts per proxied hop
+	breakerFailures    int           // consecutive hop/probe failures that open a peer's breaker
+	breakerCooldown    time.Duration // open → half-open delay
+	probeInterval      time.Duration // background /readyz probe period (jittered)
+	probeTimeout       time.Duration // one probe's deadline
+	rejuvenateAfter    time.Duration // drain + exit after this long (0 = off)
+	rejuvenateRequests int           // drain + exit after this many solve requests (0 = off)
+	chaosPlan          string        // faultinject plan JSON armed at boot ("" = off)
 }
 
 // server is the daemon state: the model cache shared by every request
@@ -112,16 +125,32 @@ type server struct {
 	ring     *servecache.Ring
 	self     string
 	httpc    *http.Client
+	health   *fleethealth.Tracker
+	retryCfg fleethealth.RetryConfig
 	sem      chan struct{}
 	slo      *obs.SLOTracker
 	ready    atomic.Bool
 	draining atomic.Bool
 	start    time.Time
+
+	// Rejuvenation latch: closed once when the -rejuvenate-after /
+	// -rejuvenate-requests budget is spent, telling cmdServe to drain
+	// and exit for a supervisor restart.
+	solveReqs        atomic.Int64
+	rejuvenateOnce   sync.Once
+	rejuvenateC      chan struct{}
+	rejuvenateReason string // written once inside rejuvenateOnce, read after rejuvenateC closes
 }
 
 func newServer(cfg serveConfig) *server {
 	if cfg.maxConcurrent < 1 {
 		cfg.maxConcurrent = 1
+	}
+	if cfg.peerTimeout <= 0 {
+		cfg.peerTimeout = 10 * time.Second
+	}
+	if cfg.peerRetries <= 0 {
+		cfg.peerRetries = 3
 	}
 	return &server{
 		cfg:     cfg,
@@ -129,14 +158,27 @@ func newServer(cfg serveConfig) *server {
 		warmReg: nvrel.NewWarmRegistry(),
 		arena:   linalg.NewArena(),
 		scache:  servecache.New(cfg.cacheSize, cfg.cacheTTL, cloneSolveResult),
-		httpc:   &http.Client{},
-		sem:     make(chan struct{}, cfg.maxConcurrent),
+		// The proxy client is explicitly bounded: a per-hop timeout (a
+		// wedged peer costs one hop, not the whole outer solve deadline)
+		// and a capped idle pool so a flapping fleet can't accumulate
+		// sockets.
+		httpc: &http.Client{
+			Timeout: cfg.peerTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 8,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		retryCfg: fleethealth.RetryConfig{Attempts: cfg.peerRetries},
+		sem:      make(chan struct{}, cfg.maxConcurrent),
 		slo: obs.NewSLOTracker(obs.SLOConfig{
 			Window:       cfg.sloWindow,
 			Availability: cfg.sloAvailability,
 			Latency:      cfg.sloLatency,
 		}),
-		start: time.Now(),
+		start:       time.Now(),
+		rejuvenateC: make(chan struct{}),
 	}
 }
 
@@ -176,6 +218,20 @@ func (s *server) configureRing(peers, self string) error {
 	}
 	s.ring = ring
 	s.self = self
+	var others []string
+	for _, p := range list {
+		if p != self {
+			others = append(others, p)
+		}
+	}
+	s.health = fleethealth.NewTracker(fleethealth.Config{
+		Breaker: fleethealth.BreakerConfig{
+			FailureThreshold: s.cfg.breakerFailures,
+			Cooldown:         s.cfg.breakerCooldown,
+		},
+		ProbeInterval: s.cfg.probeInterval,
+		ProbeTimeout:  s.cfg.probeTimeout,
+	}, others)
 	return nil
 }
 
@@ -208,6 +264,7 @@ func (s *server) instrument(h http.Handler) http.Handler {
 		}
 		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/solve") {
 			s.slo.Record(elapsed, sw.status == http.StatusTooManyRequests || sw.status >= 500)
+			s.noteSolveRequest()
 		}
 	})
 }
@@ -215,8 +272,19 @@ func (s *server) instrument(h http.Handler) http.Handler {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		// A sharded daemon reports its view of the fleet: per-peer
+		// breaker position and probe history (the prober keeps this
+		// fresh even with no solve traffic flowing). Unsharded daemons
+		// keep the plain-text liveness answer.
+		if s.health == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.healthSnapshot())
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -305,7 +373,16 @@ func (s *server) clusterSnapshot(r *http.Request) clusterDoc {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
 	defer cancel()
-	return scrapeCluster(ctx, s.httpc, peers, local)
+	doc := scrapeCluster(ctx, s.httpc, peers, local)
+	if s.health != nil {
+		// The local peer's snapshot never crossed HTTP, so attach its
+		// fleet-health view from the in-process tracker.
+		if doc.Health == nil {
+			doc.Health = map[string]healthDoc{}
+		}
+		doc.Health[local] = s.healthSnapshot()
+	}
+	return doc
 }
 
 // beginDrain flips /readyz to 503 ahead of connection draining.
@@ -450,6 +527,7 @@ type solveResponse struct {
 	States         int               `json:"states"`
 	Reliability    float64           `json:"reliability"`
 	Cache          string            `json:"cache,omitempty"`
+	Degraded       bool              `json:"degraded,omitempty"` // owner unreachable; solved locally off-ring
 	TraceID        string            `json:"trace_id,omitempty"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	Diag           *solveDiagJSON    `json:"diag,omitempty"`
@@ -513,12 +591,19 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ev.Key = keyHash(key)
 	// Ring ownership: a non-owned key is proxied to its owner (once — the
 	// forward header stops a second hop), so the peers' caches partition
-	// the model space instead of each holding a copy of everything.
+	// the model space instead of each holding a copy of everything. A hop
+	// that fails terminally — breaker open, retries exhausted — falls
+	// through to a DEGRADED local solve: same answer (solves are pure),
+	// worse cache partitioning, zero client-visible errors.
+	degraded := false
 	if s.ring != nil && r.Header.Get(forwardHeader) == "" {
 		if owner := s.ring.Owner(key); owner != s.self {
 			ev.Cache = "proxied"
-			ev.ServedBy, ev.Status = s.proxyJSON(ctx, w, owner, "/solve", &req)
-			return
+			if s.proxySolve(ctx, w, owner, &req, &ev) {
+				return
+			}
+			degraded = true
+			ev.Cache = ""
 		}
 	}
 	timeout := s.cfg.solveTimeout
@@ -533,6 +618,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	srvMetSolveOK.Inc()
+	if degraded {
+		srvMetDegraded.Inc()
+		resp.Degraded = true
+		ev.Degraded = true
+	}
 	resp.TraceID = traceID
 	ev.Cache, ev.ServedBy = resp.Cache, s.self
 	if resp.Diag != nil {
@@ -545,50 +635,6 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
-}
-
-// proxyJSON forwards body to owner's path and relays the answer verbatim,
-// including the downstream Served-By header so a client (or the smoke
-// test) can see which instance's cache answered. The current span rides
-// along in the trace header, so the owner's spans join this request's
-// trace and the two instances' /traces stitch into one timeline. Returns
-// who answered and with what status, for the request event.
-func (s *server) proxyJSON(ctx context.Context, w http.ResponseWriter, owner, path string, body any) (servedBy string, status int) {
-	srvMetProxy.Inc()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		srvMetProxyErrors.Inc()
-		httpError(w, http.StatusInternalServerError, "proxy encode: %v", err)
-		return "", http.StatusInternalServerError
-	}
-	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(buf))
-	if err != nil {
-		srvMetProxyErrors.Inc()
-		httpError(w, http.StatusInternalServerError, "proxy request: %v", err)
-		return "", http.StatusInternalServerError
-	}
-	preq.Header.Set("Content-Type", "application/json")
-	preq.Header.Set(forwardHeader, s.self)
-	if sp := obs.SpanFromContext(ctx); sp != nil {
-		if h := obs.EncodeTraceHeader(sp.TraceID(), sp.ID()); h != "" {
-			preq.Header.Set(traceHeader, h)
-		}
-	}
-	resp, err := s.httpc.Do(preq)
-	if err != nil {
-		srvMetProxyErrors.Inc()
-		httpError(w, http.StatusBadGateway, "proxy to %s: %v", owner, err)
-		return "", http.StatusBadGateway
-	}
-	defer resp.Body.Close()
-	servedBy = resp.Header.Get(servedByHeader)
-	if servedBy != "" {
-		w.Header().Set(servedByHeader, servedBy)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
-	return servedBy, resp.StatusCode
 }
 
 // solveCached answers one resolved request through the result cache: a
@@ -765,6 +811,15 @@ func cmdServe(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.sloWindow, "slo-window", 5*time.Minute, "SLO rolling evaluation window")
 	fs.Float64Var(&cfg.sloAvailability, "slo-availability", 0.999, "availability objective scored at /slo")
 	fs.DurationVar(&cfg.sloLatency, "slo-latency", time.Second, "p99 latency objective scored at /slo")
+	fs.DurationVar(&cfg.peerTimeout, "peer-timeout", 10*time.Second, "per-hop proxy client timeout (one attempt, not the whole retry budget)")
+	fs.IntVar(&cfg.peerRetries, "peer-retries", 3, "total attempts per proxied hop before degraded local fallback")
+	fs.IntVar(&cfg.breakerFailures, "breaker-failures", 3, "consecutive hop/probe failures that open a peer's circuit breaker")
+	fs.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open trial")
+	fs.DurationVar(&cfg.probeInterval, "probe-interval", time.Second, "peer /readyz probe period (full-jitter)")
+	fs.DurationVar(&cfg.probeTimeout, "probe-timeout", 2*time.Second, "one health probe's deadline")
+	fs.DurationVar(&cfg.rejuvenateAfter, "rejuvenate-after", 0, "drain and exit cleanly after this long, for a supervisor restart (0 = off)")
+	fs.IntVar(&cfg.rejuvenateRequests, "rejuvenate-requests", 0, "drain and exit cleanly after this many solve requests (0 = off)")
+	fs.StringVar(&cfg.chaosPlan, "chaos-plan", "", "arm this faultinject plan JSON at boot (transport.* sites hit the outbound proxy hops)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -802,6 +857,30 @@ func cmdServe(args []string, out io.Writer) error {
 	if s.ring != nil {
 		fmt.Fprintf(out, "nvrel serve: sharding across %d peers as %s\n", len(s.ring.Peers()), s.self)
 	}
+	if cfg.chaosPlan != "" {
+		data, err := os.ReadFile(cfg.chaosPlan)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: -chaos-plan: %w", err)
+		}
+		plan, err := faultinject.ParsePlan(data)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: -chaos-plan: %w", err)
+		}
+		for _, f := range plan.Faults {
+			if err := faultinject.Arm(f, plan.Seed); err != nil {
+				ln.Close()
+				return fmt.Errorf("serve: -chaos-plan: %w", err)
+			}
+		}
+		faultinject.Enable()
+		// Every outbound hop — proxied solves, sub-batches, probes,
+		// cluster scrapes — rides the chaos transport.
+		s.httpc.Transport = faultinject.NewTransport(s.httpc.Transport)
+		fmt.Fprintf(out, "nvrel serve: chaos plan %s armed (%d faults, seed %d)\n",
+			cfg.chaosPlan, len(plan.Faults), plan.Seed)
+	}
 	srv := &http.Server{
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -812,6 +891,12 @@ func cmdServe(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "nvrel serve: listening on http://%s\n", ln.Addr())
 	go s.warmUp(out)
+	if s.health != nil {
+		stopProbe := s.health.StartProber(context.Background(), s.httpc)
+		defer stopProbe()
+	}
+	stopRejuvenate := s.rejuvenateTimer()
+	defer stopRejuvenate()
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -820,6 +905,8 @@ func cmdServe(args []string, out io.Writer) error {
 	case err := <-serveErr:
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
+	case <-s.rejuvenateC:
+		fmt.Fprintf(out, "nvrel serve: rejuvenating (%s): draining for supervisor restart\n", s.rejuvenateReason)
 	}
 	stop()
 	// Flip /readyz before draining: load balancers and health checkers see

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -52,6 +51,7 @@ type batchItemJSON struct {
 	States      int            `json:"states,omitempty"`
 	Reliability float64        `json:"reliability,omitempty"`
 	Cache       string         `json:"cache,omitempty"`
+	Degraded    bool           `json:"degraded,omitempty"` // owner peer down; solved locally off-ring
 	Diag        *solveDiagJSON `json:"diag,omitempty"`
 	Error       string         `json:"error,omitempty"`
 }
@@ -66,13 +66,14 @@ type batchResponse struct {
 
 // batchItem is the per-item resolution state threaded through the phases.
 type batchItem struct {
-	req  *solveRequest
-	p    nvrel.Params
-	arch string
-	key  string
-	res  *solveResult
-	st   servecache.Status
-	err  error
+	req      *solveRequest
+	p        nvrel.Params
+	arch     string
+	key      string
+	res      *solveResult
+	st       servecache.Status
+	degraded bool // owner peer failed; left for the local phases
+	err      error
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -124,7 +125,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// sub-batches and forwarded in one round trip per peer; already
 	// forwarded batches are served locally whatever the ring says.
 	if s.ring != nil && r.Header.Get(forwardHeader) == "" {
-		s.forwardBatchSlices(sctx, items)
+		s.forwardBatchSlices(sctx, items, &ev)
 	}
 
 	groups := s.solveBatchLocal(sctx, items)
@@ -144,7 +145,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				States:      it.res.states,
 				Reliability: it.res.reliability,
 				Cache:       it.st.String(),
+				Degraded:    it.degraded,
 				Diag:        it.res.diag,
+			}
+			if it.degraded {
+				srvMetDegraded.Inc()
+				ev.Degraded = true
 			}
 			if it.st == servecache.StatusMiss {
 				unique[it.key] = true
@@ -165,9 +171,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // forwardBatchSlices sends every item owned by another peer to that peer
 // as one /solve/batch sub-request per peer, concurrently, and scatters
-// the results (or the per-peer failure) back into items. Items owned
-// locally are left untouched for the local phases.
-func (s *server) forwardBatchSlices(ctx context.Context, items []batchItem) {
+// the results back into items. A peer whose hop fails terminally
+// (breaker open or retries exhausted) has its slice marked degraded and
+// left for the local phases — solves are pure, so the answers are
+// identical; only the cache partition suffers. Items owned locally are
+// left untouched for the local phases.
+func (s *server) forwardBatchSlices(ctx context.Context, items []batchItem, ev *obs.Event) {
 	byOwner := make(map[string][]int)
 	for i := range items {
 		if items[i].err != nil {
@@ -184,6 +193,7 @@ func (s *server) forwardBatchSlices(ctx context.Context, items []batchItem) {
 	for o := range byOwner {
 		owners = append(owners, o)
 	}
+	hopErrs := make([]error, len(owners))
 	parallel.ForEachCtx(ctx, len(owners), func(fctx context.Context, oi int) error {
 		owner := owners[oi]
 		idxs := byOwner[owner]
@@ -193,11 +203,11 @@ func (s *server) forwardBatchSlices(ctx context.Context, items []batchItem) {
 		}
 		sres, err := s.postBatch(fctx, owner, &sub)
 		if err != nil {
-			srvMetProxyErrors.Inc()
+			hopErrs[oi] = err
 			for _, i := range idxs {
-				items[i].err = fmt.Errorf("peer %s: %w", owner, err)
+				items[i].degraded = true // degrade, never fail the items
 			}
-			return nil // per-item failure, never the whole batch
+			return nil
 		}
 		for j, i := range idxs {
 			pr := sres.Results[j]
@@ -216,37 +226,33 @@ func (s *server) forwardBatchSlices(ctx context.Context, items []batchItem) {
 		}
 		return nil
 	})
+	// ForEachCtx is a barrier, so the per-owner writes are visible here;
+	// the event records the first failed hop (one line per request).
+	for oi, err := range hopErrs {
+		if err != nil {
+			ev.Peer, ev.ProxyError = owners[oi], err.Error()
+			break
+		}
+	}
 }
 
-// postBatch sends one sub-batch to a peer and decodes the reply.
+// postBatch sends one sub-batch to a peer through the breaker/retry hop
+// (peerPost) and decodes the buffered reply.
 func (s *server) postBatch(ctx context.Context, owner string, sub *batchRequest) (*batchResponse, error) {
 	srvMetProxy.Inc()
 	buf, err := json.Marshal(sub)
 	if err != nil {
 		return nil, err
 	}
-	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/solve/batch", bytes.NewReader(buf))
+	reply, err := s.peerPost(ctx, owner, "/solve/batch", buf)
 	if err != nil {
 		return nil, err
 	}
-	preq.Header.Set("Content-Type", "application/json")
-	preq.Header.Set(forwardHeader, s.self)
-	if sp := obs.SpanFromContext(ctx); sp != nil {
-		if h := obs.EncodeTraceHeader(sp.TraceID(), sp.ID()); h != "" {
-			preq.Header.Set(traceHeader, h)
-		}
-	}
-	resp, err := s.httpc.Do(preq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	if reply.status != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", reply.status, bodySnippet(reply.body))
 	}
 	var sres batchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sres); err != nil {
+	if err := json.Unmarshal(reply.body, &sres); err != nil {
 		return nil, err
 	}
 	if len(sres.Results) != len(sub.Requests) {

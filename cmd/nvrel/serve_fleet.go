@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nvrel/internal/fleethealth"
+	"nvrel/internal/obs"
+)
+
+// Fleet-resilience layer of the serve daemon (DESIGN.md §13): every
+// proxy hop to a ring peer goes through that peer's circuit breaker and
+// a bounded full-jitter retry, responses are buffered before relay (a
+// peer dying mid-body becomes a retry, never a truncated client
+// response), and when the owner is down — breaker open, retries
+// exhausted — the request falls back to a DEGRADED-MODE LOCAL SOLVE:
+// solves are pure functions of their parameters, so answering from the
+// wrong peer is bit-identical; only cache partitioning degrades (the
+// key is now cached on two peers). Degraded answers are stamped
+// "degraded": true and counted, so SLO math and the loadgen artifact
+// can see exactly how much traffic survived on the fallback rung.
+
+// Fleet-layer metrics (the fleet.breaker.* and fleet.probe.* families
+// live in internal/fleethealth).
+var (
+	srvMetDegraded   = obs.CounterFor("fleet.degraded.solve")
+	srvMetProxyRetry = obs.CounterFor("fleet.proxy.retry")
+)
+
+// maxPeerBody bounds one buffered peer reply (batch envelopes included).
+const maxPeerBody = 16 << 20
+
+// peerReply is one successful (2xx/4xx) peer answer, fully buffered.
+type peerReply struct {
+	status   int
+	servedBy string
+	body     []byte
+}
+
+// breakerFor returns the owner's circuit breaker, or nil when the
+// daemon is unsharded (or the owner untracked) — nil means always allow.
+func (s *server) breakerFor(owner string) *fleethealth.Breaker {
+	if s.health == nil {
+		return nil
+	}
+	return s.health.Breaker(owner)
+}
+
+// peerPost sends body to owner's path through the breaker and the retry
+// budget, returning the buffered reply or the final error. A 5xx answer,
+// a transport error, and a truncated body all count as hop failures
+// (breaker evidence + retry); 2xx and 4xx are relayable answers. The
+// breaker is consulted before every attempt, so a breaker that opens
+// mid-retry stops the loop early instead of hammering a dead peer.
+func (s *server) peerPost(ctx context.Context, owner, path string, body []byte) (*peerReply, error) {
+	br := s.breakerFor(owner)
+	var reply *peerReply
+	err := fleethealth.Retry(ctx, s.retryCfg, func(attempt int) error {
+		if attempt > 0 {
+			srvMetProxyRetry.Inc()
+		}
+		if br != nil && !br.Allow() {
+			return fmt.Errorf("circuit breaker open for %s", owner)
+		}
+		rep, herr := s.peerPostOnce(ctx, owner, path, body)
+		if s.health != nil {
+			s.health.ReportHop(owner, herr)
+		}
+		if herr != nil {
+			srvMetProxyErrors.Inc()
+			return herr
+		}
+		reply = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// peerPostOnce is one hop attempt: request, per-hop client timeout
+// (s.httpc), full body buffering. The forward header marks the one-hop
+// guard; the trace header joins the owner's spans to this trace.
+func (s *server) peerPostOnce(ctx context.Context, owner, path string, body []byte) (*peerReply, error) {
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardHeader, s.self)
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		if h := obs.EncodeTraceHeader(sp.TraceID(), sp.ID()); h != "" {
+			preq.Header.Set(traceHeader, h)
+		}
+	}
+	resp, err := s.httpc.Do(preq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("read from %s: %w", owner, err)
+	}
+	if len(data) > maxPeerBody {
+		return nil, fmt.Errorf("reply from %s exceeds %d bytes", owner, maxPeerBody)
+	}
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("peer %s answered %d: %s", owner, resp.StatusCode, bodySnippet(data))
+	}
+	return &peerReply{
+		status:   resp.StatusCode,
+		servedBy: resp.Header.Get(servedByHeader),
+		body:     data,
+	}, nil
+}
+
+func bodySnippet(data []byte) []byte {
+	if len(data) > 256 {
+		return data[:256]
+	}
+	return data
+}
+
+// proxySolve forwards one /solve to its ring owner. It reports true when
+// the response has been written (a relayed peer answer, or a local
+// encode failure that can only be answered with 502 context); false
+// means the hop failed terminally and the caller must serve the request
+// with a degraded local solve — ev already carries the failed peer and
+// the final proxy error.
+func (s *server) proxySolve(ctx context.Context, w http.ResponseWriter, owner string, req *solveRequest, ev *obs.Event) (done bool) {
+	srvMetProxy.Inc()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		// Encoding our own validated request is a local bug, but the
+		// client-visible contract is "the gateway hop failed": say which
+		// peer the hop was for and why, as 502 context.
+		srvMetProxyErrors.Inc()
+		ev.Status, ev.Error = http.StatusBadGateway, err.Error()
+		httpError(w, http.StatusBadGateway, "proxy encode for %s: %v", owner, err)
+		return true
+	}
+	reply, err := s.peerPost(ctx, owner, "/solve", buf)
+	if err != nil {
+		ev.Peer, ev.ProxyError = owner, err.Error()
+		return false
+	}
+	if reply.servedBy != "" {
+		w.Header().Set(servedByHeader, reply.servedBy)
+	}
+	ev.ServedBy, ev.Status = reply.servedBy, reply.status
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(reply.status)
+	w.Write(reply.body)
+	return true
+}
+
+// healthDoc is the GET /healthz JSON contract of a sharded daemon.
+type healthDoc struct {
+	Status   string                   `json:"status"`
+	Draining bool                     `json:"draining,omitempty"`
+	Self     string                   `json:"self,omitempty"`
+	Peers    []fleethealth.PeerHealth `json:"peers"`
+}
+
+func (s *server) healthSnapshot() healthDoc {
+	return healthDoc{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Self:     s.self,
+		Peers:    s.health.Snapshot(),
+	}
+}
+
+// noteSolveRequest counts one solve-traffic request against the
+// -rejuvenate-requests budget.
+func (s *server) noteSolveRequest() {
+	if s.cfg.rejuvenateRequests <= 0 {
+		return
+	}
+	if s.solveReqs.Add(1) == int64(s.cfg.rejuvenateRequests) {
+		s.triggerRejuvenate(fmt.Sprintf("served %d solve requests", s.cfg.rejuvenateRequests))
+	}
+}
+
+// triggerRejuvenate asks the daemon to drain and exit cleanly — the
+// paper's software rejuvenation applied to the serving process itself.
+// A supervisor (systemd, the smoke script, a container runtime) restarts
+// it fresh; the ring's other peers bridge the gap with degraded solves.
+// Idempotent: the first reason wins.
+func (s *server) triggerRejuvenate(reason string) {
+	s.rejuvenateOnce.Do(func() {
+		s.rejuvenateReason = reason
+		close(s.rejuvenateC)
+	})
+}
+
+// rejuvenateTimer arms the -rejuvenate-after clock; the returned stop
+// function cancels it on normal shutdown.
+func (s *server) rejuvenateTimer() (stop func()) {
+	if s.cfg.rejuvenateAfter <= 0 {
+		return func() {}
+	}
+	t := time.AfterFunc(s.cfg.rejuvenateAfter, func() {
+		s.triggerRejuvenate(fmt.Sprintf("ran for %v", s.cfg.rejuvenateAfter))
+	})
+	return func() { t.Stop() }
+}

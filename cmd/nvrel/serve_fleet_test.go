@@ -1,0 +1,489 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvrel/internal/fleethealth"
+	"nvrel/internal/obs"
+)
+
+// fleetObs enables metrics + request events for one test and restores
+// the previous global state.
+func fleetObs(t *testing.T) {
+	t.Helper()
+	prevObs := obs.Enable()
+	prevEvents := obs.EventsEnable()
+	obs.EventsReset()
+	t.Cleanup(func() {
+		obs.SetEnabled(prevObs)
+		obs.SetEventsEnabled(prevEvents)
+	})
+}
+
+// fastRetry is the proxy retry budget with the backoff sleeps stubbed
+// out, so error-path tests exercise the full attempt loop without
+// real waiting (no sleeps as synchronization).
+func fastRetry(attempts int) fleethealth.RetryConfig {
+	return fleethealth.RetryConfig{
+		Attempts: attempts,
+		Sleep:    func(context.Context, time.Duration) {},
+	}
+}
+
+// requestOwnedBy scans nearby parameter points until the ring assigns
+// one to wantOwner — deterministic for a fixed peer set, no RNG.
+func requestOwnedBy(t *testing.T, s *server, wantOwner string) solveRequest {
+	t.Helper()
+	for i := 0; i < 512; i++ {
+		mttc := 1523.0 * (1 + 0.001*float64(i))
+		req := solveRequest{Arch: "6v", MTTC: &mttc}
+		p, arch, err := req.params()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ring.Owner(solveKey(arch, p)) == wantOwner {
+			return req
+		}
+	}
+	t.Fatalf("no parameter point owned by %s in 512 tries", wantOwner)
+	return solveRequest{}
+}
+
+func fleetSolve(t *testing.T, url string, req solveRequest) (int, solveResponse) {
+	t.Helper()
+	body, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sr solveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatalf("bad solve body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+// deadPeerURL returns a loopback URL that refuses connections: the
+// listener existed (so the port was really free) and is closed again.
+func deadPeerURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+	return url
+}
+
+// TestServeDegradedWhenOwnerConnectionRefused: the owner peer is down
+// (connection refused); the entry instance must answer the solve itself,
+// stamp it degraded, count it, and record the failed hop in the event.
+func TestServeDegradedWhenOwnerConnectionRefused(t *testing.T) {
+	fleetObs(t)
+	s, ts := newTestServer(t)
+	s.warmUp(io.Discard)
+	dead := deadPeerURL(t)
+	if err := s.configureRing(ts.URL+","+dead, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	s.retryCfg = fastRetry(2)
+
+	req := requestOwnedBy(t, s, dead)
+	before := srvMetDegraded.Value()
+	status, sr := fleetSolve(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("solve with dead owner = %d, want 200", status)
+	}
+	if !sr.Degraded {
+		t.Error("response not stamped degraded")
+	}
+	if sr.Solver == "" || sr.Reliability <= 0 || sr.Reliability > 1 {
+		t.Errorf("degraded solve answered solver=%q reliability=%v", sr.Solver, sr.Reliability)
+	}
+	if got := srvMetDegraded.Value() - before; got != 1 {
+		t.Errorf("fleet.degraded.solve moved by %d, want 1", got)
+	}
+
+	var found bool
+	for _, ev := range obs.EventsSnapshot() {
+		if ev.Method == "solve" && ev.Degraded {
+			found = true
+			if ev.Peer != dead {
+				t.Errorf("event peer = %q, want %q", ev.Peer, dead)
+			}
+			if ev.ProxyError == "" {
+				t.Error("event carries no proxy_error")
+			}
+			if ev.Status != http.StatusOK {
+				t.Errorf("event status = %d, want 200 (degraded, not failed)", ev.Status)
+			}
+		}
+	}
+	if !found {
+		t.Error("no degraded solve event recorded")
+	}
+}
+
+// TestServeDegradedWhenOwner5xx: a peer that answers 500s is retried
+// the full budget, then the request degrades — the client still sees
+// 200 and the retry counter shows the extra attempts.
+func TestServeDegradedWhenOwner5xx(t *testing.T) {
+	fleetObs(t)
+	s, ts := newTestServer(t)
+	s.warmUp(io.Discard)
+	var hits atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "injected 500", http.StatusInternalServerError)
+	}))
+	t.Cleanup(stub.Close)
+	if err := s.configureRing(ts.URL+","+stub.URL, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	s.retryCfg = fastRetry(2)
+
+	req := requestOwnedBy(t, s, stub.URL)
+	retriesBefore := srvMetProxyRetry.Value()
+	status, sr := fleetSolve(t, ts.URL, req)
+	if status != http.StatusOK || !sr.Degraded {
+		t.Fatalf("solve behind 500ing owner = %d degraded=%v, want 200 degraded", status, sr.Degraded)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("owner saw %d attempts, want 2 (initial + 1 retry)", hits.Load())
+	}
+	if got := srvMetProxyRetry.Value() - retriesBefore; got != 1 {
+		t.Errorf("fleet.proxy.retry moved by %d, want 1", got)
+	}
+	if st := s.health.Breaker(stub.URL).State(); st != fleethealth.StateClosed {
+		t.Errorf("breaker after 2 failures = %v, want closed (threshold 3)", st)
+	}
+}
+
+// TestServeProxyHangBoundedByHopTimeout: a peer that accepts and then
+// hangs costs one per-hop timeout per attempt, not the outer solve
+// deadline — the entry instance degrades promptly.
+func TestServeProxyHangBoundedByHopTimeout(t *testing.T) {
+	fleetObs(t)
+	s := newServer(serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second, peerTimeout: 150 * time.Millisecond})
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	s.warmUp(io.Discard)
+	// The stub hangs without reading the request body, so the server
+	// never notices the proxy's disconnect; an explicit release channel
+	// (closed before stub.Close in LIFO cleanup order) unblocks the
+	// leaked handlers so Close can drain them.
+	release := make(chan struct{})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	t.Cleanup(stub.Close)
+	t.Cleanup(func() { close(release) })
+	if err := s.configureRing(ts.URL+","+stub.URL, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	s.retryCfg = fastRetry(2)
+
+	req := requestOwnedBy(t, s, stub.URL)
+	t0 := time.Now()
+	status, sr := fleetSolve(t, ts.URL, req)
+	elapsed := time.Since(t0)
+	if status != http.StatusOK || !sr.Degraded {
+		t.Fatalf("solve behind hanging owner = %d degraded=%v, want 200 degraded", status, sr.Degraded)
+	}
+	// Two 150ms hop timeouts plus the local solve; 10s of slack keeps
+	// the bound loose enough for a loaded CI box while still proving the
+	// hang never consumed the 30s solve budget per attempt.
+	if elapsed > 10*time.Second {
+		t.Errorf("degraded answer took %v; hop timeout did not bound the hang", elapsed)
+	}
+}
+
+// TestServeBatchSplitDegradesFailedPeerSlice: a batch spanning both
+// peers with one peer dead must still answer every item — the dead
+// peer's slice solved locally and stamped degraded, the local slice
+// untouched.
+func TestServeBatchSplitDegradesFailedPeerSlice(t *testing.T) {
+	fleetObs(t)
+	s, ts := newTestServer(t)
+	s.warmUp(io.Discard)
+	dead := deadPeerURL(t)
+	if err := s.configureRing(ts.URL+","+dead, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	s.retryCfg = fastRetry(2)
+
+	// Two items per partition, plus a duplicate of the dead-owned point
+	// (dedup must not conflate degraded bookkeeping).
+	local := requestOwnedBy(t, s, ts.URL)
+	remote := requestOwnedBy(t, s, dead)
+	breq := batchRequest{Requests: []solveRequest{local, remote, local, remote}}
+	body, _ := json.Marshal(&breq)
+	before := srvMetDegraded.Value()
+	resp, err := http.Post(ts.URL+"/solve/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with dead peer = %d: %s", resp.StatusCode, raw)
+	}
+	var bres batchResponse
+	if err := json.Unmarshal(raw, &bres); err != nil {
+		t.Fatal(err)
+	}
+	if len(bres.Results) != 4 {
+		t.Fatalf("batch answered %d results, want 4", len(bres.Results))
+	}
+	wantDegraded := []bool{false, true, false, true}
+	for i, r := range bres.Results {
+		if r.Error != "" {
+			t.Errorf("item %d failed: %s (dead peers must degrade, not fail)", i, r.Error)
+		}
+		if r.Solver == "" {
+			t.Errorf("item %d has no solver", i)
+		}
+		if r.Degraded != wantDegraded[i] {
+			t.Errorf("item %d degraded=%v, want %v", i, r.Degraded, wantDegraded[i])
+		}
+	}
+	if got := srvMetDegraded.Value() - before; got != 2 {
+		t.Errorf("fleet.degraded.solve moved by %d, want 2 (one per degraded item)", got)
+	}
+
+	var found bool
+	for _, ev := range obs.EventsSnapshot() {
+		if ev.Method == "batch" && ev.Degraded {
+			found = true
+			if ev.Peer != dead || ev.ProxyError == "" {
+				t.Errorf("batch event peer=%q proxy_error=%q, want the dead peer and an error", ev.Peer, ev.ProxyError)
+			}
+		}
+	}
+	if !found {
+		t.Error("no degraded batch event recorded")
+	}
+}
+
+// TestServeBreakerOpenShortCircuitsProxy: once a peer's breaker opens,
+// further requests for its keys stop hitting the wire entirely and
+// degrade immediately.
+func TestServeBreakerOpenShortCircuitsProxy(t *testing.T) {
+	fleetObs(t)
+	s, ts := newTestServer(t)
+	s.warmUp(io.Discard)
+	var hits atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "injected 500", http.StatusInternalServerError)
+	}))
+	t.Cleanup(stub.Close)
+	if err := s.configureRing(ts.URL+","+stub.URL, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	// One failure opens the breaker; the hour-long cooldown guarantees it
+	// stays open for the rest of the test without a fake clock.
+	s.health = fleethealth.NewTracker(fleethealth.Config{
+		Breaker: fleethealth.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+	}, []string{stub.URL})
+	s.retryCfg = fastRetry(1)
+
+	req := requestOwnedBy(t, s, stub.URL)
+	status, sr := fleetSolve(t, ts.URL, req)
+	if status != http.StatusOK || !sr.Degraded {
+		t.Fatalf("first solve = %d degraded=%v, want 200 degraded", status, sr.Degraded)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("owner saw %d attempts, want 1", hits.Load())
+	}
+	if st := s.health.Breaker(stub.URL).State(); st != fleethealth.StateOpen {
+		t.Fatalf("breaker after threshold-1 failure = %v, want open", st)
+	}
+
+	status, sr = fleetSolve(t, ts.URL, req)
+	if status != http.StatusOK || !sr.Degraded {
+		t.Fatalf("second solve = %d degraded=%v, want 200 degraded", status, sr.Degraded)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("open breaker still let %d attempts through, want the wire untouched", hits.Load()-1)
+	}
+	if sr.Cache != "hit" {
+		t.Errorf("second degraded solve cache=%q, want hit (first answer was cached locally)", sr.Cache)
+	}
+}
+
+// TestServeRejuvenateAfterNRequests: the request-count trigger fires
+// exactly at the budget and the latch is idempotent.
+func TestServeRejuvenateAfterNRequests(t *testing.T) {
+	s := newServer(serveConfig{maxConcurrent: 1, solveTimeout: time.Second, rejuvenateRequests: 3})
+	for i := 0; i < 2; i++ {
+		s.noteSolveRequest()
+		select {
+		case <-s.rejuvenateC:
+			t.Fatalf("rejuvenation fired after %d requests, budget is 3", i+1)
+		default:
+		}
+	}
+	s.noteSolveRequest()
+	select {
+	case <-s.rejuvenateC:
+	default:
+		t.Fatal("rejuvenation did not fire at the request budget")
+	}
+	first := s.rejuvenateReason
+	if first == "" {
+		t.Error("no rejuvenation reason recorded")
+	}
+	// Later triggers (more requests, the timer) must not re-close the
+	// channel or overwrite the reason.
+	s.noteSolveRequest()
+	s.triggerRejuvenate("second trigger")
+	if s.rejuvenateReason != first {
+		t.Errorf("reason overwritten: %q -> %q", first, s.rejuvenateReason)
+	}
+}
+
+// TestServeHealthzFleetView: a sharded daemon's /healthz is the JSON
+// fleet view, and /cluster/metrics.json carries every peer's health
+// section (the local one from the in-process tracker).
+func TestServeHealthzFleetView(t *testing.T) {
+	fleetObs(t)
+	mk := func() (*server, *httptest.Server) {
+		s := newServer(serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second})
+		ts := httptest.NewServer(s.handler())
+		t.Cleanup(ts.Close)
+		return s, ts
+	}
+	s1, ts1 := mk()
+	s2, ts2 := mk()
+	peers := ts1.URL + "," + ts2.URL
+	if err := s1.configureRing(peers, ts1.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.configureRing(peers, ts2.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts1.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hd healthDoc
+	err = json.NewDecoder(resp.Body).Decode(&hd)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("sharded /healthz is not JSON: %v", err)
+	}
+	if hd.Status != "ok" || hd.Self != ts1.URL {
+		t.Errorf("healthz status=%q self=%q, want ok/%s", hd.Status, hd.Self, ts1.URL)
+	}
+	if len(hd.Peers) != 1 || hd.Peers[0].Peer != ts2.URL {
+		t.Fatalf("healthz peers = %+v, want exactly %s", hd.Peers, ts2.URL)
+	}
+	if ph := hd.Peers[0]; ph.Breaker != "closed" || !ph.Healthy {
+		t.Errorf("fresh peer breaker=%q healthy=%v, want closed/true", ph.Breaker, ph.Healthy)
+	}
+
+	resp, err = http.Get(ts1.URL + "/cluster/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc clusterDoc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range []string{ts1.URL, ts2.URL} {
+		hv, ok := doc.Health[peer]
+		if !ok {
+			t.Errorf("cluster doc has no health section for %s", peer)
+			continue
+		}
+		if hv.Self != peer || len(hv.Peers) != 1 {
+			t.Errorf("health[%s] self=%q peers=%d, want self + 1 tracked peer", peer, hv.Self, len(hv.Peers))
+		}
+	}
+}
+
+// TestServeProbeMarksDeadPeerAndRecovers: a synchronous probe pass
+// against one live and one dead peer classifies both, opens the dead
+// peer's breaker at threshold, and a revived peer closes it again on
+// positive probe evidence — the smoke test's kill/restart cycle in
+// miniature, with no prober goroutine or sleeps.
+func TestServeProbeMarksDeadPeerAndRecovers(t *testing.T) {
+	fleetObs(t)
+	s, ts := newTestServer(t)
+	// The "dead peer" is a real server we stop and revive on a pinned
+	// listener address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	peerURL := "http://" + addr
+	peer := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ready\n"))
+	})}
+	go peer.Serve(ln)
+	if err := s.configureRing(ts.URL+","+peerURL, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	s.health.ProbeAll(ctx, s.httpc)
+	snap := s.health.Snapshot()
+	if len(snap) != 1 || !snap[0].Healthy || snap[0].Probes != 1 {
+		t.Fatalf("after live probe: %+v, want 1 healthy probed peer", snap)
+	}
+
+	peer.Close()
+	// Default breaker threshold is 3: three failed probe cycles open it
+	// and mark the peer unhealthy (UnhealthyAfter default 2).
+	for i := 0; i < 3; i++ {
+		s.health.ProbeAll(ctx, s.httpc)
+	}
+	snap = s.health.Snapshot()
+	if snap[0].Healthy {
+		t.Error("dead peer still reported healthy after 3 failed probes")
+	}
+	if snap[0].Breaker != "open" {
+		t.Errorf("dead peer breaker = %q, want open", snap[0].Breaker)
+	}
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s to revive the peer: %v", addr, err)
+	}
+	revived := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ready\n"))
+	})}
+	go revived.Serve(ln2)
+	t.Cleanup(func() { revived.Close() })
+
+	s.health.ProbeAll(ctx, s.httpc)
+	snap = s.health.Snapshot()
+	if !snap[0].Healthy || snap[0].Breaker != "closed" {
+		t.Errorf("revived peer healthy=%v breaker=%q, want true/closed after one good probe", snap[0].Healthy, snap[0].Breaker)
+	}
+}

@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Network-level chaos: an http.RoundTripper that injects the failure
+// shapes a flaky peer shows — dropped connections, slow answers,
+// synthesized 5xx, and bodies that cut off mid-read — at four named
+// sites driven by the same deterministic hit-window plan machinery as
+// the solver sites. A serve daemon armed with a transport plan (the
+// -chaos-plan flag) sees its OWN outbound proxy hops fail on a seeded
+// schedule, which is how the fleet gates exercise retry, breakers, and
+// degraded-mode fallback without real network trouble.
+//
+// Site semantics (all fire by hit count; one RoundTrip advances each
+// consulted site's counter by one, in the order below):
+//
+//	transport.drop    — the request never reaches the peer: a transport
+//	                    error before any bytes are written.
+//	transport.delay   — the hop stalls for the armed DelayMS (bounded by
+//	                    the request context) before proceeding.
+//	transport.500     — the peer "answers" a synthesized 503 with no
+//	                    body; the real request is never sent.
+//	transport.partial — the real response's body is truncated after
+//	                    partialBodyBytes and ends in io.ErrUnexpectedEOF.
+const (
+	SiteTransportDrop    = "transport.drop"
+	SiteTransportDelay   = "transport.delay"
+	SiteTransport500     = "transport.500"
+	SiteTransportPartial = "transport.partial"
+)
+
+// partialBodyBytes is how much of a real body a fired transport.partial
+// site lets through before the read error.
+const partialBodyBytes = 64
+
+// DroppedError is the transport error a fired transport.drop site
+// returns, typed so tests and retry layers can tell injected drops from
+// genuine dial failures.
+type DroppedError struct{ URL string }
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("faultinject: dropped connection to %s", e.URL)
+}
+
+// Transport is the chaos RoundTripper. The zero value is not usable;
+// build with NewTransport. When no site is armed (or injection is
+// globally disabled) every request passes straight through to Base at
+// the cost of four atomic loads.
+type Transport struct {
+	Base    http.RoundTripper
+	drop    *Site
+	delay   *Site
+	fail    *Site
+	partial *Site
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the four
+// standard transport sites.
+func NewTransport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		Base:    base,
+		drop:    SiteFor(SiteTransportDrop),
+		delay:   SiteFor(SiteTransportDelay),
+		fail:    SiteFor(SiteTransport500),
+		partial: SiteFor(SiteTransportPartial),
+	}
+}
+
+// RoundTrip consults the chaos sites in a fixed order (drop, delay, 5xx,
+// then the real hop with possible body truncation), so a plan's hit
+// windows line up with request indices deterministically.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.drop.Fire() {
+		// The request body (if any) is owed a close per the
+		// RoundTripper contract even when the "connection" drops.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &DroppedError{URL: req.URL.String()}
+	}
+	t.delay.Stall(req.Context())
+	if t.fail.Fire() {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable (faultinject)",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:       io.NopCloser(strings.NewReader("faultinject: synthesized 503\n")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.partial.Fire() {
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: partialBodyBytes}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	return resp, nil
+}
+
+// truncatedBody passes through the first remaining bytes, then fails the
+// read with io.ErrUnexpectedEOF — the shape of a peer dying mid-response.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The real body was shorter than the truncation point; the cut
+		// must still look like a mid-stream death, not a clean end.
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withChaos enables injection for one test and restores the previous
+// global state (sites disarmed, counters zeroed) afterwards.
+func withChaos(t *testing.T) {
+	t.Helper()
+	Reset()
+	prev := Enable()
+	t.Cleanup(func() {
+		Reset()
+		if !prev {
+			Disable()
+		}
+	})
+}
+
+func chaosClient(t *testing.T, backend http.Handler) (*http.Client, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		backend.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	client := &http.Client{Transport: NewTransport(http.DefaultTransport)}
+	return client, ts, &hits
+}
+
+func TestTransportDropFiresOnPlannedWindow(t *testing.T) {
+	withChaos(t)
+	client, ts, hits := chaosClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	// Requests 2 and 3 (1-based hit indices) are dropped.
+	if err := Arm(Fault{Site: SiteTransportDrop, After: 2, Count: 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []string
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			var dropped *DroppedError
+			if !errors.As(err, &dropped) {
+				t.Fatalf("request %d: error %v, want *DroppedError", i, err)
+			}
+			outcomes = append(outcomes, "drop")
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		outcomes = append(outcomes, "ok")
+	}
+	want := "ok drop drop ok ok"
+	if got := strings.Join(outcomes, " "); got != want {
+		t.Errorf("outcome sequence %q, want %q (deterministic hit window)", got, want)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("backend saw %d requests, want 3 (drops never reach it)", hits.Load())
+	}
+	if SiteFor(SiteTransportDrop).Fired() != 2 {
+		t.Errorf("drop site fired %d, want 2", SiteFor(SiteTransportDrop).Fired())
+	}
+}
+
+func TestTransportSynthesized503(t *testing.T) {
+	withChaos(t)
+	client, ts, hits := chaosClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("real answer"))
+	}))
+	if err := Arm(Fault{Site: SiteTransport500, After: 1, Count: 1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "faultinject") {
+		t.Errorf("synthesized body %q does not name faultinject", body)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("backend saw %d requests, want 0 (503 synthesized before the hop)", hits.Load())
+	}
+	// The window has passed: the next request is real.
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "real answer" || hits.Load() != 1 {
+		t.Errorf("post-window request: body %q backend hits %d, want real answer / 1", body, hits.Load())
+	}
+}
+
+func TestTransportPartialBodyTruncates(t *testing.T) {
+	withChaos(t)
+	long := strings.Repeat("x", 4096)
+	client, ts, _ := chaosClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(long))
+	}))
+	if err := Arm(Fault{Site: SiteTransportPartial, After: 1, Count: 1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(body) == 0 || len(body) >= len(long) {
+		t.Errorf("got %d body bytes, want a nonzero truncated prefix", len(body))
+	}
+	// A JSON decode of the truncated body must fail loudly, which is what
+	// the serve proxy's buffered read turns into a retry.
+	var v map[string]any
+	if jerr := json.Unmarshal(body, &v); jerr == nil {
+		t.Errorf("truncated body decoded cleanly; want a decode error")
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	withChaos(t)
+	client, ts, _ := chaosClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	// A 10s stall bounded by a 20ms context: the request must come back
+	// promptly (the stall aborts at ctx done, then the hop proceeds and
+	// fails on the dead context).
+	if err := Arm(Fault{Site: SiteTransportDelay, Mode: "stall", DelayMS: 10_000, After: 1, Count: 1}, 7); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("delayed request took %v; the stall ignored the context", elapsed)
+	}
+	if SiteFor(SiteTransportDelay).Fired() != 1 {
+		t.Errorf("delay site fired %d, want 1", SiteFor(SiteTransportDelay).Fired())
+	}
+}
+
+func TestTransportDisabledPassesThrough(t *testing.T) {
+	Reset()
+	prev := Enabled()
+	Disable()
+	t.Cleanup(func() {
+		if prev {
+			Enable()
+		}
+	})
+	client, ts, hits := chaosClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	// Armed but globally disabled: nothing fires.
+	if err := Arm(Fault{Site: SiteTransportDrop, After: 1, Count: 100}, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if hits.Load() != 3 {
+		t.Errorf("backend saw %d requests, want 3", hits.Load())
+	}
+	if SiteFor(SiteTransportDrop).Fired() != 0 {
+		t.Errorf("disabled transport fired %d times", SiteFor(SiteTransportDrop).Fired())
+	}
+}

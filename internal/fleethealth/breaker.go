@@ -1,0 +1,186 @@
+// Package fleethealth is the fleet-resilience layer under `nvrel serve`:
+// per-peer circuit breakers consulted before every proxy hop, a
+// background /readyz prober that detects peer death and recovery, and a
+// bounded-retry helper with exponential backoff and full jitter. The
+// pieces share one Tracker that owns the per-peer state and exposes it
+// as a snapshot for /healthz and the cluster documents.
+//
+// The design mirrors the paper's rejuvenation thesis applied to the
+// serving fleet itself: peers fail and come back (supervisor restarts,
+// our own -rejuvenate-after exits), and the ring must route around the
+// dead without turning their downtime into client-visible errors. The
+// breaker is the routing decision, the prober is the recovery detector,
+// and degraded-mode local solves (in cmd/nvrel) are the fallback rung —
+// correctness is preserved because solves are pure; only cache
+// partitioning degrades.
+//
+// Everything is deterministic under test: the breaker takes an
+// injectable clock, the retry helper an injectable sleep and jitter
+// source, and the prober exposes a synchronous ProbeAll for tests that
+// must not use sleeps as synchronization.
+package fleethealth
+
+import (
+	"sync"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+// Breaker state-transition counters, fleet-wide (the per-peer attribution
+// lives in the Tracker snapshot; the counters answer "is the fleet
+// flapping" at a glance and are asserted by the smoke test).
+var (
+	metBreakerOpen     = obs.CounterFor("fleet.breaker.open")
+	metBreakerHalfOpen = obs.CounterFor("fleet.breaker.halfopen")
+	metBreakerClose    = obs.CounterFor("fleet.breaker.close")
+)
+
+// State is a circuit breaker's position.
+type State uint8
+
+const (
+	// StateClosed passes traffic and counts consecutive failures.
+	StateClosed State = iota
+	// StateOpen rejects traffic until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen admits one trial request; its outcome decides
+	// between closing and re-opening.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// BreakerConfig shapes one breaker. The zero value gets the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open a closed
+	// breaker (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open trial (default 5s).
+	Cooldown time.Duration
+	// Now is the clock (default time.Now). Tests inject a fake so
+	// open→half-open transitions need no real waiting.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-peer circuit breaker: closed → open after
+// FailureThreshold consecutive failures, open → half-open after the
+// cooldown, half-open → closed on a success (or back to open on a
+// failure). A success in any state closes the breaker — the prober's
+// positive evidence is authoritative, so a restarted peer rejoins the
+// ring as soon as one probe lands rather than after a cooldown cycle.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu            sync.Mutex
+	cfg           BreakerConfig
+	state         State
+	fails         int
+	openedAt      time.Time
+	trialInFlight bool
+}
+
+// NewBreaker builds a breaker with cfg's defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent through the breaker right
+// now. Open breakers reject until the cooldown elapses, then flip to
+// half-open and admit exactly one trial; additional callers are rejected
+// until that trial reports its outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.trialInFlight = true
+		metBreakerHalfOpen.Inc()
+		return true
+	case StateHalfOpen:
+		if b.trialInFlight {
+			return false
+		}
+		b.trialInFlight = true
+		return true
+	}
+	return false
+}
+
+// Success reports a successful request (or probe) outcome: the failure
+// run resets and the breaker closes from any state.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.trialInFlight = false
+	if b.state != StateClosed {
+		b.state = StateClosed
+		metBreakerClose.Inc()
+	}
+}
+
+// Failure reports a failed request (or probe) outcome. A closed breaker
+// opens at the failure threshold; a half-open trial failure re-opens
+// immediately (the cooldown restarts).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.trialInFlight = false
+	switch b.state {
+	case StateClosed:
+		if b.fails >= b.cfg.FailureThreshold {
+			b.state = StateOpen
+			b.openedAt = b.cfg.Now()
+			metBreakerOpen.Inc()
+		}
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = b.cfg.Now()
+		metBreakerOpen.Inc()
+	}
+}
+
+// State returns the breaker's current position without side effects.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ConsecutiveFailures returns the current failure run length.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

@@ -1,0 +1,203 @@
+package fleethealth
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+// fakeClock is a hand-advanced clock so open→half-open transitions need
+// no real waiting.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func withObs(t *testing.T) {
+	t.Helper()
+	prev := obs.Enable()
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	withObs(t)
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 5 * time.Second, Now: clock.Now})
+
+	open0 := metBreakerOpen.Value()
+	half0 := metBreakerHalfOpen.Value()
+	close0 := metBreakerClose.Value()
+
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("new breaker state = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+
+	// Two failures stay closed; the third opens.
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+	if metBreakerOpen.Value() != open0+1 {
+		t.Errorf("fleet.breaker.open moved %d, want 1", metBreakerOpen.Value()-open0)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside cooldown must reject")
+	}
+
+	// Cooldown elapses: exactly one half-open trial is admitted.
+	clock.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("open breaker past cooldown must admit a trial")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after trial admit = %v, want half-open", got)
+	}
+	if metBreakerHalfOpen.Value() != half0+1 {
+		t.Errorf("fleet.breaker.halfopen moved %d, want 1", metBreakerHalfOpen.Value()-half0)
+	}
+	if b.Allow() {
+		t.Fatal("second caller during the half-open trial must be rejected")
+	}
+
+	// Trial failure re-opens and restarts the cooldown.
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after trial failure = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must reject until the new cooldown elapses")
+	}
+
+	// Next trial succeeds: closed, and failures are forgotten.
+	clock.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker past cooldown must admit a trial")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after trial success = %v, want closed", got)
+	}
+	if got := b.ConsecutiveFailures(); got != 0 {
+		t.Errorf("failure run after success = %d, want 0", got)
+	}
+	if metBreakerClose.Value() != close0+1 {
+		t.Errorf("fleet.breaker.close moved %d, want 1", metBreakerClose.Value()-close0)
+	}
+	if metBreakerOpen.Value() != open0+2 {
+		t.Errorf("fleet.breaker.open total moved %d, want 2", metBreakerOpen.Value()-open0)
+	}
+}
+
+// A success in the OPEN state closes the breaker immediately: the prober
+// feeds positive evidence and a restarted peer must not wait out the
+// cooldown.
+func TestBreakerProbeSuccessClosesFromOpen(t *testing.T) {
+	withObs(t)
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour, Now: clock.Now})
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerFailureRunInterruptedBySuccess(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Now: clock.Now})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("non-consecutive failures opened the breaker (state %v)", got)
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("3 consecutive failures left state %v, want open", got)
+	}
+}
+
+// Hammer the breaker from many goroutines; the -race run is the assertion.
+func TestBreakerConcurrency(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Millisecond, Now: clock.Now})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Allow()
+				if (g+i)%3 == 0 {
+					b.Failure()
+				} else {
+					b.Success()
+				}
+				if i%50 == 0 {
+					clock.Advance(time.Millisecond)
+				}
+				b.State()
+				b.ConsecutiveFailures()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("default threshold opened after 2 failures (state %v)", got)
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("default threshold did not open after 3 failures (state %v)", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{StateClosed: "closed", StateOpen: "open", StateHalfOpen: "half-open", State(99): "invalid"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+var errProbe = errors.New("probe failed")

@@ -1,0 +1,96 @@
+package fleethealth
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig shapes one bounded retry loop. The zero value gets the
+// defaults.
+type RetryConfig struct {
+	// Attempts is the total number of tries, first included (default 3).
+	Attempts int
+	// BaseDelay is the backoff unit: the attempt-k sleep is drawn
+	// uniformly from [0, min(MaxDelay, BaseDelay<<k)) — "full jitter",
+	// which decorrelates retry storms across concurrent requests
+	// (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window (default 1s).
+	MaxDelay time.Duration
+	// Jitter returns a uniform sample in [0, 1) (default the shared
+	// math/rand source). Tests inject a deterministic source.
+	Jitter func() float64
+	// Sleep waits for d or until ctx is done (default a timer). Tests
+	// inject a recorder so backoff schedules are assertable without
+	// real waiting.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 25 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	if c.Jitter == nil {
+		c.Jitter = rand.Float64
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Backoff returns the attempt-k (0-based) sleep: a full-jitter draw from
+// the capped exponential window. Exposed so tests can assert the
+// schedule the retry loop follows.
+func (c RetryConfig) Backoff(attempt int) time.Duration {
+	cfg := c.withDefaults()
+	window := cfg.BaseDelay << uint(attempt)
+	if window <= 0 || window > cfg.MaxDelay {
+		window = cfg.MaxDelay
+	}
+	return time.Duration(cfg.Jitter() * float64(window))
+}
+
+// Retry runs fn up to cfg.Attempts times, sleeping a full-jitter backoff
+// between tries, and returns the first nil error or the last error. A
+// done context stops the loop between attempts (the context's error is
+// returned only when fn never ran or last failed with it — the final
+// fn error always wins so callers see the real failure).
+func Retry(ctx context.Context, cfg RetryConfig, fn func(attempt int) error) error {
+	cfg = cfg.withDefaults()
+	var err error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			cfg.Sleep(ctx, cfg.Backoff(attempt-1))
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return err
+		}
+		if err = fn(attempt); err == nil {
+			return nil
+		}
+	}
+	return err
+}

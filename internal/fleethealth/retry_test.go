@@ -1,0 +1,128 @@
+package fleethealth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRetryFirstAttemptSucceeds(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{
+		Attempts: 5,
+		Sleep:    func(_ context.Context, d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := Retry(context.Background(), cfg, func(attempt int) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 || len(slept) != 0 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/1/0", err, calls, len(slept))
+	}
+}
+
+func TestRetryExhaustsAttemptsAndReturnsLastError(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{
+		Attempts:  3,
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Jitter:    func() float64 { return 1.0 }, // deterministic: full window
+		Sleep:     func(_ context.Context, d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := Retry(context.Background(), cfg, func(attempt int) error {
+		if attempt != calls {
+			t.Errorf("attempt index %d, want %d", attempt, calls)
+		}
+		calls++
+		return fmt.Errorf("attempt %d failed", attempt)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if err == nil || err.Error() != "attempt 2 failed" {
+		t.Fatalf("err = %v, want the last attempt's error", err)
+	}
+	// Jitter pinned to 1.0: sleeps are exactly the exponential windows.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryBackoffCapsAtMaxDelay(t *testing.T) {
+	cfg := RetryConfig{
+		Attempts:  8,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  300 * time.Millisecond,
+		Jitter:    func() float64 { return 1.0 },
+	}
+	for attempt, want := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		300 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond,
+	} {
+		if got := cfg.Backoff(attempt); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	// Deep attempts must not overflow the shift into a negative window.
+	if got := cfg.Backoff(62); got != 300*time.Millisecond {
+		t.Errorf("Backoff(62) = %v, want the cap", got)
+	}
+}
+
+func TestRetryFullJitterBounds(t *testing.T) {
+	cfg := RetryConfig{
+		BaseDelay: 40 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Jitter:    func() float64 { return 0.5 },
+	}
+	if got, want := cfg.Backoff(0), 20*time.Millisecond; got != want {
+		t.Errorf("Backoff(0) at jitter 0.5 = %v, want %v", got, want)
+	}
+	cfg.Jitter = func() float64 { return 0 }
+	if got := cfg.Backoff(0); got != 0 {
+		t.Errorf("Backoff(0) at jitter 0 = %v, want 0", got)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := RetryConfig{
+		Attempts: 10,
+		Sleep:    func(_ context.Context, _ time.Duration) {},
+	}
+	calls := 0
+	err := Retry(ctx, cfg, func(attempt int) error {
+		calls++
+		cancel() // the loop must notice before the next attempt
+		return errProbe
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancellation between attempts)", calls)
+	}
+	if !errors.Is(err, errProbe) {
+		t.Fatalf("err = %v, want the attempt's own error to win over ctx.Err()", err)
+	}
+}
+
+func TestRetryCanceledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, RetryConfig{}, func(int) error {
+		t.Fatal("fn must not run under a dead context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

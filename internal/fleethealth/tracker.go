@@ -1,0 +1,277 @@
+package fleethealth
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"nvrel/internal/obs"
+)
+
+// Probe accounting: fleet-wide counts plus a gauge of how many peers are
+// currently unhealthy (the snapshot carries the per-peer detail).
+var (
+	metProbeOK        = obs.CounterFor("fleet.probe.ok")
+	metProbeFail      = obs.CounterFor("fleet.probe.fail")
+	metPeersUnhealthy = obs.GaugeFor("fleet.peers.unhealthy")
+)
+
+// Config shapes a Tracker. The zero value gets the defaults.
+type Config struct {
+	// Breaker is applied to every peer's circuit breaker.
+	Breaker BreakerConfig
+	// UnhealthyAfter is how many consecutive probe failures mark a peer
+	// unhealthy in snapshots (default 2). The breaker has its own
+	// threshold — a peer can be "unhealthy" (probes failing) before its
+	// breaker opens, and the snapshot shows both.
+	UnhealthyAfter int
+	// ProbeInterval is the base probe period; each cycle sleeps a
+	// full-jitter draw from [interval/2, interval*3/2) so a fleet of
+	// daemons booted together never phase-locks its probes (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz round trip (default 2s).
+	ProbeTimeout time.Duration
+	// Now is the clock shared with the breakers (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	c.Breaker.Now = c.Now
+	return c
+}
+
+// peer is one tracked peer's state. The breaker has its own lock; the
+// probe bookkeeping is guarded by the Tracker's.
+type peer struct {
+	name    string
+	breaker *Breaker
+
+	probeFails int // consecutive
+	probes     int64
+	failures   int64
+	lastErr    string
+	lastProbe  time.Time
+	probed     bool
+}
+
+// Tracker owns the per-peer resilience state for one daemon: a circuit
+// breaker per peer plus the probe history /healthz exposes.
+type Tracker struct {
+	cfg   Config
+	mu    sync.Mutex
+	peers map[string]*peer
+	order []string
+}
+
+// NewTracker builds a tracker for the given peer base URLs (the daemon's
+// ring minus itself).
+func NewTracker(cfg Config, peers []string) *Tracker {
+	t := &Tracker{cfg: cfg.withDefaults(), peers: make(map[string]*peer, len(peers))}
+	for _, p := range peers {
+		if _, ok := t.peers[p]; ok {
+			continue
+		}
+		t.peers[p] = &peer{name: p, breaker: NewBreaker(t.cfg.Breaker)}
+		t.order = append(t.order, p)
+	}
+	sort.Strings(t.order)
+	return t
+}
+
+// Breaker returns the named peer's breaker, or nil for an untracked peer
+// (callers treat nil as "always allow": *Breaker methods are not
+// nil-safe, so the cmd layer guards).
+func (t *Tracker) Breaker(name string) *Breaker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[name]; ok {
+		return p.breaker
+	}
+	return nil
+}
+
+// Peers returns the tracked peer names, sorted.
+func (t *Tracker) Peers() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// ReportHop feeds one proxy-hop outcome into the peer's breaker. Hop
+// failures are breaker evidence but not probe evidence: the prober owns
+// the healthy flag so a burst of hop failures against a live-but-slow
+// peer shows as breaker state, not fake probe history.
+func (t *Tracker) ReportHop(name string, err error) {
+	t.mu.Lock()
+	p, ok := t.peers[name]
+	if ok && err != nil {
+		p.lastErr = err.Error()
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	if err != nil {
+		p.breaker.Failure()
+		return
+	}
+	p.breaker.Success()
+}
+
+// ReportProbe feeds one health-probe outcome: probe bookkeeping plus the
+// same breaker evidence a hop gives. A successful probe closes an open
+// breaker immediately — positive liveness evidence beats waiting out a
+// cooldown, which is what lets a restarted peer rejoin the ring within
+// one probe interval.
+func (t *Tracker) ReportProbe(name string, err error) {
+	t.mu.Lock()
+	p, ok := t.peers[name]
+	if ok {
+		p.probes++
+		p.probed = true
+		p.lastProbe = t.cfg.Now()
+		if err != nil {
+			p.failures++
+			p.probeFails++
+			p.lastErr = err.Error()
+		} else {
+			p.probeFails = 0
+			p.lastErr = ""
+		}
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	if err != nil {
+		metProbeFail.Inc()
+		p.breaker.Failure()
+	} else {
+		metProbeOK.Inc()
+		p.breaker.Success()
+	}
+	t.updateUnhealthyGauge()
+}
+
+func (t *Tracker) updateUnhealthyGauge() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int
+	for _, p := range t.peers {
+		if p.probeFails >= t.cfg.UnhealthyAfter {
+			n++
+		}
+	}
+	metPeersUnhealthy.Set(float64(n))
+}
+
+// PeerHealth is one peer's state in a snapshot — the JSON contract of
+// /healthz and the cluster documents.
+type PeerHealth struct {
+	Peer                string    `json:"peer"`
+	Breaker             string    `json:"breaker"` // closed | open | half-open
+	Healthy             bool      `json:"healthy"`
+	ConsecutiveFailures int       `json:"consecutive_failures,omitempty"` // probe run
+	Probes              int64     `json:"probes"`
+	ProbeFailures       int64     `json:"probe_failures"`
+	LastProbe           time.Time `json:"last_probe,omitempty"`
+	LastError           string    `json:"last_error,omitempty"`
+}
+
+// Snapshot returns every tracked peer's state, sorted by peer name. A
+// never-probed peer reports healthy (optimistic start: the ring routes
+// to it until evidence says otherwise).
+func (t *Tracker) Snapshot() []PeerHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PeerHealth, 0, len(t.order))
+	for _, name := range t.order {
+		p := t.peers[name]
+		out = append(out, PeerHealth{
+			Peer:                name,
+			Breaker:             p.breaker.State().String(),
+			Healthy:             p.probeFails < t.cfg.UnhealthyAfter,
+			ConsecutiveFailures: p.probeFails,
+			Probes:              p.probes,
+			ProbeFailures:       p.failures,
+			LastProbe:           p.lastProbe,
+			LastError:           p.lastErr,
+		})
+	}
+	return out
+}
+
+// ProbeAll probes every tracked peer's /readyz once, synchronously, and
+// feeds the outcomes through ReportProbe. Any non-200 answer (including
+// 503 "draining"/"warming up") is a failure: a draining peer should stop
+// receiving proxied solves just like a dead one.
+func (t *Tracker) ProbeAll(ctx context.Context, client *http.Client) {
+	for _, name := range t.Peers() {
+		t.ReportProbe(name, probeOne(ctx, client, name, t.cfg.ProbeTimeout))
+	}
+}
+
+func probeOne(ctx context.Context, client *http.Client, base string, timeout time.Duration) error {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// StartProber runs the probe loop until ctx is done: each cycle probes
+// every peer, then sleeps a full-jitter interval. Returns a stop
+// function that blocks until the loop has exited (so tests and the
+// daemon's shutdown path never leak the goroutine).
+func (t *Tracker) StartProber(ctx context.Context, client *http.Client) (stop func()) {
+	pctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	go func() {
+		defer close(done)
+		for {
+			t.ProbeAll(pctx, client)
+			base := t.cfg.ProbeInterval
+			jittered := base/2 + time.Duration(rng.Float64()*float64(base))
+			timer := time.NewTimer(jittered)
+			select {
+			case <-pctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

@@ -28,6 +28,9 @@ type Event struct {
 	TraceID        string    `json:"trace_id,omitempty"`    // hex, correlates with /traces
 	Items          int       `json:"items,omitempty"`       // batch size (method=batch)
 	Error          string    `json:"error,omitempty"`
+	Peer           string    `json:"peer,omitempty"`        // peer a failed proxy hop targeted
+	ProxyError     string    `json:"proxy_error,omitempty"` // final proxy failure (status may still be 200 via degraded fallback)
+	Degraded       bool      `json:"degraded,omitempty"`    // answered by a degraded-mode local solve
 }
 
 // eventRing is a bounded MPMC ring with the same slot-claim discipline

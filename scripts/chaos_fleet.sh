@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Fleet chaos gate: a 2-peer sharded fleet where the entry peer's
+# OUTBOUND proxy hops ride a seeded faultinject chaos transport
+# (drops, stalls, synthesized 503s, truncated bodies), plus a SIGKILL +
+# restart of the other peer mid-run. The load generator drives the
+# chaotic entry point with a zero-client-error gate and an availability
+# SLO: every fault must be absorbed by retry, circuit breaking, or a
+# degraded-mode local solve — never surfaced to a client. Artifacts:
+# chaos_fleet.json (loadgen report), chaos_plan.json, chaos_peer_*.log,
+# chaos_fleet_metrics.prom.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mkdir -p artifacts
+
+echo "== chaos fleet: build"
+go build -o artifacts/nvrel ./cmd/nvrel
+
+echo "== chaos fleet: seeded transport fault plan"
+cat >artifacts/chaos_plan.json <<'EOF'
+{
+  "seed": 7,
+  "faults": [
+    { "site": "transport.drop", "after": 3, "count": 4 },
+    { "site": "transport.500", "after": 12, "count": 4 },
+    { "site": "transport.delay", "mode": "stall", "delay_ms": 150, "after": 20, "count": 3 },
+    { "site": "transport.partial", "after": 26, "count": 3 }
+  ]
+}
+EOF
+
+read -r port_a port_b < <(python3 - <<'EOF'
+import socket
+socks = []
+for _ in range(2):
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    socks.append(s)
+print(socks[0].getsockname()[1], socks[1].getsockname()[1])
+for s in socks:
+    s.close()
+EOF
+)
+url_a="http://127.0.0.1:$port_a"
+url_b="http://127.0.0.1:$port_b"
+peers="$url_a,$url_b"
+
+echo "== chaos fleet: boot pair (chaos transport on peer_a)"
+artifacts/nvrel serve -addr "127.0.0.1:$port_a" -peers "$peers" -self "$url_a" \
+    -chaos-plan artifacts/chaos_plan.json \
+    -peer-retries 2 -breaker-cooldown 1s -probe-interval 500ms \
+    >artifacts/chaos_peer_a.log 2>&1 &
+peer_a_pid=$!
+artifacts/nvrel serve -addr "127.0.0.1:$port_b" -peers "$peers" -self "$url_b" \
+    >artifacts/chaos_peer_b.log 2>&1 &
+peer_b_pid=$!
+cleanup() {
+    kill "$peer_a_pid" "$peer_b_pid" 2>/dev/null || true
+    wait "$peer_a_pid" "$peer_b_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+for url in "$url_a" "$url_b"; do
+    ready=0
+    for _ in $(seq 1 100); do
+        if curl -fsS -o /dev/null "$url/readyz" 2>/dev/null; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [[ "$ready" != 1 ]]; then
+        echo "chaos fleet: peer $url never turned ready" >&2
+        cat artifacts/chaos_peer_a.log artifacts/chaos_peer_b.log >&2
+        exit 1
+    fi
+done
+if ! grep -q 'chaos plan .* armed' artifacts/chaos_peer_a.log; then
+    echo "chaos fleet: peer_a did not arm the chaos plan" >&2
+    cat artifacts/chaos_peer_a.log >&2
+    exit 1
+fi
+
+echo "== chaos fleet: loadgen through the chaotic entry + peer kill/restart"
+artifacts/nvrel loadgen -url "$url_a" -duration 8s -concurrency 4 \
+    -mix 0.5,0.3,0.2 -max-error-rate 0 -slo-availability 0.999 \
+    -o artifacts/chaos_fleet.json >artifacts/chaos_fleet.log 2>&1 &
+lg_pid=$!
+sleep 2
+kill -9 "$peer_b_pid"
+wait "$peer_b_pid" 2>/dev/null || true
+echo "   peer_b SIGKILLed mid-run"
+sleep 2
+artifacts/nvrel serve -addr "127.0.0.1:$port_b" -peers "$peers" -self "$url_b" \
+    >>artifacts/chaos_peer_b.log 2>&1 &
+peer_b_pid=$!
+echo "   peer_b restarted"
+lg_rc=0
+wait "$lg_pid" || lg_rc=$?
+cat artifacts/chaos_fleet.log
+if [[ "$lg_rc" != 0 ]]; then
+    echo "chaos fleet: loadgen gate failed (exit $lg_rc): a fault escaped to a client" >&2
+    exit 1
+fi
+
+echo "== chaos fleet: assert the faults were absorbed, not avoided"
+curl -fsS "$url_a/metrics" >artifacts/chaos_fleet_metrics.prom
+for counter in fleet_degraded_solve fleet_breaker_open; do
+    if ! awk -v c="$counter" '$1 == c { if ($2 + 0 > 0) found = 1 } END { exit !found }' \
+        artifacts/chaos_fleet_metrics.prom; then
+        echo "chaos fleet: $counter did not move on the chaotic peer" >&2
+        grep '^fleet_' artifacts/chaos_fleet_metrics.prom >&2 || true
+        exit 1
+    fi
+done
+python3 - artifacts/chaos_fleet.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["errors"] == 0, f"client saw {doc['errors']} errors"
+assert doc.get("degraded", 0) > 0, "no degraded answers: the chaos never bit"
+burn = doc.get("slo", {}).get("availability_burn_rate", 0)
+assert burn < 1, f"availability budget burned at {burn}x"
+print(f"   {doc['total_requests']} requests, 0 errors, {doc['degraded']} degraded, burn {burn:.2f}x")
+EOF
+
+echo "== chaos fleet: restarted peer rejoins"
+reconverged=0
+for _ in $(seq 1 100); do
+    if curl -fsS "$url_a/healthz" 2>/dev/null |
+        python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+peers = {p["peer"]: p for p in doc.get("peers", [])}
+sys.argv[1] in peers or sys.exit(1)
+p = peers[sys.argv[1]]
+sys.exit(0 if p["healthy"] and p["breaker"] == "closed" else 1)
+' "$url_b" 2>/dev/null; then
+        reconverged=1
+        break
+    fi
+    sleep 0.2
+done
+if [[ "$reconverged" != 1 ]]; then
+    echo "chaos fleet: restarted peer never re-converged" >&2
+    curl -fsS "$url_a/healthz" >&2 || true
+    exit 1
+fi
+echo "chaos fleet: all green"

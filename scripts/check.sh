@@ -110,4 +110,17 @@ if ! grep -q '"silent_wrong": 0' artifacts/chaos.json; then
     exit 1
 fi
 
+echo "== chaos fleet gate: seeded transport faults + peer kill/restart"
+# A 2-peer fleet with a chaos transport on one peer and a SIGKILL/restart
+# of the other, driven by loadgen with -max-error-rate 0 and an
+# availability SLO: faults must be absorbed (retry / breaker / degraded
+# local solves), never surfaced to clients. Writes artifacts/chaos_fleet.*.
+./scripts/chaos_fleet.sh
+for f in artifacts/chaos_fleet.json artifacts/chaos_plan.json; do
+    if [[ ! -s "$f" ]]; then
+        echo "chaos fleet gate: expected artifact $f missing or empty" >&2
+        exit 1
+    fi
+done
+
 echo "check.sh: all green"

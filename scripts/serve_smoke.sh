@@ -243,8 +243,123 @@ assert len(stitched) >= 2, f"proxied trace has {len(stitched)} spans in the flee
 print(f"   fleet.json + fleet_trace.json: {len(events)} spans, proxied trace spans={len(stitched)}")
 EOF
 
+echo "== serve smoke: peer kill/restart under load (self-healing)"
+# SIGKILL one peer of the pair mid-loadgen: every request the dead peer
+# owned must still come back 200 from the surviving entry point (as a
+# degraded local solve), the survivor's breaker must open, and after the
+# peer restarts the ring must re-converge — breaker closed, proxied
+# solves owned by the restarted peer again.
+artifacts/nvrel loadgen -url "$url_a" -duration 6s -concurrency 3 \
+    -mix 0.5,0.3,0.2 -max-error-rate 0 -slo-availability 0.999 \
+    -o artifacts/smoke_kill_loadgen.json >artifacts/smoke_kill_loadgen.log 2>&1 &
+lg_pid=$!
+sleep 1.5
+kill -9 "$peer_b_pid"
+wait "$peer_b_pid" 2>/dev/null || true
+echo "   peer_b SIGKILLed mid-run"
+sleep 1.5
+artifacts/nvrel serve -addr "127.0.0.1:$port_b" -peers "$peers" -self "$url_b" \
+    >>artifacts/serve_peer_b.log 2>&1 &
+peer_b_pid=$!
+echo "   peer_b restarted"
+lg_rc=0
+wait "$lg_pid" || lg_rc=$?
+if [[ "$lg_rc" != 0 ]]; then
+    echo "serve smoke: loadgen saw client-visible errors during the peer kill (exit $lg_rc)" >&2
+    cat artifacts/smoke_kill_loadgen.log >&2
+    exit 1
+fi
+# The survivor must have served the dead peer's keys itself...
+if ! grep -q '"degraded"' artifacts/smoke_kill_loadgen.json; then
+    echo "serve smoke: no degraded answers recorded while a peer was dead" >&2
+    cat artifacts/smoke_kill_loadgen.json >&2
+    exit 1
+fi
+curl -fsS "$url_a/metrics" >artifacts/smoke_kill_metrics.prom
+if ! awk '$1 == "fleet_degraded_solve" { if ($2 + 0 > 0) found = 1 } END { exit !found }' artifacts/smoke_kill_metrics.prom; then
+    echo "serve smoke: fleet_degraded_solve did not move on the survivor" >&2
+    grep '^fleet_' artifacts/smoke_kill_metrics.prom >&2 || true
+    exit 1
+fi
+# ...and its circuit breaker must have opened on the dead peer.
+if ! awk '$1 == "fleet_breaker_open" { if ($2 + 0 > 0) found = 1 } END { exit !found }' artifacts/smoke_kill_metrics.prom; then
+    echo "serve smoke: fleet_breaker_open did not move on the survivor" >&2
+    grep '^fleet_' artifacts/smoke_kill_metrics.prom >&2 || true
+    exit 1
+fi
+# Re-convergence: the survivor's prober sees the restarted peer, closes
+# the breaker, and /healthz reports it healthy again (bounded poll).
+reconverged=0
+for _ in $(seq 1 100); do
+    if curl -fsS "$url_a/healthz" 2>/dev/null |
+        python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+peers = {p["peer"]: p for p in doc.get("peers", [])}
+sys.argv[1] in peers or sys.exit(1)
+p = peers[sys.argv[1]]
+sys.exit(0 if p["healthy"] and p["breaker"] == "closed" else 1)
+' "$url_b" 2>/dev/null; then
+        reconverged=1
+        break
+    fi
+    sleep 0.2
+done
+if [[ "$reconverged" != 1 ]]; then
+    echo "serve smoke: restarted peer never re-converged on $url_a/healthz" >&2
+    curl -fsS "$url_a/healthz" >&2 || true
+    exit 1
+fi
+if ! curl -fsS "$url_a/metrics" | awk '$1 == "fleet_breaker_close" { if ($2 + 0 > 0) found = 1 } END { exit !found }'; then
+    echo "serve smoke: breaker never closed again after the restart" >&2
+    exit 1
+fi
+# The ring must agree again: both entries route a shared key to one owner.
+served_a2=$(curl -fsS -D - -o /dev/null -X POST -d "$body" "$url_a/solve" |
+    tr -d '\r' | awk -F': ' 'tolower($1) == "x-nvrel-served-by" { print $2 }')
+served_b2=$(curl -fsS -D - -o /dev/null -X POST -d "$body" "$url_b/solve" |
+    tr -d '\r' | awk -F': ' 'tolower($1) == "x-nvrel-served-by" { print $2 }')
+if [[ -z "$served_a2" || "$served_a2" != "$served_b2" ]]; then
+    echo "serve smoke: ring did not re-converge after restart ('$served_a2' vs '$served_b2')" >&2
+    exit 1
+fi
+echo "   survivor degraded + breaker open->close + ring re-converged"
+
 cleanup_pair
 trap cleanup EXIT
+
+echo "== serve smoke: rejuvenation drain (-rejuvenate-requests)"
+# A daemon with a 2-request rejuvenation budget must drain and exit 0 on
+# its own after the second solve — the paper's software rejuvenation
+# applied to the serving process, with a supervisor doing the restart.
+artifacts/nvrel serve -addr 127.0.0.1:0 -rejuvenate-requests 2 \
+    >artifacts/serve_rejuvenate.log 2>&1 &
+rejuv_pid=$!
+trap 'cleanup; kill "$rejuv_pid" 2>/dev/null || true' EXIT
+rejuv_url=""
+for _ in $(seq 1 100); do
+    rejuv_url=$(sed -n 's|^nvrel serve: listening on \(http://[^ ]*\)$|\1|p' artifacts/serve_rejuvenate.log | head -1)
+    if [[ -n "$rejuv_url" ]] && curl -fsS -o /dev/null "$rejuv_url/readyz" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS -X POST -d '{"arch":"4v"}' "$rejuv_url/solve" >/dev/null
+curl -fsS -X POST -d '{"arch":"4v"}' "$rejuv_url/solve" >/dev/null
+rejuv_rc=0
+wait "$rejuv_pid" || rejuv_rc=$?
+if [[ "$rejuv_rc" != 0 ]]; then
+    echo "serve smoke: rejuvenating daemon exited $rejuv_rc, want clean 0 for the supervisor" >&2
+    cat artifacts/serve_rejuvenate.log >&2
+    exit 1
+fi
+if ! grep -q 'rejuvenating' artifacts/serve_rejuvenate.log; then
+    echo "serve smoke: no rejuvenation message in the log" >&2
+    cat artifacts/serve_rejuvenate.log >&2
+    exit 1
+fi
+trap cleanup EXIT
+echo "   drained and exited 0 after 2 requests"
 
 echo "== serve smoke: graceful shutdown on SIGTERM"
 kill -TERM "$serve_pid"
