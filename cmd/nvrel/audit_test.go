@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvrel/internal/shadow"
+)
+
+func writeAuditFixtures(t *testing.T, diverge bool) (eventLog, flightDump string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	events := []string{
+		`{"time":"2026-08-08T10:00:00Z","method":"solve","params_key_hash":"k1","cache":"miss","status":200,"latency_seconds":0.02,"solve_path":"sparse"}`,
+		`{"time":"2026-08-08T10:00:01Z","method":"solve","params_key_hash":"k1","cache":"hit","status":200,"latency_seconds":0.0001,"solve_path":"sparse"}`,
+		`{"time":"2026-08-08T10:00:02Z","method":"solve","params_key_hash":"k2","cache":"miss","status":200,"latency_seconds":0.05,"solve_path":"sparse-fallback-dense"}`,
+		`{"time":"2026-08-08T10:00:03Z","method":"batch","status":200,"latency_seconds":0.1,"items":3}`,
+	}
+	if diverge {
+		events = append(events,
+			`{"time":"2026-08-08T10:00:04Z","method":"shadow","params_key_hash":"k1","solve_path":"sparse","error":"shadow diverged on rung gth: |dpi|=3.1e-05 (tol 1e-09) |dR|=2e-06 (tol 1e-09)"}`)
+	}
+	eventLog = filepath.Join(dir, "events.jsonl")
+	if err := os.WriteFile(eventLog, []byte(strings.Join(events, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := []shadow.FlightRecord{
+		{Source: "serve", Arch: "4v", KeyHash: "k1", Path: "sparse", Residual: 3e-15, ElapsedSeconds: 0.02,
+			Shadow: &shadow.Outcome{Rung: "gth", Verdict: shadow.VerdictAgree, PiDelta: 2e-14}},
+		{Source: "serve", Arch: "4v", KeyHash: "k2", Path: "sparse-fallback-dense", Fallback: "gs stalled", ElapsedSeconds: 0.05,
+			Shadow: &shadow.Outcome{Rung: "power", Verdict: shadow.VerdictAgree, PiDelta: 8e-13}},
+		{Source: "serve", Arch: "6v", KeyHash: "k3", Path: "", Solver: "mrgp", ElapsedSeconds: 0.01},
+	}
+	if diverge {
+		recs[0].Shadow = &shadow.Outcome{Rung: "gth", Verdict: shadow.VerdictDiverge, PiDelta: 3.1e-5, RelDelta: 2e-6}
+	}
+	flightDump = filepath.Join(dir, "flight.json")
+	data, err := json.MarshalIndent(flightDoc{Flight: recs}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(flightDump, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return eventLog, flightDump
+}
+
+func TestAuditCleanRunPassesGates(t *testing.T) {
+	eventLog, flightDump := writeAuditFixtures(t, false)
+	outFile := filepath.Join(t.TempDir(), "audit.json")
+	var out bytes.Buffer
+	err := cmdAudit([]string{
+		"-event-log", eventLog, "-flight", flightDump,
+		"-max-diverge-rate", "0", "-max-residual", "1e-10", "-max-fallback-rate", "0.5",
+		"-o", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatalf("clean audit failed: %v\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep auditReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events.Solves != 4 || rep.Events.CacheHits != 1 || rep.Events.ShadowDiverged != 0 {
+		t.Errorf("events = %+v", rep.Events)
+	}
+	if rep.Flight.Records != 3 || rep.Flight.Comparisons != 2 || rep.Flight.Fallbacks != 1 {
+		t.Errorf("flight = %+v", rep.Flight)
+	}
+	if rep.Flight.WorstResidual != 3e-15 {
+		t.Errorf("worst residual = %g", rep.Flight.WorstResidual)
+	}
+	if rep.DivergeRate != 0 {
+		t.Errorf("diverge rate = %g", rep.DivergeRate)
+	}
+	// 1 fallback of 3 flight records.
+	if rep.FallbackRate < 0.33 || rep.FallbackRate > 0.34 {
+		t.Errorf("fallback rate = %g", rep.FallbackRate)
+	}
+	// Event + flight evidence for the same path accumulates.
+	if p := rep.Paths["sparse"]; p == nil || p.Count != 3 {
+		t.Errorf("sparse path stats = %+v", p)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestAuditDivergenceTripsGate(t *testing.T) {
+	eventLog, flightDump := writeAuditFixtures(t, true)
+	var out bytes.Buffer
+	err := cmdAudit([]string{
+		"-event-log", eventLog, "-flight", flightDump,
+		"-max-diverge-rate", "0",
+	}, &out)
+	if err == nil {
+		t.Fatalf("divergent audit passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "diverge rate") {
+		t.Errorf("gate error = %v", err)
+	}
+	if !strings.Contains(out.String(), "1 diverge") {
+		t.Errorf("summary missing divergence:\n%s", out.String())
+	}
+}
+
+func TestAuditGatesOffByDefault(t *testing.T) {
+	eventLog, flightDump := writeAuditFixtures(t, true)
+	var out bytes.Buffer
+	if err := cmdAudit([]string{"-event-log", eventLog, "-flight", flightDump}, &out); err != nil {
+		t.Fatalf("ungated audit failed: %v", err)
+	}
+}
+
+func TestAuditEventLogOnly(t *testing.T) {
+	eventLog, _ := writeAuditFixtures(t, true)
+	var out bytes.Buffer
+	err := cmdAudit([]string{"-event-log", eventLog, "-max-diverge-rate", "0"}, &out)
+	if err == nil {
+		t.Fatal("event-log divergence not gated")
+	}
+}
+
+func TestAuditRequiresInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdAudit(nil, &out); err == nil {
+		t.Fatal("audit with no inputs succeeded")
+	}
+}

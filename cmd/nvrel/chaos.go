@@ -18,6 +18,7 @@ import (
 	"nvrel/internal/linalg"
 	"nvrel/internal/obs"
 	"nvrel/internal/parallel"
+	"nvrel/internal/shadow"
 )
 
 // chaosDeviationTol separates "recovered via a different solver path"
@@ -103,8 +104,12 @@ type ChaosReport struct {
 	Results     []ChaosFaultResult `json:"results"`
 	Summary     map[string]int     `json:"summary"`
 	SilentWrong int                `json:"silent_wrong"`
-	Manifest    obs.Manifest       `json:"manifest"`
-	Metrics     obs.Snapshot       `json:"metrics"`
+	// Shadow holds the N-version cross-check tally for the clean baseline
+	// grid (faulted grids are never shadow-verified: injected corruption
+	// would surface as expected divergence and drown the signal).
+	Shadow   *shadow.Stats `json:"shadow,omitempty"`
+	Manifest obs.Manifest  `json:"manifest"`
+	Metrics  obs.Snapshot  `json:"metrics"`
 }
 
 // cmdChaos runs the standard sweep workloads under a fault plan and
@@ -120,6 +125,8 @@ func cmdChaos(args []string, out io.Writer) error {
 	steps := fs.Int("steps", 3, "grid points per workload (>= 2)")
 	itemTimeout := fs.Duration("timeout", defaultChaosItemTimeout,
 		"per-point attempt deadline; an injected stall past it is cut and retried")
+	shadowRate := fs.Float64("shadow-rate", 1.0,
+		"shadow-verify this fraction of baseline solves on an independent solver path (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,15 +160,37 @@ func cmdChaos(args []string, out io.Writer) error {
 		faultinject.Reset()
 	}()
 
+	// The baseline grid runs with injection disabled, so its solves are
+	// fair game for N-version cross-checking: a divergence here means the
+	// solver rungs disagree with no fault armed, which is its own failure.
+	var ver *shadow.Verifier
+	if *shadowRate > 0 {
+		ver = shadow.New(shadow.Config{Rate: *shadowRate, Workers: 1, Source: "chaos"})
+		defer ver.Close()
+	}
+
 	start := time.Now()
-	baseline, baseErrs := runChaosGrid(*steps, *itemTimeout)
+	baseline, baseErrs := runChaosGrid(*steps, *itemTimeout, ver)
 	for i, err := range baseErrs {
 		if err != nil {
 			return fmt.Errorf("chaos: baseline point %d failed with injection disabled: %w", i, err)
 		}
 	}
-	fmt.Fprintf(out, "chaos: baseline over %s (%d points each) clean\n",
-		strings.Join(chaosWorkloadNames, ", "), *steps)
+	var shadowStats *shadow.Stats
+	if ver != nil {
+		ver.Flush()
+		st := ver.Stats()
+		shadowStats = &st
+		fmt.Fprintf(out, "chaos: baseline over %s (%d points each) clean; shadow sampled %d agree %d diverge %d skipped %d errors %d\n",
+			strings.Join(chaosWorkloadNames, ", "), *steps,
+			st.Sampled, st.Agree, st.Diverge, st.Skipped, st.Errors)
+		if st.Diverge > 0 {
+			return fmt.Errorf("chaos: baseline shadow check found %d divergence(s) with injection disabled", st.Diverge)
+		}
+	} else {
+		fmt.Fprintf(out, "chaos: baseline over %s (%d points each) clean\n",
+			strings.Join(chaosWorkloadNames, ", "), *steps)
+	}
 
 	report := ChaosReport{
 		Seed:      plan.Seed,
@@ -169,6 +198,7 @@ func cmdChaos(args []string, out io.Writer) error {
 		Workloads: chaosWorkloadNames,
 		Baseline:  baseline,
 		Summary:   make(map[string]int),
+		Shadow:    shadowStats,
 	}
 	for _, f := range plan.Faults {
 		res, err := runChaosFault(f, plan.Seed, *steps, *itemTimeout, baseline)
@@ -222,7 +252,9 @@ func runChaosFault(f faultinject.Fault, seed int64, steps int, itemTimeout time.
 	}
 	before := obs.Capture()
 	faultinject.Enable()
-	vals, errs := runChaosGrid(steps, itemTimeout)
+	// Faulted grids get no shadow verifier: injected corruption diverging
+	// from an independent rung is the expected outcome, not a finding.
+	vals, errs := runChaosGrid(steps, itemTimeout, nil)
 	faultinject.Disable()
 	after := obs.Capture()
 	res.Fired = faultinject.SiteFor(f.Site).Fired()
@@ -308,7 +340,7 @@ type chaosGridEnv struct {
 // the same registry state — on every run. The baseline grid runs the same
 // warm path with injection disabled, so fault runs are compared
 // like-for-like.
-func runChaosGrid(steps int, itemTimeout time.Duration) ([]float64, []error) {
+func runChaosGrid(steps int, itemTimeout time.Duration, ver *shadow.Verifier) ([]float64, []error) {
 	n := 2 * steps
 	vals := make([]float64, n)
 	env := chaosGridEnv{
@@ -317,7 +349,7 @@ func runChaosGrid(steps int, itemTimeout time.Duration) ([]float64, []error) {
 		arena: linalg.NewArena(),
 	}
 	errs := parallel.ForEachHardened(context.Background(), n, func(ctx context.Context, i int) error {
-		v, err := solveChaosPoint(ctx, env, i/steps, i%steps, steps)
+		v, err := solveChaosPoint(ctx, env, i/steps, i%steps, steps, ver)
 		if err != nil {
 			return err
 		}
@@ -329,7 +361,7 @@ func runChaosGrid(steps int, itemTimeout time.Duration) ([]float64, []error) {
 
 // solveChaosPoint builds and solves one grid point: the mean time to
 // compromise swept over [1200, 1800] around the Table II default.
-func solveChaosPoint(ctx context.Context, env chaosGridEnv, workload, j, steps int) (v float64, err error) {
+func solveChaosPoint(ctx context.Context, env chaosGridEnv, workload, j, steps int, ver *shadow.Verifier) (v float64, err error) {
 	ctx, sp := obs.StartSpan(ctx, "chaos.point")
 	sp.Int("workload", int64(workload)).Int("step", int64(j))
 	defer func() {
@@ -354,9 +386,19 @@ func solveChaosPoint(ctx context.Context, env chaosGridEnv, workload, j, steps i
 	}
 	ws := env.arena.Get()
 	defer env.arena.Put(ws)
-	pi, _, err := env.reg.SolveDiagCtxWS(ctx, m, ws)
+	start := time.Now()
+	pi, diag, err := env.reg.SolveDiagCtxWS(ctx, m, ws)
 	if err != nil {
 		return 0, err
 	}
-	return m.ExpectedPaperReliabilityFrom(pi)
+	rel, err := m.ExpectedPaperReliabilityFrom(pi)
+	if err != nil {
+		return 0, err
+	}
+	arch := "4v"
+	if workload != 0 {
+		arch = "6v"
+	}
+	noteShadowSolve(ctx, "chaos", arch, m, pi, rel, diag, time.Since(start), ver)
+	return rel, nil
 }

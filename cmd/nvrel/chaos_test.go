@@ -50,6 +50,18 @@ func TestCmdChaos(t *testing.T) {
 	if report.SilentWrong != 0 {
 		t.Errorf("silent_wrong = %d", report.SilentWrong)
 	}
+	// The baseline grid is shadow-verified at the default -shadow-rate 1.0:
+	// every clean solve is cross-checked on an independent rung and none
+	// may diverge.
+	if report.Shadow == nil {
+		t.Fatal("report missing baseline shadow stats")
+	}
+	if report.Shadow.Sampled == 0 {
+		t.Error("baseline shadow check sampled nothing")
+	}
+	if report.Shadow.Diverge != 0 {
+		t.Errorf("baseline shadow divergences = %d", report.Shadow.Diverge)
+	}
 	// The aggregate snapshot proves the recovery counters are the ones that
 	// certified the fallbacks: the mrgp workload routes sparse by size and
 	// recovers on the dense path only after an injected failure.

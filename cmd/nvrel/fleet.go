@@ -58,8 +58,9 @@ func cmdFleet(args []string, out io.Writer) error {
 			continue
 		}
 		snap := doc.PerPeer[peer]
-		fmt.Fprintf(out, "nvrel fleet: %-28s serve_request=%d serve_proxy=%d degraded=%d\n",
-			peer, snap.Counters["serve.request"], snap.Counters["serve.proxy"], snap.Counters["fleet.degraded.solve"])
+		fmt.Fprintf(out, "nvrel fleet: %-28s serve_request=%d serve_proxy=%d degraded=%d shadow_diverge=%d\n",
+			peer, snap.Counters["serve.request"], snap.Counters["serve.proxy"], snap.Counters["fleet.degraded.solve"],
+			snap.Counters["shadow.diverge"])
 		// A sharded peer's /healthz carries its view of everyone else:
 		// breaker position plus probe history per tracked peer.
 		for _, ph := range doc.Health[peer].Peers {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nvrel/internal/obs"
+	"nvrel/internal/shadow"
 )
 
 // `nvrel loadgen` is the closed-loop load generator for the serve daemon:
@@ -51,6 +52,15 @@ type loadgenConfig struct {
 	maxErrorRate float64
 	minHitRate   float64
 	minSpeedup   float64
+
+	// Shadow verification of the self-served daemon (DESIGN.md §14):
+	// -shadow-rate samples solves for independent-path cross-checking,
+	// -flight-out dumps the flight ring for `nvrel audit`, and the two
+	// shadow gates let CI demand both coverage and agreement.
+	shadowRate       float64
+	flightOut        string
+	minShadowSampled int // gate: fail with fewer sampled shadow solves (0 = off)
+	maxShadowDiverge int // gate: fail with more divergences (negative = off)
 
 	// SLO burn-rate gates: the run fails when the observed error rate
 	// (or tail-latency fraction) spends the declared error budget at
@@ -102,6 +112,7 @@ type lgReport struct {
 	HitSpeedupP50   float64        `json:"hit_speedup_p50"`
 	ServedBy        map[string]int `json:"served_by,omitempty"`
 	SLO             *lgSLO         `json:"slo,omitempty"`
+	Shadow          *shadow.Stats  `json:"shadow,omitempty"`
 }
 
 // lgSLO is the client-side error-budget accounting of one run, computed
@@ -203,6 +214,10 @@ func cmdLoadgen(args []string, out io.Writer) error {
 	fs.Float64Var(&cfg.minSpeedup, "min-p50-speedup", 0, "gate: fail when miss-p50/hit-p50 falls below this (0 = off)")
 	fs.Float64Var(&cfg.sloAvailability, "slo-availability", 0, "SLO gate: fail when the availability error budget burns at >= 1x (e.g. 0.999; 0 = off)")
 	fs.DurationVar(&cfg.sloP99, "slo-p99", 0, "SLO gate: fail when more than 1% of requests exceed this latency (0 = off)")
+	fs.Float64Var(&cfg.shadowRate, "shadow-rate", 0, "self-serve only: shadow-verify this fraction of solves on an independent solver path")
+	fs.StringVar(&cfg.flightOut, "flight-out", "", "self-serve only: dump the numerics flight ring (JSON, /debug/flight shape) here for nvrel audit")
+	fs.IntVar(&cfg.minShadowSampled, "min-shadow-sampled", 0, "gate: fail when fewer solves were shadow-sampled (0 = off)")
+	fs.IntVar(&cfg.maxShadowDiverge, "max-shadow-diverge", -1, "gate: fail when shadow divergences exceed this (negative = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,16 +229,20 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		cfg.concurrency = 1
 	}
 
+	var srv *server
 	if cfg.selfServe {
 		if cfg.url != "" {
 			return fmt.Errorf("loadgen: -url and -self-serve are mutually exclusive")
 		}
-		stopServe, url, err := startSelfServe(cfg, out)
+		stopServe, url, s, err := startSelfServe(cfg, out)
 		if err != nil {
 			return err
 		}
 		defer stopServe()
 		cfg.url = url
+		srv = s
+	} else if cfg.shadowRate > 0 || cfg.flightOut != "" {
+		return fmt.Errorf("loadgen: -shadow-rate and -flight-out need -self-serve (a remote daemon's shadowing is configured on its own serve command)")
 	}
 	if cfg.url == "" {
 		return fmt.Errorf("loadgen: need -url (or -self-serve)")
@@ -238,6 +257,23 @@ func cmdLoadgen(args []string, out io.Writer) error {
 		return fmt.Errorf("loadgen: no requests completed — is the daemon up at %s?", cfg.url)
 	}
 	report := buildReport(&cfg, samples, elapsed)
+	if srv != nil && srv.shadow != nil {
+		// Drain pending verifications so the report judges every
+		// sampled solve, then snapshot the verdict counts.
+		srv.shadow.Flush()
+		st := srv.shadow.Stats()
+		report.Shadow = &st
+	}
+	if cfg.flightOut != "" {
+		data, err := json.MarshalIndent(flightDoc{Flight: shadow.FlightSnapshot(), Shadow: srv.shadow.Stats()}, "", "  ")
+		if err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		if err := os.WriteFile(cfg.flightOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		fmt.Fprintf(out, "loadgen flight dump written to %s\n", cfg.flightOut)
+	}
 	writeLoadgenSummary(out, report)
 	if cfg.out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -256,24 +292,28 @@ func cmdLoadgen(args []string, out io.Writer) error {
 // startSelfServe boots a private daemon on an ephemeral loopback port so
 // one command can both serve and drive — the check.sh gate uses this to
 // avoid shell-level process orchestration.
-func startSelfServe(cfg loadgenConfig, out io.Writer) (stop func(), url string, err error) {
+func startSelfServe(cfg loadgenConfig, out io.Writer) (stop func(), url string, srv *server, err error) {
 	obs.Enable()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", fmt.Errorf("loadgen: self-serve listen: %w", err)
+		return nil, "", nil, fmt.Errorf("loadgen: self-serve listen: %w", err)
 	}
 	s := newServer(serveConfig{
 		maxConcurrent: cfg.concurrency,
 		solveTimeout:  cfg.timeout,
 		cacheSize:     4096,
 		cacheTTL:      15 * time.Minute,
+		shadowRate:    cfg.shadowRate,
 	})
 	hs := &http.Server{Handler: s.handler()}
 	go hs.Serve(ln)
 	s.warmUp(io.Discard)
 	url = "http://" + ln.Addr().String()
 	fmt.Fprintf(out, "nvrel loadgen: self-serve daemon at %s\n", url)
-	return func() { hs.Close() }, url, nil
+	return func() {
+		hs.Close()
+		s.shadow.Close()
+	}, url, s, nil
 }
 
 // runLoadgen drives the closed loop and returns every completed sample
@@ -476,6 +516,10 @@ func writeLoadgenSummary(out io.Writer, r *lgReport) {
 		fmt.Fprintf(out, "  slo      availability burn %.2fx  latency burn %.2fx\n",
 			r.SLO.AvailabilityBurnRate, r.SLO.LatencyBurnRate)
 	}
+	if r.Shadow != nil {
+		fmt.Fprintf(out, "  shadow   sampled %d  agree %d  diverge %d  skipped %d  errors %d\n",
+			r.Shadow.Sampled, r.Shadow.Agree, r.Shadow.Diverge, r.Shadow.Skipped, r.Shadow.Errors)
+	}
 }
 
 func sortedPeers(m map[string]int) []string {
@@ -516,6 +560,16 @@ func checkGates(cfg *loadgenConfig, r *lgReport) error {
 			failures = append(failures, fmt.Sprintf("latency error budget exhausted: %.2f%% of requests over -slo-p99 %v (burn %.2fx)",
 				100*r.SLO.SlowFraction, cfg.sloP99, r.SLO.LatencyBurnRate))
 		}
+	}
+	if cfg.minShadowSampled > 0 {
+		if r.Shadow == nil {
+			failures = append(failures, "no shadow stats to judge -min-shadow-sampled (need -self-serve -shadow-rate)")
+		} else if r.Shadow.Sampled < int64(cfg.minShadowSampled) {
+			failures = append(failures, fmt.Sprintf("shadow sampled %d below -min-shadow-sampled %d", r.Shadow.Sampled, cfg.minShadowSampled))
+		}
+	}
+	if cfg.maxShadowDiverge >= 0 && r.Shadow != nil && r.Shadow.Diverge > int64(cfg.maxShadowDiverge) {
+		failures = append(failures, fmt.Sprintf("shadow divergences %d exceed -max-shadow-diverge %d", r.Shadow.Diverge, cfg.maxShadowDiverge))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("loadgen gate: %s", strings.Join(failures, "; "))

@@ -72,6 +72,8 @@ func dispatch(args []string, out io.Writer) error {
 		return cmdLoadgen(args[1:], out)
 	case "fleet":
 		return cmdFleet(args[1:], out)
+	case "audit":
+		return cmdAudit(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -108,6 +110,12 @@ commands:
   fleet                      scrape every peer's /metrics.json and write one
                              merged fleet snapshot (-peers, -o; -trace stitches
                              the peers' span rings into one Chrome timeline)
+  audit                      replay a run's numerics evidence (-event-log JSONL
+                             and/or a /debug/flight dump) into a report:
+                             divergence rate, worst residuals, fallback
+                             frequency, per-path latency split; exits non-zero
+                             on -max-diverge-rate / -max-residual /
+                             -max-fallback-rate violations
   help                       show this message
 
 global flags (before the command):

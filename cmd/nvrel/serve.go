@@ -24,7 +24,9 @@ import (
 	"nvrel/internal/linalg"
 	"nvrel/internal/obs"
 	"nvrel/internal/parallel"
+	"nvrel/internal/petri"
 	"nvrel/internal/servecache"
+	"nvrel/internal/shadow"
 )
 
 // `nvrel serve` turns the batch solver into a long-running telemetry
@@ -104,6 +106,13 @@ type serveConfig struct {
 	rejuvenateAfter    time.Duration // drain + exit after this long (0 = off)
 	rejuvenateRequests int           // drain + exit after this many solve requests (0 = off)
 	chaosPlan          string        // faultinject plan JSON armed at boot ("" = off)
+
+	// Shadow verification & flight recorder (DESIGN.md §14).
+	shadowRate    float64 // sampled fraction of solves re-solved on an independent rung (0 = off)
+	shadowWorkers int     // shadow verification pool size (0 = 1)
+	shadowQueue   int     // pending shadow jobs before shedding (0 = 64)
+	shadowTol     float64 // agreement band on pi (L-inf) and E[R] (0 = shadow.DefaultPiTol)
+	flightCap     int     // flight-recorder ring capacity (0 = keep current)
 }
 
 // server is the daemon state: the model cache shared by every request
@@ -129,6 +138,7 @@ type server struct {
 	retryCfg fleethealth.RetryConfig
 	sem      chan struct{}
 	slo      *obs.SLOTracker
+	shadow   *shadow.Verifier // nil unless -shadow-rate > 0
 	ready    atomic.Bool
 	draining atomic.Bool
 	start    time.Time
@@ -152,7 +162,13 @@ func newServer(cfg serveConfig) *server {
 	if cfg.peerRetries <= 0 {
 		cfg.peerRetries = 3
 	}
-	return &server{
+	// Every daemon keeps the numerics flight recorder rolling; it is
+	// one mutexed record per solve, far off any hot path.
+	shadow.FlightEnable()
+	if cfg.flightCap > 0 {
+		shadow.SetFlightCapacity(cfg.flightCap)
+	}
+	s := &server{
 		cfg:     cfg,
 		cache:   nvrel.NewModelCache(),
 		warmReg: nvrel.NewWarmRegistry(),
@@ -180,6 +196,18 @@ func newServer(cfg serveConfig) *server {
 		start:       time.Now(),
 		rejuvenateC: make(chan struct{}),
 	}
+	if cfg.shadowRate > 0 {
+		s.shadow = shadow.New(shadow.Config{
+			Rate:    cfg.shadowRate,
+			PiTol:   cfg.shadowTol,
+			RelTol:  cfg.shadowTol,
+			Workers: cfg.shadowWorkers,
+			Queue:   cfg.shadowQueue,
+			Timeout: cfg.solveTimeout,
+			Source:  "serve",
+		})
+	}
+	return s
 }
 
 // configureRing validates the -peers/-self pair and installs the
@@ -272,15 +300,12 @@ func (s *server) instrument(h http.Handler) http.Handler {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		// A sharded daemon reports its view of the fleet: per-peer
-		// breaker position and probe history (the prober keeps this
-		// fresh even with no solve traffic flowing). Unsharded daemons
-		// keep the plain-text liveness answer.
-		if s.health == nil {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintln(w, "ok")
-			return
-		}
+		// Liveness plus the daemon's own verdict on itself: a sharded
+		// daemon reports per-peer breaker position and probe history
+		// (the prober keeps this fresh with no solve traffic flowing),
+		// and every daemon reports the numerics field — the shadow
+		// verifier's outcome counts, with status "diverging" once any
+		// sampled solve has disagreed across solver paths.
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -331,6 +356,16 @@ func (s *server) handler() http.Handler {
 		enc.Encode(struct {
 			Events []obs.Event `json:"events"`
 		}{obs.EventsSnapshot()})
+	})
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		// Drain pending shadow verifications first so the dump carries
+		// verdicts, not in-flight blanks; the queue is bounded, so this
+		// waits at most a few background solves.
+		s.shadow.Flush()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(flightDoc{Flight: shadow.FlightSnapshot(), Shadow: s.shadow.Stats()})
 	})
 	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -724,6 +759,69 @@ func (s *server) solveUncached(ctx context.Context, arch string, p nvrel.Params,
 	return res, trace, nil
 }
 
+// flightDoc is the GET /debug/flight payload: the numerics flight ring
+// oldest-first plus the shadow verifier's outcome counts.
+type flightDoc struct {
+	Flight []shadow.FlightRecord `json:"flight"`
+	Shadow shadow.Stats          `json:"shadow"`
+}
+
+// noteSolved files one completed primary solve with the numerics flight
+// recorder and, when shadow verification is enabled, offers it to the
+// deterministic sampler. Both are strictly off the request path: one
+// mutexed ring write plus a non-blocking channel send.
+func (s *server) noteSolved(ctx context.Context, arch string, model *nvrel.Model, pi []float64, rel float64, diag petri.SolveDiag, elapsed time.Duration) {
+	noteShadowSolve(ctx, "serve", arch, model, pi, rel, diag, elapsed, s.shadow)
+}
+
+// noteShadowSolve is the driver-agnostic half of noteSolved, shared by
+// serve, sweep, and chaos: one flight-ring write plus an optional
+// sampler offer (ver nil = flight record only).
+func noteShadowSolve(ctx context.Context, source, arch string, model *nvrel.Model, pi []float64, rel float64, diag petri.SolveDiag, elapsed time.Duration, ver *shadow.Verifier) {
+	kh := keyHash(solveKey(arch, model.Params))
+	trid := obs.SpanFromContext(ctx).TraceID()
+	rec := shadow.FlightRecord{
+		Time:           time.Now().UTC(),
+		Source:         source,
+		Arch:           arch,
+		KeyHash:        kh,
+		States:         diag.States,
+		Solver:         model.SolverKind(),
+		GSSweeps:       diag.GSSweeps,
+		PowerIters:     diag.PowerIters,
+		Residual:       diag.Residual,
+		Seeded:         diag.Seeded,
+		SeedSource:     diag.SeedSource,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if trid != 0 {
+		rec.TraceID = obs.FormatTraceID(trid)
+	}
+	if model.SolverKind() == "ctmc" {
+		rec.Path = diag.Path.String()
+		if diag.Fallback != nil {
+			rec.Fallback = diag.Fallback.Error()
+		}
+	}
+	shadow.RecordFlight(rec)
+	if ver != nil {
+		// The verifier keeps the distribution past this solve's
+		// lifetime; hand it a copy, the solve buffer goes back to its
+		// workspace/arena owner.
+		cp := make([]float64, len(pi))
+		copy(cp, pi)
+		ver.Offer(shadow.Job{
+			Arch:    arch,
+			Params:  model.Params,
+			KeyHash: kh,
+			TraceID: trid,
+			Pi:      cp,
+			Rel:     rel,
+			Diag:    diag,
+		})
+	}
+}
+
 // solveModel builds and solves one parameter point on the caller's
 // workspace: model-cache graph reuse, warm-start seeding from the
 // nearest already-served neighbor, paper reliability summation. Both the
@@ -747,14 +845,17 @@ func (s *server) solveModel(ctx context.Context, arch string, p nvrel.Params, ws
 // solveBuilt solves an already-built model (the batch path restamps and
 // groups models before solving).
 func (s *server) solveBuilt(ctx context.Context, arch string, model *nvrel.Model, ws *linalg.Workspace) (solveResult, error) {
+	solveStart := time.Now()
 	pi, diag, err := s.warmReg.SolveDiagCtxWS(ctx, model, ws)
 	if err != nil {
 		return solveResult{}, err
 	}
+	elapsed := time.Since(solveStart)
 	rel, err := model.ExpectedPaperReliabilityFrom(pi)
 	if err != nil {
 		return solveResult{}, err
 	}
+	s.noteSolved(ctx, arch, model, pi, rel, diag, elapsed)
 	res := solveResult{
 		arch:        arch,
 		solver:      model.SolverKind(),
@@ -820,6 +921,11 @@ func cmdServe(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.rejuvenateAfter, "rejuvenate-after", 0, "drain and exit cleanly after this long, for a supervisor restart (0 = off)")
 	fs.IntVar(&cfg.rejuvenateRequests, "rejuvenate-requests", 0, "drain and exit cleanly after this many solve requests (0 = off)")
 	fs.StringVar(&cfg.chaosPlan, "chaos-plan", "", "arm this faultinject plan JSON at boot (transport.* sites hit the outbound proxy hops)")
+	fs.Float64Var(&cfg.shadowRate, "shadow-rate", 0, "fraction of solves re-solved on an independent solver path and cross-checked (0 = off)")
+	fs.IntVar(&cfg.shadowWorkers, "shadow-workers", 1, "shadow verification worker pool size")
+	fs.IntVar(&cfg.shadowQueue, "shadow-queue", 64, "pending shadow verifications before shedding (skipped, never blocking)")
+	fs.Float64Var(&cfg.shadowTol, "shadow-tol", shadow.DefaultPiTol, "cross-path agreement band on the distribution (L-inf) and E[R]")
+	fs.IntVar(&cfg.flightCap, "flight-ring", 0, "numerics flight-recorder capacity in solves (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -919,5 +1025,8 @@ func cmdServe(args []string, out io.Writer) error {
 	if err := srv.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
+	// Let queued shadow verifications finish so their verdicts reach the
+	// metrics and the event log before the process exits.
+	s.shadow.Close()
 	return nil
 }

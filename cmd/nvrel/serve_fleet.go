@@ -166,16 +166,57 @@ type healthDoc struct {
 	Status   string                   `json:"status"`
 	Draining bool                     `json:"draining,omitempty"`
 	Self     string                   `json:"self,omitempty"`
-	Peers    []fleethealth.PeerHealth `json:"peers"`
+	Numerics healthNumerics           `json:"numerics"`
+	Peers    []fleethealth.PeerHealth `json:"peers,omitempty"`
+}
+
+// healthNumerics is the shadow verifier's verdict on this daemon's own
+// arithmetic: "off" when shadowing is disabled, "ok" while every
+// sampled solve has agreed across independent solver paths, "diverging"
+// once any has not. Divergence means a converged-but-wrong answer was
+// served — the one failure class the fallback chain cannot see.
+type healthNumerics struct {
+	Status  string `json:"status"` // ok | diverging | off
+	Sampled int64  `json:"sampled,omitempty"`
+	Agree   int64  `json:"agree,omitempty"`
+	Diverge int64  `json:"diverge,omitempty"`
+	Skipped int64  `json:"skipped,omitempty"`
+	Errors  int64  `json:"errors,omitempty"`
 }
 
 func (s *server) healthSnapshot() healthDoc {
-	return healthDoc{
+	doc := healthDoc{
 		Status:   "ok",
 		Draining: s.draining.Load(),
 		Self:     s.self,
-		Peers:    s.health.Snapshot(),
+		Numerics: s.numerics(),
 	}
+	if doc.Numerics.Status == "diverging" {
+		doc.Status = "diverging"
+	}
+	if s.health != nil {
+		doc.Peers = s.health.Snapshot()
+	}
+	return doc
+}
+
+func (s *server) numerics() healthNumerics {
+	if s.shadow == nil {
+		return healthNumerics{Status: "off"}
+	}
+	st := s.shadow.Stats()
+	n := healthNumerics{
+		Status:  "ok",
+		Sampled: st.Sampled,
+		Agree:   st.Agree,
+		Diverge: st.Diverge,
+		Skipped: st.Skipped,
+		Errors:  st.Errors,
+	}
+	if st.Diverge > 0 {
+		n.Status = "diverging"
+	}
+	return n
 }
 
 // noteSolveRequest counts one solve-traffic request against the

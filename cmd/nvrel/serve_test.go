@@ -13,23 +13,31 @@ import (
 
 	"nvrel"
 	"nvrel/internal/obs"
+	"nvrel/internal/shadow"
 )
 
 // newTestServer builds a daemon with telemetry forced on (restored at
 // test end) and returns it with an httptest front end.
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	return newTestServerCfg(t, serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second})
+}
+
+func newTestServerCfg(t *testing.T, cfg serveConfig) (*server, *httptest.Server) {
 	t.Helper()
 	prevObs := obs.Enable()
 	prevTrace := obs.TraceEnable()
 	obs.TraceReset()
 	prevEvents := obs.EventsEnable()
 	obs.EventsReset()
+	shadow.FlightReset() // newServer re-enables a fresh ring
 	t.Cleanup(func() {
 		obs.SetEnabled(prevObs)
 		obs.SetTraceEnabled(prevTrace)
 		obs.SetEventsEnabled(prevEvents)
+		shadow.FlightReset()
 	})
-	s := newServer(serveConfig{maxConcurrent: 2, solveTimeout: 30 * time.Second})
+	s := newServer(cfg)
+	t.Cleanup(s.shadow.Close)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts

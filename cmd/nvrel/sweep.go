@@ -8,10 +8,12 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"nvrel"
 	"nvrel/internal/obs"
 	"nvrel/internal/parallel"
+	"nvrel/internal/shadow"
 )
 
 // sweepSetters maps sweepable parameter names to setters.
@@ -46,6 +48,7 @@ func cmdSweep(args []string, out io.Writer) error {
 	steps := fs.Int("steps", 10, "number of grid points (>= 2)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	keepGoing := fs.Bool("keep-going", false, "report per-point errors instead of aborting on the first failure")
+	shadowRate := fs.Float64("shadow-rate", 0, "shadow-verify this fraction of grid solves on an independent solver path; any divergence fails the sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +75,11 @@ func cmdSweep(args []string, out io.Writer) error {
 		err       error
 	}
 	cache := nvrel.NewModelCache()
+	var ver *shadow.Verifier
+	if *shadowRate > 0 {
+		ver = shadow.New(shadow.Config{Rate: *shadowRate, Workers: 2, Source: "sweep"})
+		defer ver.Close()
+	}
 	points := make([]sweepPoint, *steps)
 	solvePoint := func(ctx context.Context, i int) (err error) {
 		v := *from + (*to-*from)*float64(i)/float64(*steps-1)
@@ -91,7 +99,7 @@ func cmdSweep(args []string, out io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("sweep: four-version at %s=%g: %w", *param, v, err)
 			}
-			if e4, err = m4.ExpectedPaperReliabilityCtxWS(ctx, nil); err != nil {
+			if e4, err = solveShadowed(ctx, "sweep", "4v", m4, ver); err != nil {
 				return fmt.Errorf("sweep: four-version at %s=%g: %w", *param, v, err)
 			}
 		}
@@ -102,7 +110,7 @@ func cmdSweep(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("sweep: six-version at %s=%g: %w", *param, v, err)
 		}
-		e6, err := m6.ExpectedPaperReliabilityCtxWS(ctx, nil)
+		e6, err := solveShadowed(ctx, "sweep", "6v", m6, ver)
 		if err != nil {
 			return fmt.Errorf("sweep: six-version at %s=%g: %w", *param, v, err)
 		}
@@ -150,8 +158,35 @@ func cmdSweep(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-12.6g %-12s %-12.7f\n", pt.v, f4, pt.e6)
 		}
 	}
+	if ver != nil {
+		ver.Flush()
+		st := ver.Stats()
+		if !*csv {
+			fmt.Fprintf(out, "sweep: shadow sampled %d  agree %d  diverge %d  skipped %d  errors %d\n",
+				st.Sampled, st.Agree, st.Diverge, st.Skipped, st.Errors)
+		}
+		if st.Diverge > 0 {
+			return fmt.Errorf("sweep: %d shadow divergence(s): independent solver paths disagree beyond tolerance", st.Diverge)
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("sweep: %d of %d points failed", failed, *steps)
 	}
 	return nil
+}
+
+// solveShadowed solves one grid point with full diagnostics, files the
+// flight record, and offers the result to the sweep's shadow sampler.
+func solveShadowed(ctx context.Context, source, arch string, m *nvrel.Model, ver *shadow.Verifier) (float64, error) {
+	start := time.Now()
+	pi, diag, err := m.SolveDiagCtxWS(ctx, nil)
+	if err != nil {
+		return 0, err
+	}
+	rel, err := m.ExpectedPaperReliabilityFrom(pi)
+	if err != nil {
+		return 0, err
+	}
+	noteShadowSolve(ctx, source, arch, m, pi, rel, diag, time.Since(start), ver)
+	return rel, nil
 }

@@ -17,4 +17,14 @@ var (
 	// fiKernelPanic panics inside the iterative kernels, exercising the
 	// recover-and-wrap layer of the callers.
 	fiKernelPanic = faultinject.SiteFor("linalg.kernel.panic")
+	// fiGSDrift perturbs an ACCEPTED Gauss-Seidel iterate with a small
+	// simplex-preserving mass transfer: the result passes every
+	// distribution guard (finite, non-negative, sums to one) yet differs
+	// from an independent solve by far more than the cross-path agreement
+	// floor. It models the one failure class the fallback chain cannot
+	// catch — a converged-but-wrong iterate — and exists so the shadow
+	// verification layer (internal/shadow) has a silent corruption to
+	// detect. Deliberately NOT in the default chaos plan: no single-path
+	// guard can flag it, only N-version cross-checking can.
+	fiGSDrift = faultinject.SiteFor("linalg.gs.drift")
 )

@@ -76,22 +76,33 @@ func (ws *Workspace) SteadyStateGSCtx(ctx context.Context, qt *CSR, dst []float6
 // cold solves agree to the solver tolerance. A nil or unusable seed
 // reproduces the cold solve bit for bit.
 func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, seed []float64) (sweeps int, warm bool, err error) {
+	sweeps, warm, _, err = ws.SteadyStateGSSeededResCtx(ctx, qt, dst, seed)
+	return sweeps, warm, err
+}
+
+// SteadyStateGSSeededResCtx is SteadyStateGSSeededCtx additionally
+// reporting the final relative L1 residual of the accepting sweep
+// (delta/norm — the same number the convergence criterion compares
+// against gsTol, zero for the trivial one-state chain). Callers thread
+// it into SolveDiag so the numerics flight recorder can rank solves by
+// how hard the acceptance band was hit.
+func (ws *Workspace) SteadyStateGSSeededResCtx(ctx context.Context, qt *CSR, dst, seed []float64) (sweeps int, warm bool, residual float64, err error) {
 	rows, cols := qt.Dims()
 	if rows != cols {
-		return 0, false, ErrDimensionMismatch
+		return 0, false, 0, ErrDimensionMismatch
 	}
 	n := rows
 	if len(dst) != n {
-		return 0, false, ErrDimensionMismatch
+		return 0, false, 0, ErrDimensionMismatch
 	}
 	if err := ValidateGeneratorCSR("linalg.gs", qt); err != nil {
 		metGSRejected.Inc()
-		return 0, false, err
+		return 0, false, 0, err
 	}
 	metGSSolves.Inc()
 	if n == 1 {
 		dst[0] = 1
-		return 0, false, nil
+		return 0, false, 0, nil
 	}
 	if !ApplySeed(dst, seed) {
 		for i := range dst {
@@ -105,13 +116,13 @@ func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, s
 	for sweep := 0; sweep < gsMaxSweeps; sweep++ {
 		if sweep&63 == 0 {
 			if err := CtxError("linalg.gs", ctx); err != nil {
-				return sweep, warm, err
+				return sweep, warm, 0, err
 			}
 		}
 		if faultinject.Enabled() {
 			fiKernelPanic.Panic()
 			if fiGSStall.Fire() {
-				return sweep, warm, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
+				return sweep, warm, 0, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
 					Err: fmt.Errorf("%w: injected Gauss-Seidel stall at sweep %d", ErrNotConverged, sweep)}
 			}
 			if fiGSPoison.Fire() {
@@ -130,7 +141,7 @@ func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, s
 				s += qt.Vals[k] * dst[c]
 			}
 			if diag >= 0 {
-				return sweep, warm, &SolveError{Site: "linalg.gs", Kind: FailGenerator, Index: j, Value: diag,
+				return sweep, warm, 0, &SolveError{Site: "linalg.gs", Kind: FailGenerator, Index: j, Value: diag,
 					Err: fmt.Errorf("linalg: state %d has no exit rate (chain not irreducible?)", j)}
 			}
 			v := s / -diag
@@ -148,18 +159,20 @@ func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, s
 		// of spinning to the budget with a poisoned vector.
 		if math.IsNaN(delta) || math.IsNaN(norm) || math.IsInf(norm, 0) {
 			metGSRejected.Inc()
-			return sweep + 1, warm, &SolveError{Site: "linalg.gs", Kind: FailNaN, Index: -1,
+			return sweep + 1, warm, 0, &SolveError{Site: "linalg.gs", Kind: FailNaN, Index: -1,
 				Err: fmt.Errorf("linalg: Gauss-Seidel iterate went non-finite at sweep %d", sweep)}
 		}
 		if norm <= 0 {
-			return sweep + 1, warm, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
+			return sweep + 1, warm, 0, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1,
 				Err: fmt.Errorf("linalg: Gauss-Seidel iterate vanished at sweep %d", sweep)}
 		}
 		normalize(dst)
 		if delta <= gsTol*norm {
 			metGSConverged.Inc()
-			metGSResidual.Set(delta / norm)
-			return sweep + 1, warm, nil
+			residual = delta / norm
+			metGSResidual.Set(residual)
+			driftGS(dst)
+			return sweep + 1, warm, residual, nil
 		}
 		// Stalled at the rounding floor: the iterate stopped improving but
 		// sits below the acceptance band, which is as converged as float64
@@ -167,8 +180,10 @@ func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, s
 		if delta >= prev*0.98 {
 			if stall++; stall >= 10 && delta <= gsStallTol*norm {
 				metGSStalled.Inc()
-				metGSResidual.Set(delta / norm)
-				return sweep + 1, warm, nil
+				residual = delta / norm
+				metGSResidual.Set(residual)
+				driftGS(dst)
+				return sweep + 1, warm, residual, nil
 			}
 		} else {
 			stall = 0
@@ -176,8 +191,31 @@ func (ws *Workspace) SteadyStateGSSeededCtx(ctx context.Context, qt *CSR, dst, s
 		prev = delta
 	}
 	metGSExhausted.Inc()
-	return gsMaxSweeps, warm, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1, Residual: prev,
+	return gsMaxSweeps, warm, prev, &SolveError{Site: "linalg.gs", Kind: FailNotConverged, Index: -1, Residual: prev,
 		Err: fmt.Errorf("%w: Gauss-Seidel after %d sweeps", ErrNotConverged, gsMaxSweeps)}
+}
+
+// driftGS applies the linalg.gs.drift chaos site to an accepted iterate:
+// it moves a small fraction of the largest entry's mass onto a neighbor.
+// The sum, non-negativity, and finiteness are all preserved, so every
+// downstream distribution guard passes — the vector is simply wrong by
+// ~1e-4 of its largest component, orders of magnitude above both the
+// solver tolerance and the shadow-verification agreement bands. Inert
+// unless chaos injection armed the site.
+func driftGS(dst []float64) {
+	if !faultinject.Enabled() || !fiGSDrift.Fire() || len(dst) < 2 {
+		return
+	}
+	hi := 0
+	for i, v := range dst {
+		if v > dst[hi] {
+			hi = i
+		}
+	}
+	lo := (hi + 1) % len(dst)
+	eps := dst[hi] * 1e-4
+	dst[hi] -= eps
+	dst[lo] += eps
 }
 
 // UniformizedPowerCSR computes pi * e^{Q t} for a CSR generator Q without

@@ -206,6 +206,25 @@ func solveDenseGuarded(ctx context.Context, ws *linalg.Workspace, g *petri.Graph
 	return sol, err
 }
 
+// SolveRungCtxWS runs exactly one MRGP formulation — "dense" (dense
+// transient pair + GTH on the embedded chain) or "sparse" (matrix-free
+// uniformized series + embedded power iteration) — with NO size routing
+// and NO fallback: a failing rung surfaces its typed error. Like
+// petri.Graph.SteadyStateRungCtxWS it exists for shadow verification,
+// where the re-solve must stay on the path independent of the one that
+// produced the primary answer. Both rungs keep the guarded panic
+// recovery and result validation of the hardened entry point.
+func SolveRungCtxWS(ctx context.Context, ws *linalg.Workspace, g *petri.Graph, rung string) (*Solution, error) {
+	switch rung {
+	case "dense":
+		return solveDenseGuarded(ctx, ws, g)
+	case "sparse":
+		return solveSparseGuarded(ctx, ws, g, nil)
+	default:
+		return nil, fmt.Errorf("mrgp: unknown solver rung %q (want dense or sparse)", rung)
+	}
+}
+
 // validateSolution guards both output vectors of a Solution: the
 // time-stationary and the embedded distributions each must be a valid
 // point on the probability simplex.

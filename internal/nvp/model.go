@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"nvrel/internal/faultinject"
 	"nvrel/internal/linalg"
@@ -433,6 +434,92 @@ func (m *Model) solveSeededDiagCtxWS(ctx context.Context, ws *linalg.Workspace, 
 	sp.Int("states", int64(diag.States))
 	sp.End()
 	return pi, iterate, diag, nil
+}
+
+// ShadowRung names the solver rung a shadow verification should re-solve
+// this model on: a path deliberately different from — and numerically
+// independent of — the one that produced the primary result (described
+// by diag). Empty means no independent rung remains (the primary answer
+// already consumed the whole chain, or the architecture has no second
+// formulation), in which case the shadow layer counts the solve as
+// skipped rather than comparing a path against itself.
+//
+// The diversity matrix (DESIGN.md §14): for the CTMC architecture,
+// sparse GS is cross-checked by dense GTH, dense GTH by uniformized
+// power, a GS→GTH fallback by power, and a GTH→power fallback by GS; a
+// solve that already fell all the way to power has no rung left. For
+// the clock-synchronous MRGP architecture the sparse embedded-chain
+// solution is cross-checked by the dense formulation and vice versa
+// (diag.PowerIters carries the sparse path's cycle count, so zero means
+// the dense path answered). The general (waits-for-wave) solver has a
+// single formulation and is never shadowed.
+func (m *Model) ShadowRung(diag petri.SolveDiag) string {
+	switch m.SolverKind() {
+	case "ctmc":
+		switch diag.Path {
+		case petri.PathSparse:
+			return "gth"
+		case petri.PathDense, petri.PathSparseFallbackDense:
+			return "power"
+		case petri.PathDenseFallbackPower:
+			return "gs"
+		}
+		return ""
+	case "mrgp":
+		if diag.PowerIters > 0 {
+			return "mrgp-dense"
+		}
+		return "mrgp-sparse"
+	default:
+		return ""
+	}
+}
+
+// SolveRungCtxWS re-solves the model on exactly one named rung ("gs",
+// "gth", "power" for the CTMC architecture; "mrgp-dense", "mrgp-sparse"
+// for the clock-synchronous one) with no fallback, returning the
+// distribution and the rung's iterative work. It is always a cold solve
+// — no warm-start seed — so the shadow result shares nothing with the
+// primary beyond the model itself.
+func (m *Model) SolveRungCtxWS(ctx context.Context, ws *linalg.Workspace, rung string) ([]float64, int, error) {
+	ctx, sp := obs.StartSpan(ctx, "nvp.solve.rung")
+	defer sp.End()
+	sp.Str("arch", m.Arch.String()).Str("rung", rung)
+	var (
+		pi    []float64
+		iters int
+		err   error
+	)
+	switch rung {
+	case "gs", "gth", "power":
+		if m.SolverKind() != "ctmc" {
+			err = fmt.Errorf("nvp: rung %q needs the ctmc architecture, model solves via %s", rung, m.SolverKind())
+			break
+		}
+		pi, iters, err = m.Graph.SteadyStateRungCtxWS(ctx, ws, rung)
+	case "mrgp-dense", "mrgp-sparse":
+		if m.SolverKind() != "mrgp" {
+			err = fmt.Errorf("nvp: rung %q needs the mrgp architecture, model solves via %s", rung, m.SolverKind())
+			break
+		}
+		var sol *mrgp.Solution
+		sol, err = mrgp.SolveRungCtxWS(ctx, ws, m.Graph, strings.TrimPrefix(rung, "mrgp-"))
+		if sol != nil {
+			pi = sol.Pi
+			iters = sol.Cycles
+		}
+	default:
+		err = fmt.Errorf("nvp: unknown solver rung %q", rung)
+	}
+	if err != nil {
+		sp.Err(err)
+		return nil, iters, err
+	}
+	if err := linalg.ValidateDistribution("nvp.solve.rung", pi); err != nil {
+		sp.Err(err)
+		return nil, iters, err
+	}
+	return pi, iters, nil
 }
 
 // StateDistribution aggregates the steady state into module-population

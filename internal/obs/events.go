@@ -41,12 +41,21 @@ type Event struct {
 type eventRing struct {
 	enabled atomic.Bool
 	head    atomic.Uint64
+	// readSeq is the highest claim number any snapshot has observed.
+	// Overwriting a slot whose event carries a later seq means that
+	// event was never read by anyone — counted as events.dropped so a
+	// ring sized below the burst rate is visible in /metrics instead of
+	// silently forgetting requests.
+	readSeq atomic.Uint64
 	slots   []eventSlot
 
 	sinkMu sync.Mutex
 	sink   io.Writer
 	senc   *json.Encoder
 }
+
+// metEventsDropped counts ring overwrites of never-snapshotted events.
+var metEventsDropped = CounterFor("events.dropped")
 
 type eventSlot struct {
 	mu  sync.Mutex
@@ -130,6 +139,9 @@ func RecordEvent(ev Event) {
 	seq := r.head.Add(1)
 	slot := &r.slots[(seq-1)%uint64(len(r.slots))]
 	slot.mu.Lock()
+	if old := slot.seq; old != 0 && old > r.readSeq.Load() {
+		metEventsDropped.Inc()
+	}
 	slot.seq = seq
 	slot.ev = ev
 	slot.mu.Unlock()
@@ -149,13 +161,25 @@ func EventsSnapshot() []Event {
 		ev  Event
 	}
 	got := make([]seqEvent, 0, len(r.slots))
+	var maxSeq uint64
 	for i := range r.slots {
 		s := &r.slots[i]
 		s.mu.Lock()
 		if s.seq != 0 {
 			got = append(got, seqEvent{s.seq, s.ev})
+			if s.seq > maxSeq {
+				maxSeq = s.seq
+			}
 		}
 		s.mu.Unlock()
+	}
+	// Mark everything up to maxSeq as read (monotonic max; losing a CAS
+	// race to a later snapshot is fine).
+	for {
+		cur := r.readSeq.Load()
+		if maxSeq <= cur || r.readSeq.CompareAndSwap(cur, maxSeq) {
+			break
+		}
 	}
 	sort.Slice(got, func(i, j int) bool {
 		if !got[i].ev.Time.Equal(got[j].ev.Time) {

@@ -123,3 +123,47 @@ func TestEventSinkStreamsJSONLines(t *testing.T) {
 		}
 	})
 }
+
+// TestEventsDroppedCountsUnreadOverwrites exercises the overflow path:
+// overwriting a slot nobody has snapshotted yet increments
+// events.dropped, while recycling already-read slots stays free.
+func TestEventsDroppedCountsUnreadOverwrites(t *testing.T) {
+	prevObs := Enable()
+	if !prevObs {
+		defer Disable()
+	}
+	withEvents(t, func() {
+		SetEventCapacity(4)
+		defer SetEventCapacity(DefaultEventCapacity)
+		dropped := func() int64 { return CounterFor("events.dropped").Value() }
+		base := dropped()
+
+		for i := 0; i < 4; i++ {
+			RecordEvent(Event{Method: "solve"})
+		}
+		if d := dropped() - base; d != 0 {
+			t.Fatalf("filling an empty ring dropped %d events", d)
+		}
+
+		// Two more writes overwrite never-read slots.
+		RecordEvent(Event{Method: "solve"})
+		RecordEvent(Event{Method: "solve"})
+		if d := dropped() - base; d != 2 {
+			t.Fatalf("unread overwrites dropped %d, want 2", d)
+		}
+
+		// A snapshot marks everything read; the next full wrap recycles
+		// read slots for free, and only the write past the wrap drops.
+		EventsSnapshot()
+		for i := 0; i < 4; i++ {
+			RecordEvent(Event{Method: "solve"})
+		}
+		if d := dropped() - base; d != 2 {
+			t.Fatalf("read overwrites counted as drops: %d, want 2", d)
+		}
+		RecordEvent(Event{Method: "solve"})
+		if d := dropped() - base; d != 3 {
+			t.Fatalf("post-wrap unread overwrite dropped %d, want 3", d)
+		}
+	})
+}

@@ -88,3 +88,50 @@ func TestMergeSnapshotsDoesNotAliasInputs(t *testing.T) {
 		t.Errorf("merged count = %d, want 11", m.Histograms["h"].Count)
 	}
 }
+
+func TestMergeSnapshotsDisjointCounterSets(t *testing.T) {
+	m := MergeSnapshots(map[string]Snapshot{
+		"a": {Counters: map[string]int64{"shadow.sampled": 4, "shadow.agree": 4}},
+		"b": {Counters: map[string]int64{"shadow.diverge": 2}},
+		"c": {}, // peer with no counters at all
+	})
+	want := map[string]int64{"shadow.sampled": 4, "shadow.agree": 4, "shadow.diverge": 2}
+	if len(m.Counters) != len(want) {
+		t.Fatalf("merged counters = %v, want %v", m.Counters, want)
+	}
+	for name, v := range want {
+		if m.Counters[name] != v {
+			t.Errorf("%s = %d, want %d", name, m.Counters[name], v)
+		}
+	}
+}
+
+// TestMergeSnapshotsLaterPeerRejoinsBaseBounds pins the three-peer
+// behavior: a peer with mismatched bounds is keyed aside, but a later
+// peer whose bounds match the first still merges into the base entry.
+func TestMergeSnapshotsLaterPeerRejoinsBaseBounds(t *testing.T) {
+	bounds := []float64{1, 10}
+	m := MergeSnapshots(map[string]Snapshot{
+		"a": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: bounds, Counts: []int64{1, 2, 3}, Count: 6, Sum: 10},
+		}},
+		"b": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: []float64{5}, Counts: []int64{7, 7}, Count: 14, Sum: 20},
+		}},
+		"c": {Histograms: map[string]HistogramSnapshot{
+			"iters": {Bounds: bounds, Counts: []int64{10, 20, 30}, Count: 60, Sum: 100},
+		}},
+	})
+	h := m.Histograms["iters"]
+	if h.Count != 66 || h.Sum != 110 {
+		t.Fatalf("a+c not merged: %+v", h)
+	}
+	for i, want := range []int64{11, 22, 33} {
+		if h.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	if m.Histograms["iters@b"].Count != 14 {
+		t.Errorf("peer b not keyed aside: %v", sortedKeys(m.Histograms))
+	}
+}

@@ -3,6 +3,7 @@ package petri
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"nvrel/internal/linalg"
 	"nvrel/internal/obs"
@@ -163,6 +164,14 @@ type SolveDiag struct {
 	// SeedSource describes where an accepted seed came from (set by the
 	// warm-start registry layer; empty for cold solves).
 	SeedSource string
+
+	// Residual is the final relative L1 residual of the accepting
+	// Gauss-Seidel sweep when the sparse rung produced the result (zero
+	// for the direct dense path, which has no iteration residual, and for
+	// fallback rungs). It feeds the numerics flight recorder: a residual
+	// creeping toward the stall band is the early signal of a chain the
+	// iterative solver is barely holding.
+	Residual float64
 }
 
 // Iterations is the total iterative-kernel work of the solve: Gauss-Seidel
@@ -285,10 +294,11 @@ func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Works
 	metSolveSparse.Inc()
 	diag := SolveDiag{States: g.NumStates(), Path: PathSparse}
 	pi := make([]float64, g.NumStates())
-	sweeps, warm, err := g.sparseGSGuarded(ctx, ws, pi, seed)
+	sweeps, warm, res, err := g.sparseGSGuarded(ctx, ws, pi, seed)
 	diag.GSSweeps = sweeps
 	if err == nil {
 		diag.Seeded = warm
+		diag.Residual = res
 		return pi, diag, nil
 	}
 	diag.Fallback = err
@@ -331,7 +341,7 @@ func (g *Graph) steadyStateSparseDiagCtxWS(ctx context.Context, ws *linalg.Works
 // covers generator stamping plus validation; the nested kernel span
 // isolates the Gauss-Seidel iteration itself (the kernel stays
 // span-free internally so its NoAlloc guarantees are untouched).
-func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi, seed []float64) (sweeps int, warm bool, err error) {
+func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi, seed []float64) (sweeps int, warm bool, residual float64, err error) {
 	ctx, sp := obs.StartSpan(ctx, "petri.rung.gs")
 	defer func() {
 		sp.Int("sweeps", int64(sweeps)).Err(err)
@@ -344,17 +354,17 @@ func (g *Graph) sparseGSGuarded(ctx context.Context, ws *linalg.Workspace, pi, s
 	}()
 	qt, err := g.GeneratorCSRTranspose(ws)
 	if err != nil {
-		return 0, false, err
+		return 0, false, 0, err
 	}
 	_, ksp := obs.StartSpan(ctx, "linalg.gs")
-	sweeps, warm, err = ws.SteadyStateGSSeededCtx(ctx, qt, pi, seed)
+	sweeps, warm, residual, err = ws.SteadyStateGSSeededResCtx(ctx, qt, pi, seed)
 	ksp.Int("sweeps", int64(sweeps)).Int("nnz", int64(qt.NNZ())).Err(err)
 	ksp.End()
 	ws.PutCSR(qt)
 	if err == nil {
 		err = linalg.ValidateDistribution("petri.solve.gs", pi)
 	}
-	return sweeps, warm, err
+	return sweeps, warm, residual, err
 }
 
 // steadyStateDenseGuarded runs one dense GTH attempt with panic recovery
@@ -418,6 +428,38 @@ func (g *Graph) steadyStatePowerGuarded(ctx context.Context, ws *linalg.Workspac
 		return nil, iters, err
 	}
 	return pi, iters, nil
+}
+
+// SteadyStateRungCtxWS runs exactly one named rung of the steady-state
+// chain — "gs" (sparse Gauss-Seidel), "gth" (dense direct), or "power"
+// (uniformized power iteration) — with NO fallback: a failing rung
+// surfaces its typed error instead of rerouting. It is the
+// shadow-verification primitive (internal/shadow): a cross-check
+// re-solve must stay on the independent path it was assigned, because
+// silently falling back onto the primary's path would compare the
+// primary result against itself. The returned count is the rung's
+// iterative work (GS sweeps or power iterations; zero for the direct
+// GTH elimination). The result is guard-validated like every chain rung.
+func (g *Graph) SteadyStateRungCtxWS(ctx context.Context, ws *linalg.Workspace, rung string) ([]float64, int, error) {
+	if g.HasDeterministic() {
+		return nil, 0, errors.New("petri: graph has deterministic transitions; use mrgp.Solve")
+	}
+	switch rung {
+	case "gs":
+		pi := make([]float64, g.NumStates())
+		sweeps, _, _, err := g.sparseGSGuarded(ctx, ws, pi, nil)
+		if err != nil {
+			return nil, sweeps, err
+		}
+		return pi, sweeps, nil
+	case "gth":
+		pi, err := g.steadyStateDenseGuarded(ctx, ws)
+		return pi, 0, err
+	case "power":
+		return g.steadyStatePowerGuarded(ctx, ws)
+	default:
+		return nil, 0, fmt.Errorf("petri: unknown solver rung %q (want gs, gth, or power)", rung)
+	}
 }
 
 // ExpectedReward computes the steady-state expected reward of a graph with

@@ -1,0 +1,157 @@
+package shadow
+
+import (
+	"sync"
+	"time"
+)
+
+// The numerics flight recorder: a bounded ring of the last K solve
+// diagnostics, one record per primary solve, each later annotated with
+// its shadow verdict. It answers the post-incident question "what were
+// the solver's last N decisions" — which rungs ran, how hard they
+// iterated, what residual they accepted, where the seed came from —
+// without re-running anything. `GET /debug/flight` serves the ring
+// live; `nvrel audit -flight` replays a dump into a report.
+//
+// Recording sits behind an explicit enable (off in library use, on in
+// the daemons) and takes a plain mutex: it is called once per solve,
+// well off any per-sweep hot path, so the obs-style lock-free ring
+// would buy nothing.
+
+// Outcome is the shadow verdict attached to a flight record once the
+// async verification completes.
+type Outcome struct {
+	Rung           string  `json:"rung,omitempty"`
+	Verdict        string  `json:"verdict"` // agree | diverge | error | skipped
+	PiDelta        float64 `json:"pi_delta,omitempty"`
+	RelDelta       float64 `json:"rel_delta,omitempty"`
+	Error          string  `json:"error,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+}
+
+// FlightRecord is one primary solve's diagnostics, flattened from
+// petri.SolveDiag plus serving context.
+type FlightRecord struct {
+	Time           time.Time `json:"time"`
+	Source         string    `json:"source"` // serve | sweep | chaos | loadgen
+	Arch           string    `json:"arch,omitempty"`
+	KeyHash        string    `json:"params_key_hash,omitempty"`
+	TraceID        string    `json:"trace_id,omitempty"`
+	States         int       `json:"states,omitempty"`
+	Solver         string    `json:"solver,omitempty"` // ctmc | mrgp | mrgp-general
+	Path           string    `json:"path,omitempty"`
+	GSSweeps       int       `json:"gs_sweeps,omitempty"`
+	PowerIters     int       `json:"power_iters,omitempty"`
+	Residual       float64   `json:"residual,omitempty"`
+	Seeded         bool      `json:"seeded,omitempty"`
+	SeedSource     string    `json:"seed_source,omitempty"`
+	Fallback       string    `json:"fallback,omitempty"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	Shadow         *Outcome  `json:"shadow,omitempty"`
+}
+
+const defaultFlightCapacity = 256
+
+var flight struct {
+	mu      sync.Mutex
+	enabled bool
+	recs    []FlightRecord
+	next    int  // ring write cursor
+	wrapped bool // ring has overwritten at least once
+}
+
+// FlightEnable switches the recorder on (idempotent), allocating the
+// ring at its current capacity.
+func FlightEnable() {
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	flight.enabled = true
+	if flight.recs == nil {
+		flight.recs = make([]FlightRecord, defaultFlightCapacity)
+	}
+}
+
+// SetFlightCapacity resizes (and clears) the ring; n <= 0 restores the
+// default.
+func SetFlightCapacity(n int) {
+	if n <= 0 {
+		n = defaultFlightCapacity
+	}
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	flight.recs = make([]FlightRecord, n)
+	flight.next = 0
+	flight.wrapped = false
+}
+
+// FlightReset clears the ring and disables recording (test hygiene).
+func FlightReset() {
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	flight.enabled = false
+	flight.recs = nil
+	flight.next = 0
+	flight.wrapped = false
+}
+
+// RecordFlight appends one solve record, overwriting the oldest entry
+// when the ring is full. No-op until FlightEnable.
+func RecordFlight(r FlightRecord) {
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	if !flight.enabled || len(flight.recs) == 0 {
+		return
+	}
+	flight.recs[flight.next] = r
+	flight.next++
+	if flight.next == len(flight.recs) {
+		flight.next = 0
+		flight.wrapped = true
+	}
+}
+
+// AttachOutcome annotates the most recent record for keyHash that has
+// no verdict yet. Verification is async, so the record always exists
+// before its outcome; a record already rotated out of the ring is
+// silently dropped, matching the recorder's bounded-history contract.
+func AttachOutcome(keyHash string, oc *Outcome) {
+	if oc == nil {
+		return
+	}
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	if !flight.enabled || len(flight.recs) == 0 {
+		return
+	}
+	n := len(flight.recs)
+	// Scan newest-first from the slot behind the write cursor.
+	for i := 1; i <= n; i++ {
+		j := (flight.next - i + n) % n
+		r := &flight.recs[j]
+		if r.Time.IsZero() {
+			break // reached the unwritten tail of a young ring
+		}
+		if r.KeyHash == keyHash && r.Shadow == nil {
+			r.Shadow = oc
+			return
+		}
+	}
+}
+
+// FlightSnapshot returns the recorded solves oldest-first.
+func FlightSnapshot() []FlightRecord {
+	flight.mu.Lock()
+	defer flight.mu.Unlock()
+	if !flight.enabled || len(flight.recs) == 0 {
+		return nil
+	}
+	var out []FlightRecord
+	if flight.wrapped {
+		out = make([]FlightRecord, 0, len(flight.recs))
+		out = append(out, flight.recs[flight.next:]...)
+		out = append(out, flight.recs[:flight.next]...)
+	} else {
+		out = append(out, flight.recs[:flight.next]...)
+	}
+	return out
+}

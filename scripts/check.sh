@@ -101,6 +101,28 @@ if ! grep -q '"slo"' artifacts/loadgen.json; then
     exit 1
 fi
 
+echo "== shadow gate: N-version self-check at rate 1.0 + audit replay"
+# Every solve of a self-served burst is re-solved on an independent
+# solver rung (DESIGN.md section 14): at least one comparison must be
+# sampled, none may diverge, and the burst must stay inside the same p99
+# ceiling as the loadgen gate above. The flight-recorder dump is then
+# replayed through `nvrel audit`, whose -max-diverge-rate 0 gate exits
+# non-zero on any divergence.
+go run ./cmd/nvrel loadgen -self-serve -duration 3s -concurrency 2 \
+    -mix 0.5,0.3,0.2 -shadow-rate 1.0 -min-shadow-sampled 1 \
+    -max-shadow-diverge 0 -max-p99 5s -max-error-rate 0 \
+    -flight-out artifacts/flight.json -o artifacts/shadow_loadgen.json
+if ! grep -q '"sampled"' artifacts/shadow_loadgen.json; then
+    echo "shadow gate: loadgen report missing shadow block" >&2
+    exit 1
+fi
+go run ./cmd/nvrel audit -flight artifacts/flight.json \
+    -max-diverge-rate 0 -o artifacts/audit.json
+if ! grep -q '"diverge_rate": 0' artifacts/audit.json; then
+    echo "shadow gate: audit report disagrees with its exit status" >&2
+    exit 1
+fi
+
 echo "== chaos gate: fault plan over the standard sweeps"
 go run ./cmd/nvrel chaos -steps 2 -o artifacts/chaos.json
 # The command already exits non-zero when a fault escapes containment;
